@@ -1,0 +1,78 @@
+// Command campaign runs the Klagenfurt measurement campaign with
+// configurable infrastructure and prints the Figure 2 / Figure 3 grids.
+//
+// Usage:
+//
+//	campaign                       # the paper's baseline deployment
+//	campaign -peering              # with Section V-A local peering
+//	campaign -edge-upf -urllc      # Section V-B edge anchoring + slice
+//	campaign -nodes 5 -seed 7      # more mobile nodes, another seed
+//	campaign -csv                  # per-cell CSV instead of grids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	sixgedge "repro"
+	"repro/internal/ran"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		seed    = flag.Uint64("seed", 42, "simulation seed")
+		nodes   = flag.Int("nodes", 3, "mobile measurement nodes")
+		peering = flag.Bool("peering", false, "enable local peering (Section V-A)")
+		edge    = flag.Bool("edge-upf", false, "anchor sessions at the edge UPF (Section V-B)")
+		urllc   = flag.Bool("urllc", false, "use the URLLC slice radio profile")
+		sixg    = flag.Bool("6g", false, "use the 6G radio profile")
+		csv     = flag.Bool("csv", false, "emit per-cell CSV")
+	)
+	flag.Parse()
+
+	cfg := sixgedge.CampaignConfig{
+		Seed:         *seed,
+		MobileNodes:  *nodes,
+		LocalPeering: *peering,
+		EdgeUPF:      *edge,
+	}
+	switch {
+	case *sixg:
+		cfg.Profile = ran.Profile6G
+	case *urllc:
+		cfg.Profile = ran.Profile5GURLLC
+	}
+
+	res, err := sixgedge.RunCampaign(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "campaign:", err)
+		os.Exit(1)
+	}
+
+	if *csv {
+		tbl := report.NewTable("", "cell", "n", "mean_ms", "std_ms", "reported")
+		for _, rep := range res.Reports {
+			tbl.AddRow(rep.Cell, rep.N, rep.MeanMs, rep.StdMs, rep.Reported)
+		}
+		fmt.Print(tbl.CSV())
+		return
+	}
+
+	mean := report.NewCellGrid("mean RTL (ms); 0.0 = fewer than ten measurements", res.Grid)
+	std := report.NewCellGrid("std-dev RTL (ms)", res.Grid)
+	for _, rep := range res.Reports {
+		mean.Set(rep.Cell, rep.MeanMs)
+		std.Set(rep.Cell, rep.StdMs)
+	}
+	fmt.Println(mean)
+	fmt.Println(std)
+	fmt.Printf("%d measurements over %v of virtual time\n",
+		res.TotalMeasurements, res.VirtualDuration)
+	fmt.Printf("mobile mean %.1f ms | wired mean %.1f ms | factor %.2f\n",
+		res.MobileAll.Mean(), res.Wired.Mean(), res.MobileVsWiredFactor())
+	fmt.Printf("extremes: %v %.1f ms .. %v %.1f ms | sigma: %v %.2f ms .. %v %.1f ms\n",
+		res.MinMean.Cell, res.MinMean.MeanMs, res.MaxMean.Cell, res.MaxMean.MeanMs,
+		res.MinStd.Cell, res.MinStd.StdMs, res.MaxStd.Cell, res.MaxStd.StdMs)
+}

@@ -1,0 +1,86 @@
+// Command sixgsim regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	sixgsim                  # run every experiment
+//	sixgsim -exp fig2        # run one experiment
+//	sixgsim -list            # list experiment ids
+//	sixgsim -seed 7 -exp gap # change the seed
+//	sixgsim -checks          # print only the paper-vs-measured rows
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	sixgedge "repro"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment id to run (default: all)")
+		seed   = flag.Uint64("seed", 42, "simulation seed")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		checks = flag.Bool("checks", false, "print only paper-vs-measured rows")
+		outDir = flag.String("out", "", "also write each artefact to <dir>/<id>.txt")
+	)
+	flag.Parse()
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "sixgsim:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *list {
+		for _, e := range sixgedge.Experiments() {
+			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	run := func(id string) error {
+		art, err := sixgedge.RunExperiment(id, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("==== %s: %s ====\n", art.ID, art.Title)
+		if *checks {
+			for _, c := range art.Checks {
+				fmt.Println(c)
+			}
+		} else {
+			fmt.Println(art.Text)
+		}
+		fmt.Println()
+		if *outDir != "" {
+			path := filepath.Join(*outDir, art.ID+".txt")
+			content := fmt.Sprintf("%s: %s\n\n%s", art.ID, art.Title, art.Text)
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				return fmt.Errorf("writing %s: %w", path, err)
+			}
+		}
+		return nil
+	}
+
+	if *exp != "" {
+		if err := run(*exp); err != nil {
+			fmt.Fprintln(os.Stderr, "sixgsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	failed := false
+	for _, e := range sixgedge.Experiments() {
+		if err := run(e.ID); err != nil {
+			fmt.Fprintln(os.Stderr, "sixgsim:", err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,79 @@
+// Command traceviz explores the Table I / Figure 4 trace: the ten-hop,
+// ~2500 km route a local Klagenfurt request takes through Vienna, Prague
+// and Bucharest, and what the Section V remedies do to it.
+//
+// Usage:
+//
+//	traceviz                 # baseline trace (Table I)
+//	traceviz -peering        # after local peering
+//	traceviz -edge-upf       # MEC service at the edge UPF
+//	traceviz -cell D4 -n 5   # five traces from another cell
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/corenet"
+	"repro/internal/des"
+	"repro/internal/geo"
+	"repro/internal/probe"
+	"repro/internal/ran"
+	"repro/internal/topo"
+)
+
+func main() {
+	var (
+		seed    = flag.Uint64("seed", 42, "simulation seed")
+		cell    = flag.String("cell", "C2", "mobile node's cell")
+		n       = flag.Int("n", 1, "number of traces")
+		peering = flag.Bool("peering", false, "enable local peering first")
+		edgeUPF = flag.Bool("edge-upf", false, "anchor at the edge UPF (MEC service)")
+	)
+	flag.Parse()
+
+	ce := topo.BuildCentralEurope()
+	if *peering {
+		ce.EnableLocalPeering()
+	}
+	up := corenet.NewUserPlane(ce)
+	prof := ran.Profile5G
+	upf := up.Central
+	dst := ce.ProbeUni
+	if *edgeUPF {
+		upf = up.Edge
+		dst = nil
+		prof = ran.Profile5GURLLC
+	}
+	eng := probe.NewEngine(up, prof)
+
+	grid := geo.NewKlagenfurtGrid()
+	density := geo.NewKlagenfurtDensity(grid)
+	c, err := geo.ParseCellID(*cell)
+	if err != nil || !grid.Contains(c) {
+		fmt.Fprintf(os.Stderr, "traceviz: bad cell %q\n", *cell)
+		os.Exit(1)
+	}
+	cond := ran.Conditions{Load: density.LoadFactor(c), SiteKm: geo.NearestSiteKm(grid, c)}
+
+	rng := des.NewRNG(*seed)
+	for i := 0; i < *n; i++ {
+		tr, err := eng.Traceroute(rng, cond, upf, dst)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "traceviz:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace %d from cell %s (load %.2f, site %.2f km):\n", i+1, c, cond.Load, cond.SiteKm)
+		for _, h := range tr.Hops {
+			fmt.Println("  " + h.String())
+		}
+		fmt.Printf("  route: %s\n", strings.Join(tr.Cities, " -> "))
+		fmt.Printf("  one-way fibre: %.0f km | radio leg %.1f ms | total RTL %.1f ms\n\n",
+			tr.DistKm,
+			float64(tr.RadioLeg)/float64(time.Millisecond),
+			float64(tr.Total)/float64(time.Millisecond))
+	}
+}

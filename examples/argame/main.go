@@ -1,0 +1,41 @@
+// AR dodgeball: simulate the paper's Section IV-A use case — two players
+// with AR headsets exchanging virtual throws — on each infrastructure
+// rung, and watch the 20 ms motion-to-photon budget become reachable.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	sixgedge "repro"
+)
+
+func main() {
+	fmt.Println("AR dodgeball, 60 seconds per deployment, players in C2 and E3")
+	fmt.Println("budget: 20 ms motion-to-photon (frames at 16.6 ms)")
+	fmt.Println()
+	for _, d := range sixgedge.GameDeployments {
+		rep, err := sixgedge.PlayARGame(sixgedge.GameConfig{
+			Seed:       7,
+			Deployment: d,
+			Duration:   time.Minute,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "UNPLAYABLE"
+		if rep.Playable {
+			verdict = "playable"
+		}
+		fmt.Printf("%-18s mean %6.2f ms  p95 %6.2f ms  in-budget %5.1f%%  ghosts %d/%d  -> %s\n",
+			rep.Deployment,
+			float64(rep.MeanM2P)/float64(time.Millisecond),
+			float64(rep.P95M2P)/float64(time.Millisecond),
+			100*rep.DeadlineHitRate, rep.GhostHits, rep.Throws, verdict)
+	}
+	fmt.Println()
+	fmt.Println("The measured 5G deployment cannot host the game; the paper's")
+	fmt.Println("remedies (local peering, then edge UPF anchoring) progressively")
+	fmt.Println("recover the budget, and the 6G target leaves 10x headroom.")
+}

@@ -1,0 +1,85 @@
+// Network slicing: compose end-to-end slice budgets from the radio,
+// core and transit layers (Section V-C), place the virtualization
+// hypervisors under three objectives, and compare reactive vs predictive
+// reconfiguration on a rising load trace.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/corenet"
+	"repro/internal/des"
+	"repro/internal/ran"
+	"repro/internal/slicing"
+	"repro/internal/topo"
+)
+
+func main() {
+	// 1. End-to-end budget composition on two deployments.
+	ce := topo.BuildCentralEurope()
+	up := corenet.NewUserPlane(ce)
+	central, err := up.Establish(up.Central, ce.ProbeUni)
+	if err != nil {
+		log.Fatal(err)
+	}
+	edge, err := up.Establish(up.Edge, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("slice budgets over the central (measured) deployment:")
+	rs, err := slicing.ValidateAll(up, ran.Profile5G,
+		ran.Conditions{Load: 0.8, SiteKm: 1}, central, 0.3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rs {
+		fmt.Println("  " + r.String())
+	}
+	fmt.Println("slice budgets over the edge UPF with a URLLC radio slice:")
+	rs, err = slicing.ValidateAll(up, ran.Profile5GURLLC,
+		ran.Conditions{Load: 0.3, SiteKm: 0.5}, edge, 0.3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rs {
+		fmt.Println("  " + r.String())
+	}
+
+	// 2. Hypervisor placement objectives over an 8x8 site grid.
+	var sites []slicing.Site
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			d := 1.0
+			if x >= 3 && x <= 4 && y >= 3 && y <= 4 {
+				d = 6 // hot centre
+			}
+			sites = append(sites, slicing.Site{X: float64(x), Y: float64(y), Demand: d})
+		}
+	}
+	fmt.Println("\nhypervisor placement (k=4) over a 64-site region:")
+	for _, s := range []slicing.Strategy{
+		slicing.StrategyLatency, slicing.StrategyResilience, slicing.StrategyLoadBalance,
+	} {
+		p, err := slicing.Place(sites, 4, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-13s mean distance %.2f km, min separation %.2f km, max load %.0f\n",
+			s, p.MeanDistance(sites), p.MinSeparation(sites), p.MaxLoad(sites))
+	}
+
+	// 3. Reactive vs predictive reconfiguration on a load ramp.
+	rng := des.NewRNG(42)
+	trace := make([]float64, 400)
+	for i := range trace {
+		trace[i] = 100 + 2.5*float64(i) + rng.Uniform(-3, 3)
+	}
+	rc := slicing.NewReconfigurer()
+	fmt.Println("\nslice capacity control on a rising load trace:")
+	fmt.Println("  " + rc.Run(slicing.Reactive, trace).String())
+	fmt.Println("  " + rc.Run(slicing.Predictive, trace).String())
+	fmt.Println("\nThe paper's criticism holds: reactive controllers pay a violation")
+	fmt.Println("per ramp step; a one-step forecast removes nearly all of them.")
+}

@@ -1,0 +1,42 @@
+// UPF placement: explore the Section V-B recommendation — where the User
+// Plane Function anchors decides whether an edge AI service sees 5 ms or
+// 80 ms. Includes the SmartNIC datapath ablation and dynamic per-flow
+// selection.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	sixgedge "repro"
+)
+
+func main() {
+	rep, err := sixgedge.EvaluateUPF(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("UPF anchoring for a latency-critical edge AI service")
+	fmt.Println()
+	for _, row := range rep.Rows {
+		fmt.Printf("  %-26s radio=%-15s mean RTT %8.2f ms  (-%.1f%% vs measured)\n",
+			row.Name, row.Radio.Name,
+			float64(row.MeanRTT)/float64(time.Millisecond), row.ReductionPct)
+	}
+
+	fmt.Println()
+	fmt.Printf("SmartNIC UPF (Jain et al.): x%.2f throughput, x%.2f lower per-packet latency\n",
+		rep.SmartNICThroughputFactor, rep.SmartNICLatencyFactor)
+	fmt.Println()
+	fmt.Println("dynamic per-flow selection over 40 mixed flows:")
+	fmt.Printf("  %2d latency-sensitive flows anchored at the edge   (mean %6.2f ms)\n",
+		rep.DynamicSensitiveAtEdge, float64(rep.DynamicSensitiveMean)/float64(time.Millisecond))
+	fmt.Printf("  %2d bulk flows offloaded to the central cloud UPF  (mean %6.2f ms)\n",
+		rep.DynamicBulkAtCentral, float64(rep.DynamicBulkMean)/float64(time.Millisecond))
+	fmt.Println()
+	fmt.Println("Strategically placed UPFs eliminate the ten-hop detour: user")
+	fmt.Println("equipment reaches MEC-hosted services directly, cutting the")
+	fmt.Println("measured >62 ms to the 5-6.2 ms band the paper cites.")
+}

@@ -1,0 +1,73 @@
+package argame
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPeeredSitsBetweenBaselineAndEdge(t *testing.T) {
+	base, err := Run(Config{Seed: 3, Deployment: DeployBaseline, Duration: 20 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peered, err := Run(Config{Seed: 3, Deployment: DeployPeered, Duration: 20 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge, err := Run(Config{Seed: 3, Deployment: DeployEdgeUPF, Duration: 20 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(edge.MeanM2P < peered.MeanM2P && peered.MeanM2P < base.MeanM2P) {
+		t.Fatalf("ladder broken: base %v, peered %v, edge %v",
+			base.MeanM2P, peered.MeanM2P, edge.MeanM2P)
+	}
+	// Peering alone removes ~20 ms of detour but the radio floor keeps
+	// the game unplayable — the paper's remedies only compose.
+	if peered.Playable {
+		t.Fatal("peering alone must not make the game playable")
+	}
+	if base.MeanM2P-peered.MeanM2P < 10*time.Millisecond {
+		t.Fatalf("peering gain %v too small", base.MeanM2P-peered.MeanM2P)
+	}
+}
+
+func TestAsymmetricCells(t *testing.T) {
+	// Player A in the loaded centre, player B in a light cell: the chain
+	// still pays A's congested uplink.
+	hot, err := Run(Config{Seed: 4, Deployment: DeployEdgeUPF,
+		CellA: "C3", CellB: "C1", Duration: 20 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cool, err := Run(Config{Seed: 4, Deployment: DeployEdgeUPF,
+		CellA: "C1", CellB: "C1", Duration: 20 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.MeanM2P <= cool.MeanM2P {
+		t.Fatalf("hot-cell player should cost latency: %v vs %v",
+			hot.MeanM2P, cool.MeanM2P)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep, err := Run(Config{Seed: 5, Deployment: DeploySixG, Duration: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.String() == "" {
+		t.Fatal("empty report string")
+	}
+}
+
+func TestSameCellConfigValid(t *testing.T) {
+	rep, err := Run(Config{Seed: 6, Deployment: DeployBaseline,
+		CellA: "D4", CellB: "D4", Duration: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Frames == 0 {
+		t.Fatal("no frames for same-cell players")
+	}
+}

@@ -1,0 +1,252 @@
+// Package campaign orchestrates the paper's Section IV evaluation: mobile
+// measurement nodes traverse the Klagenfurt sector grid and ping eight
+// RIPE-Atlas-style wired probes spread across the sector, through the 5G
+// user plane anchored at the operator's central (Vienna) UPF. Per-cell
+// aggregation with the fewer-than-ten-measurements exclusion rule yields
+// the data behind Figure 2 (mean round-trip latency) and Figure 3
+// (standard deviation); probe-to-probe pings yield the wired baseline for
+// the paper's "mobile exceeds wired by a factor of seven" comparison.
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/corenet"
+	"repro/internal/des"
+	"repro/internal/geo"
+	"repro/internal/mobility"
+	"repro/internal/probe"
+	"repro/internal/ran"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// MinMeasurements is the reporting threshold: cells with fewer samples
+// appear as 0.0 in Figure 2.
+const MinMeasurements = 10
+
+// Config parameterizes a campaign run.
+type Config struct {
+	Seed        uint64
+	MobileNodes int          // number of mobile measurement nodes (default 3)
+	Profile     *ran.Profile // radio profile (default ran.Profile5G)
+	// LocalPeering applies the Section V-A recommendation before routing.
+	LocalPeering bool
+	// EdgeUPF anchors sessions at the Klagenfurt edge UPF (Section V-B)
+	// instead of the central Vienna UPF.
+	EdgeUPF bool
+	// TargetCells override the default eight probe cells ("B2"-style).
+	TargetCells []string
+	// WiredRounds is the number of full probe-to-probe baseline sweeps.
+	WiredRounds int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MobileNodes == 0 {
+		c.MobileNodes = 3
+	}
+	if c.Profile == nil {
+		c.Profile = ran.Profile5G
+	}
+	if len(c.TargetCells) == 0 {
+		// Eight probes spread over the populated sector (Figure 1).
+		c.TargetCells = []string{"B2", "E2", "A3", "C4", "F3", "B5", "D5", "C6"}
+	}
+	if c.WiredRounds == 0 {
+		c.WiredRounds = 5
+	}
+	return c
+}
+
+// CellReport is one cell of the Figure 2 / Figure 3 grid.
+type CellReport struct {
+	Cell     geo.CellID
+	N        int
+	MeanMs   float64 // 0.0 when not Reported, as in Figure 2
+	StdMs    float64
+	Reported bool
+}
+
+// Result is a completed campaign.
+type Result struct {
+	Config  Config
+	Grid    *geo.Grid
+	Density *geo.DensityModel
+
+	// Samples holds every per-cell RTT sample in milliseconds.
+	Samples map[geo.CellID]*stats.Sample
+	// Reports has one entry per traversed cell, row-major.
+	Reports []CellReport
+
+	// Mobile aggregates over reported cells only (paper semantics).
+	MobileMean stats.Summary // of per-cell means
+	MobileAll  stats.Summary // of raw samples in reported cells
+
+	// Wired baseline: probe-to-probe RTTs.
+	Wired stats.Summary
+
+	// Extremes among reported cells.
+	MinMean, MaxMean CellReport
+	MinStd, MaxStd   CellReport
+
+	TotalMeasurements int
+	VirtualDuration   time.Duration
+}
+
+// MobileVsWiredFactor returns the paper's headline ratio (~7x).
+func (r *Result) MobileVsWiredFactor() float64 {
+	return stats.Ratio(r.MobileAll.Mean(), r.Wired.Mean())
+}
+
+// Report returns the report for one cell, if the cell was traversed.
+func (r *Result) Report(c geo.CellID) (CellReport, bool) {
+	for _, rep := range r.Reports {
+		if rep.Cell == c {
+			return rep, true
+		}
+	}
+	return CellReport{}, false
+}
+
+// Run executes the campaign.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+
+	grid := geo.NewKlagenfurtGrid()
+	density := geo.NewKlagenfurtDensity(grid)
+	ce := topo.BuildCentralEurope()
+	if cfg.LocalPeering {
+		ce.EnableLocalPeering()
+	}
+	targets, err := AddSectorProbes(ce, grid, cfg.TargetCells)
+	if err != nil {
+		return nil, err
+	}
+	up := corenet.NewUserPlane(ce)
+	upf := up.Central
+	if cfg.EdgeUPF {
+		upf = up.Edge
+	}
+	eng := probe.NewEngine(up, cfg.Profile)
+
+	sim := des.NewSimulator(cfg.Seed)
+	res := &Result{
+		Config:  cfg,
+		Grid:    grid,
+		Density: density,
+		Samples: make(map[geo.CellID]*stats.Sample),
+	}
+	for _, c := range density.TraversalCells() {
+		res.Samples[c] = stats.NewSample(512)
+	}
+
+	// Pre-resolve per-cell radio conditions.
+	cond := make(map[geo.CellID]ran.Conditions)
+	for _, c := range density.TraversalCells() {
+		cond[c] = ran.Conditions{
+			Load:   density.LoadFactor(c),
+			SiteKm: geo.NearestSiteKm(grid, c),
+		}
+	}
+
+	plans := mobility.PlanRoutes(density, cfg.MobileNodes, sim.Stream("mobility"))
+	var pingErr error
+	for _, plan := range plans {
+		plan := plan
+		rng := sim.Stream(fmt.Sprintf("node-%d", plan.Node))
+		at := time.Duration(0)
+		targetIdx := plan.Node // desynchronize target cycling across nodes
+		for _, stop := range plan.Stops {
+			at += mobility.TravelTime
+			pings := stop.Rounds*len(targets) + stop.PartialPings
+			for k := 0; k < pings; k++ {
+				stop := stop
+				tgt := targets[targetIdx%len(targets)]
+				targetIdx++
+				fireAt := at + time.Duration(k/len(targets))*mobility.RoundInterval
+				sim.ScheduleAt(fireAt, func() {
+					rtt, err := eng.MobileRTT(rng, cond[stop.Cell], upf, tgt.Host)
+					if err != nil {
+						if pingErr == nil {
+							pingErr = err
+							sim.Stop()
+						}
+						return
+					}
+					res.Samples[stop.Cell].AddDuration(rtt)
+					res.TotalMeasurements++
+				})
+			}
+			at += time.Duration(stop.Rounds) * mobility.RoundInterval
+			if stop.PartialPings > 0 {
+				at += mobility.RoundInterval / 2
+			}
+		}
+	}
+
+	// Wired baseline: full mesh between the sector probes.
+	wiredRng := sim.Stream("wired")
+	for round := 0; round < cfg.WiredRounds; round++ {
+		at := time.Duration(round) * time.Minute
+		for i := range targets {
+			for j := range targets {
+				if i == j {
+					continue
+				}
+				i, j := i, j
+				sim.ScheduleAt(at, func() {
+					rtt, err := eng.WiredRTT(wiredRng, targets[i].Host, targets[j].Host)
+					if err != nil {
+						if pingErr == nil {
+							pingErr = err
+							sim.Stop()
+						}
+						return
+					}
+					res.Wired.AddDuration(rtt)
+				})
+			}
+		}
+	}
+
+	if err := sim.Run(); err != nil && pingErr == nil {
+		return nil, err
+	}
+	if pingErr != nil {
+		return nil, pingErr
+	}
+	res.VirtualDuration = sim.Now()
+
+	// Aggregate per cell.
+	cells := density.TraversalCells()
+	geo.SortCells(cells)
+	for _, c := range cells {
+		s := res.Samples[c]
+		rep := CellReport{Cell: c, N: s.N()}
+		if s.N() >= MinMeasurements {
+			rep.Reported = true
+			rep.MeanMs = s.Mean()
+			rep.StdMs = s.Std()
+			res.MobileMean.Add(rep.MeanMs)
+			res.MobileAll.Merge(s.Summary)
+		}
+		res.Reports = append(res.Reports, rep)
+	}
+
+	reported := make([]CellReport, 0, len(res.Reports))
+	for _, rep := range res.Reports {
+		if rep.Reported {
+			reported = append(reported, rep)
+		}
+	}
+	if len(reported) == 0 {
+		return nil, fmt.Errorf("campaign: no cell reached %d measurements", MinMeasurements)
+	}
+	sort.Slice(reported, func(i, j int) bool { return reported[i].MeanMs < reported[j].MeanMs })
+	res.MinMean, res.MaxMean = reported[0], reported[len(reported)-1]
+	sort.Slice(reported, func(i, j int) bool { return reported[i].StdMs < reported[j].StdMs })
+	res.MinStd, res.MaxStd = reported[0], reported[len(reported)-1]
+	return res, nil
+}

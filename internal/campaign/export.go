@@ -1,0 +1,134 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/stats"
+)
+
+// Export is the stable JSON serialization of a campaign result, intended
+// for downstream analysis tooling (plotting the Figure 2/3 grids,
+// cross-run comparisons). It deliberately contains only derived
+// statistics, not raw samples.
+type Export struct {
+	Seed         uint64       `json:"seed"`
+	MobileNodes  int          `json:"mobile_nodes"`
+	Profile      string       `json:"radio_profile"`
+	LocalPeering bool         `json:"local_peering"`
+	EdgeUPF      bool         `json:"edge_upf"`
+	Cells        []CellExport `json:"cells"`
+	MobileMeanMs float64      `json:"mobile_mean_ms"`
+	WiredMeanMs  float64      `json:"wired_mean_ms"`
+	Factor       float64      `json:"mobile_vs_wired_factor"`
+	Measurements int          `json:"measurements"`
+	VirtualSecs  float64      `json:"virtual_seconds"`
+	MinMeanCell  string       `json:"min_mean_cell"`
+	MaxMeanCell  string       `json:"max_mean_cell"`
+	MinStdCell   string       `json:"min_std_cell"`
+	MaxStdCell   string       `json:"max_std_cell"`
+}
+
+// CellExport is one cell's reported statistics.
+type CellExport struct {
+	Cell     string  `json:"cell"`
+	N        int     `json:"n"`
+	MeanMs   float64 `json:"mean_ms"`
+	StdMs    float64 `json:"std_ms"`
+	Reported bool    `json:"reported"`
+}
+
+// Export converts the result into its serializable form.
+func (r *Result) Export() Export {
+	e := Export{
+		Seed:         r.Config.Seed,
+		MobileNodes:  r.Config.MobileNodes,
+		Profile:      r.Config.Profile.Name,
+		LocalPeering: r.Config.LocalPeering,
+		EdgeUPF:      r.Config.EdgeUPF,
+		MobileMeanMs: r.MobileAll.Mean(),
+		WiredMeanMs:  r.Wired.Mean(),
+		Factor:       r.MobileVsWiredFactor(),
+		Measurements: r.TotalMeasurements,
+		VirtualSecs:  r.VirtualDuration.Seconds(),
+		MinMeanCell:  r.MinMean.Cell.String(),
+		MaxMeanCell:  r.MaxMean.Cell.String(),
+		MinStdCell:   r.MinStd.Cell.String(),
+		MaxStdCell:   r.MaxStd.Cell.String(),
+	}
+	for _, rep := range r.Reports {
+		e.Cells = append(e.Cells, CellExport{
+			Cell: rep.Cell.String(), N: rep.N,
+			MeanMs: rep.MeanMs, StdMs: rep.StdMs, Reported: rep.Reported,
+		})
+	}
+	return e
+}
+
+// WriteJSON serializes the result to w with indentation.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r.Export()); err != nil {
+		return fmt.Errorf("campaign: encode: %w", err)
+	}
+	return nil
+}
+
+// LoadExport parses a previously written export.
+func LoadExport(rd io.Reader) (Export, error) {
+	var e Export
+	if err := json.NewDecoder(rd).Decode(&e); err != nil {
+		return Export{}, fmt.Errorf("campaign: decode: %w", err)
+	}
+	return e, nil
+}
+
+// --- multi-seed robustness --------------------------------------------------
+
+// Robustness aggregates campaign headlines across seeds: the
+// cross-validation behind the claim that the reproduction's bands are
+// seed-stable rather than one lucky draw.
+type Robustness struct {
+	Seeds      []uint64
+	MinMean    stats.Summary // distribution of per-run min cell means
+	MaxMean    stats.Summary
+	Factor     stats.Summary
+	MaxStd     stats.Summary
+	MinArgCons int // runs whose min-mean cell was C1
+	MaxArgCons int // runs whose max-mean cell was C3
+}
+
+// RunSeeds executes the campaign once per seed and aggregates.
+func RunSeeds(base Config, seeds []uint64) (Robustness, error) {
+	rb := Robustness{Seeds: append([]uint64(nil), seeds...)}
+	for _, s := range seeds {
+		cfg := base
+		cfg.Seed = s
+		res, err := Run(cfg)
+		if err != nil {
+			return Robustness{}, fmt.Errorf("campaign: seed %d: %w", s, err)
+		}
+		rb.MinMean.Add(res.MinMean.MeanMs)
+		rb.MaxMean.Add(res.MaxMean.MeanMs)
+		rb.Factor.Add(res.MobileVsWiredFactor())
+		rb.MaxStd.Add(res.MaxStd.StdMs)
+		if res.MinMean.Cell.String() == "C1" {
+			rb.MinArgCons++
+		}
+		if res.MaxMean.Cell.String() == "C3" {
+			rb.MaxArgCons++
+		}
+	}
+	return rb, nil
+}
+
+// Consistency returns the fraction of runs whose extreme cells matched
+// the paper's (C1 min, C3 max).
+func (rb Robustness) Consistency() float64 {
+	if len(rb.Seeds) == 0 {
+		return 0
+	}
+	return float64(rb.MinArgCons+rb.MaxArgCons) / float64(2*len(rb.Seeds))
+}

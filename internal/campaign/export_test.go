@@ -1,0 +1,91 @@
+package campaign
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExportRoundTrip(t *testing.T) {
+	res := defaultRun(t)
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	e, err := LoadExport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Seed != res.Config.Seed || e.Measurements != res.TotalMeasurements {
+		t.Fatal("round trip lost campaign identity")
+	}
+	if len(e.Cells) != len(res.Reports) {
+		t.Fatalf("exported %d cells, want %d", len(e.Cells), len(res.Reports))
+	}
+	if e.MinMeanCell != res.MinMean.Cell.String() || e.MaxMeanCell != res.MaxMean.Cell.String() {
+		t.Fatal("extremes lost in export")
+	}
+	if e.Profile != "5G-public" {
+		t.Fatalf("profile name = %q", e.Profile)
+	}
+}
+
+func TestExportStableFieldNames(t *testing.T) {
+	// Downstream tooling depends on these JSON keys; breaking them is an
+	// API break.
+	res := defaultRun(t)
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, key := range []string{
+		`"seed"`, `"cells"`, `"mean_ms"`, `"std_ms"`, `"reported"`,
+		`"mobile_vs_wired_factor"`, `"min_mean_cell"`, `"max_std_cell"`,
+	} {
+		if !strings.Contains(s, key) {
+			t.Errorf("export missing key %s", key)
+		}
+	}
+}
+
+func TestLoadExportRejectsGarbage(t *testing.T) {
+	if _, err := LoadExport(strings.NewReader("{nope")); err == nil {
+		t.Fatal("garbage should not parse")
+	}
+}
+
+func TestRunSeedsRobustness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed robustness in short mode")
+	}
+	rb, err := RunSeeds(Config{}, []uint64{11, 22, 33, 44})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.MinMean.N() != 4 {
+		t.Fatalf("aggregated %d runs", rb.MinMean.N())
+	}
+	// Band stability across seeds.
+	if rb.MinMean.Min() < 52 || rb.MinMean.Max() > 70 {
+		t.Errorf("min-mean band across seeds: [%.1f, %.1f]", rb.MinMean.Min(), rb.MinMean.Max())
+	}
+	if rb.MaxMean.Min() < 98 || rb.MaxMean.Max() > 122 {
+		t.Errorf("max-mean band across seeds: [%.1f, %.1f]", rb.MaxMean.Min(), rb.MaxMean.Max())
+	}
+	if rb.Factor.Min() < 5.5 || rb.Factor.Max() > 9.5 {
+		t.Errorf("factor band across seeds: [%.2f, %.2f]", rb.Factor.Min(), rb.Factor.Max())
+	}
+	// The extreme cells are a mechanism, not luck: require > 75 %
+	// argmin/argmax consistency.
+	if rb.Consistency() < 0.75 {
+		t.Errorf("extreme-cell consistency = %.2f", rb.Consistency())
+	}
+}
+
+func TestRobustnessEmpty(t *testing.T) {
+	var rb Robustness
+	if rb.Consistency() != 0 {
+		t.Fatal("empty robustness should have zero consistency")
+	}
+}

@@ -1,0 +1,72 @@
+package campaign
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/topo"
+)
+
+// SectorProbe is one of the wired RIPE-Atlas-style probes the mobile
+// nodes measure against.
+type SectorProbe struct {
+	Cell   geo.CellID
+	Host   *topo.Node // the probe host
+	Access *topo.Node // its last-mile access node
+}
+
+// AddSectorProbes creates wired probe hosts in the given cells and
+// attaches them to the regional infrastructure: most behind the regional
+// ISP's aggregation (home probes on DSL/fibre last miles), every fourth
+// one on the university network. The last-mile access nodes contribute
+// the few-millisecond floor that puts wired-to-wired RTTs near 10 ms —
+// the denominator of the paper's factor-of-seven comparison.
+func AddSectorProbes(ce *topo.CentralEurope, grid *geo.Grid, cells []string) ([]SectorProbe, error) {
+	nw := ce.Net
+	ascusAgg := nw.Lookup("180-246-016-195.ascus.at")
+	uniGw := nw.Lookup("gw.uni-klu.ac.at")
+	if ascusAgg == nil || uniGw == nil {
+		return nil, fmt.Errorf("campaign: reference topology missing attachment points")
+	}
+	ascus := ascusAgg.AS
+	uni := uniGw.AS
+
+	out := make([]SectorProbe, 0, len(cells))
+	for i, name := range cells {
+		cell, err := geo.ParseCellID(name)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: target cell: %w", err)
+		}
+		if !grid.Contains(cell) {
+			return nil, fmt.Errorf("campaign: target cell %v outside grid", cell)
+		}
+		pos := grid.Center(cell)
+		attach, as := ascusAgg, ascus
+		if i%4 == 3 {
+			attach, as = uniGw, uni
+		}
+		access := nw.AddNode(&topo.Node{
+			Name: fmt.Sprintf("access-%s.%s", name, as.Name),
+			Addr: fmt.Sprintf("10.44.%d.1", i),
+			AS:   as, Pos: pos, City: "Klagenfurt",
+			Kind:      topo.KindRouter,
+			ProcDelay: 2600 * time.Microsecond, // last-mile DSLAM/OLT
+		})
+		host := nw.AddNode(&topo.Node{
+			Name: fmt.Sprintf("probe-%s.%s", name, as.Name),
+			Addr: fmt.Sprintf("10.44.%d.10", i),
+			AS:   as, Pos: pos, City: "Klagenfurt",
+			Kind:      topo.KindProbe,
+			ProcDelay: 200 * time.Microsecond,
+		})
+		d := geo.DistanceKm(attach.Pos, pos)
+		if d < 1 {
+			d = 1
+		}
+		nw.Connect(attach, access, d, topo.RelInternal, 10, 0.15)
+		nw.Connect(access, host, 0.2, topo.RelInternal, 1, 0.10)
+		out = append(out, SectorProbe{Cell: cell, Host: host, Access: access})
+	}
+	return out, nil
+}

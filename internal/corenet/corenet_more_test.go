@@ -1,0 +1,143 @@
+package corenet
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/ran"
+	"repro/internal/topo"
+)
+
+func TestEstablishCentralWithPeeringShortensBreakout(t *testing.T) {
+	plain := NewUserPlane(topo.BuildCentralEurope())
+	ceP := topo.BuildCentralEurope()
+	ceP.EnableLocalPeering()
+	peered := NewUserPlane(ceP)
+
+	a, err := plain.Establish(plain.Central, plain.CE.ProbeUni)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := peered.Establish(peered.Central, ceP.ProbeUni)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With peering the breakout from the Vienna UPF descends via the
+	// operator's own Klagenfurt site instead of the Bucharest detour.
+	if b.Breakout.DistKm() >= a.Breakout.DistKm()/5 {
+		t.Fatalf("peered breakout %.0f km vs plain %.0f km: want >= 5x shorter",
+			b.Breakout.DistKm(), a.Breakout.DistKm())
+	}
+	if b.WiredRTT(0.3) >= a.WiredRTT(0.3) {
+		t.Fatal("peered wired RTT should improve")
+	}
+}
+
+func TestEdgeUPFAloneStillHairpinsToISPHosts(t *testing.T) {
+	// Moving the UPF to the edge helps only MEC-local services: traffic
+	// towards a host in another AS still climbs to the Vienna transit and
+	// takes the full detour. Only combined with Section V-A's local
+	// peering does the edge UPF give local hosts a local path — the two
+	// recommendations compose, which is exactly the paper's point.
+	up := NewUserPlane(topo.BuildCentralEurope())
+	sp, err := up.Establish(up.Edge, up.CE.ProbeUni)
+	if err != nil {
+		t.Fatalf("edge breakout should still route (via the detour): %v", err)
+	}
+	if sp.WiredRTT(0.3) < 30*time.Millisecond {
+		t.Fatalf("edge-without-peering wired RTT = %v, want the >= 30 ms hairpin",
+			sp.WiredRTT(0.3))
+	}
+	ceP := topo.BuildCentralEurope()
+	ceP.EnableLocalPeering()
+	upP := NewUserPlane(ceP)
+	spP, err := upP.Establish(upP.Edge, ceP.ProbeUni)
+	if err != nil {
+		t.Fatalf("edge + peering should reach the probe: %v", err)
+	}
+	if spP.WiredRTT(0.3) > 4*time.Millisecond {
+		t.Fatalf("edge + peering wired RTT = %v", spP.WiredRTT(0.3))
+	}
+}
+
+func TestMeanRTTMatchesSampledForEdge(t *testing.T) {
+	up := NewUserPlane(topo.BuildCentralEurope())
+	sp, err := up.Establish(up.Edge, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cond := ran.Conditions{Load: 0.3, SiteKm: 0.5}
+	rng := des.NewRNG(11)
+	const n = 60000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(up.SampleRTT(rng, ran.Profile5GURLLC, cond, sp, 0.3))
+	}
+	got := time.Duration(sum / n)
+	want := up.MeanRTT(ran.Profile5GURLLC, cond, sp, 0.3)
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > want/50 {
+		t.Fatalf("sampled %v vs analytic %v", got, want)
+	}
+}
+
+func TestUPFStringAndPolicyNames(t *testing.T) {
+	up := NewUserPlane(topo.BuildCentralEurope())
+	if s := up.Central.String(); !strings.Contains(s, "Vienna") {
+		t.Fatalf("central UPF string = %q", s)
+	}
+	if s := up.Edge.String(); !strings.Contains(s, "Klagenfurt") {
+		t.Fatalf("edge UPF string = %q", s)
+	}
+}
+
+func TestAssignEmptyFlows(t *testing.T) {
+	up := NewUserPlane(topo.BuildCentralEurope())
+	a := up.Assign(SelectDynamic, nil)
+	if len(a) != 0 {
+		t.Fatal("empty flows should yield empty assignment")
+	}
+	if up.Edge.OfferedMpps() != 0 || up.Central.OfferedMpps() != 0 {
+		t.Fatal("accounting should be reset")
+	}
+}
+
+func TestAssignUnknownPolicyPanics(t *testing.T) {
+	up := NewUserPlane(topo.BuildCentralEurope())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown policy should panic")
+		}
+	}()
+	up.Assign(SelectionPolicy(42), []Flow{{ID: 1}})
+}
+
+func TestDatapathLatencyZeroCapacity(t *testing.T) {
+	d := DatapathSpec{Name: "degenerate", PerPacket: time.Microsecond}
+	if d.Latency(1.0) != time.Microsecond {
+		t.Fatal("zero-capacity datapath should fall back to PerPacket")
+	}
+}
+
+func TestSessionPathBackhaulHiddenFromBreakout(t *testing.T) {
+	up := NewUserPlane(topo.BuildCentralEurope())
+	sp, err := up.Establish(up.Central, up.CE.ProbeUni)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The breakout must start at the UPF host, not at the aggregation.
+	if sp.Breakout.Nodes[0] != up.Central.Host {
+		t.Fatal("breakout should start at the UPF")
+	}
+	if sp.Backhaul.Nodes[0] != up.CE.AggKlu {
+		t.Fatal("backhaul should start at the aggregation site")
+	}
+	if sp.Backhaul.Nodes[len(sp.Backhaul.Nodes)-1] != up.Central.Host {
+		t.Fatal("backhaul should end at the UPF")
+	}
+}

@@ -1,0 +1,107 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/corenet"
+	"repro/internal/ran"
+)
+
+func TestRadioForMapping(t *testing.T) {
+	if RadioFor(ran.Profile5G) != Radio5G {
+		t.Fatal("5G mapping wrong")
+	}
+	if RadioFor(ran.Profile5GURLLC) != Radio5GURL {
+		t.Fatal("URLLC mapping wrong")
+	}
+	if RadioFor(ran.Profile6G) != Radio6G {
+		t.Fatal("6G mapping wrong")
+	}
+}
+
+func TestJoulesPositiveAndDecomposed(t *testing.T) {
+	req := Request{
+		RTT: 80 * time.Millisecond, PayloadKB: 64, WiredKm: 2672,
+		Packets: 96, Radio: Radio5G, Datapath: corenet.HostDatapath,
+		ServerIdle: 0.004,
+	}
+	total := req.Joules()
+	if total <= 0 {
+		t.Fatal("non-positive energy")
+	}
+	var sum float64
+	for _, v := range req.Breakdown() {
+		if v < 0 {
+			t.Fatal("negative component")
+		}
+		sum += v
+	}
+	if math.Abs(sum-total) > 1e-12 {
+		t.Fatalf("breakdown %.6f != total %.6f", sum, total)
+	}
+}
+
+func TestLatencyCostsEnergy(t *testing.T) {
+	slow := Evaluate("slow", 80*time.Millisecond, 2672, Radio5G, corenet.HostDatapath)
+	fast := Evaluate("fast", 5*time.Millisecond, 1, Radio5GURL, corenet.HostDatapath)
+	if fast.JoulesPerReq >= slow.JoulesPerReq {
+		t.Fatalf("fast deployment %.4f J should beat slow %.4f J",
+			fast.JoulesPerReq, slow.JoulesPerReq)
+	}
+	// The measured deployment's energy is dominated by radio-on time.
+	if slow.DominantSource != "radio-active" {
+		t.Fatalf("slow deployment dominated by %s, want radio-active", slow.DominantSource)
+	}
+	// At 80 ms vs 5 ms the radio-active term alone gives ~10x+ savings.
+	if slow.JoulesPerReq/fast.JoulesPerReq < 5 {
+		t.Fatalf("energy ratio %.1f too small", slow.JoulesPerReq/fast.JoulesPerReq)
+	}
+}
+
+func TestSixGEfficiency(t *testing.T) {
+	edge5g := Evaluate("edge-5g", 5*time.Millisecond, 1, Radio5GURL, corenet.HostDatapath)
+	edge6g := Evaluate("edge-6g", time.Millisecond, 1, Radio6G, corenet.SmartNICDatapath)
+	if edge6g.JoulesPerReq >= edge5g.JoulesPerReq {
+		t.Fatalf("6G %.5f J should beat 5G edge %.5f J",
+			edge6g.JoulesPerReq, edge5g.JoulesPerReq)
+	}
+}
+
+func TestSmartNICSavesUPFEnergy(t *testing.T) {
+	host := UPFJoulesPerPacket(corenet.HostDatapath)
+	nic := UPFJoulesPerPacket(corenet.SmartNICDatapath)
+	if nic >= host {
+		t.Fatal("SmartNIC should cost less per packet")
+	}
+	if host/nic != 5.0 {
+		t.Fatalf("host/nic energy ratio = %.2f, want 5 (15 uJ vs 3 uJ)", host/nic)
+	}
+}
+
+func TestFibreDetourVisible(t *testing.T) {
+	// Same request, 2672 km detour vs 10 km local: fibre term only.
+	detour := Request{RTT: 30 * time.Millisecond, PayloadKB: 64, WiredKm: 2672,
+		Packets: 96, Radio: Radio5G, Datapath: corenet.HostDatapath}
+	local := detour
+	local.WiredKm = 10
+	dFibre := detour.Breakdown()["fibre"]
+	lFibre := local.Breakdown()["fibre"]
+	if dFibre <= lFibre {
+		t.Fatal("detour fibre energy should exceed local")
+	}
+	if dFibre/lFibre < 200 {
+		t.Fatalf("fibre ratio %.0f, want ~267 (km ratio)", dFibre/lFibre)
+	}
+}
+
+func TestEvaluateStringAndUnits(t *testing.T) {
+	d := Evaluate("x", 10*time.Millisecond, 100, Radio5G, corenet.HostDatapath)
+	if d.String() == "" || d.MilliwattHours <= 0 {
+		t.Fatal("rendering or unit conversion broken")
+	}
+	if d.RadioShare < 0 || d.RadioShare > 1 {
+		t.Fatalf("radio share %.2f out of range", d.RadioShare)
+	}
+}

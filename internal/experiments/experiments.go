@@ -1,0 +1,115 @@
+// Package experiments contains one driver per table/figure/claim of the
+// paper (the per-experiment index of DESIGN.md). Every driver returns an
+// Artifact: a structured, rendered reproduction of the corresponding
+// paper artefact, plus the paper-vs-measured comparison rows used by
+// EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/campaign"
+)
+
+// Artifact is one reproduced table or figure.
+type Artifact struct {
+	ID    string // e.g. "fig2"
+	Title string
+	Text  string // rendered, printable reproduction
+	// Checks lists paper-vs-measured comparison rows.
+	Checks []Check
+}
+
+// Check is one paper-vs-measured comparison.
+type Check struct {
+	Metric   string
+	Paper    string
+	Measured string
+	// InBand reports whether the measured value matches the paper's
+	// shape (who wins / rough magnitude), per the reproduction contract.
+	InBand bool
+}
+
+func (c Check) String() string {
+	state := "OK"
+	if !c.InBand {
+		state = "OUT-OF-BAND"
+	}
+	return fmt.Sprintf("%-34s paper: %-22s measured: %-22s %s", c.Metric, c.Paper, c.Measured, state)
+}
+
+// RenderChecks renders the comparison block appended to artifacts.
+func RenderChecks(checks []Check) string {
+	var b strings.Builder
+	b.WriteString("\npaper-vs-measured:\n")
+	for _, c := range checks {
+		b.WriteString("  " + c.String() + "\n")
+	}
+	return b.String()
+}
+
+// Runner produces an artifact for a seed.
+type Runner func(seed uint64) (Artifact, error)
+
+// Entry is a registered experiment.
+type Entry struct {
+	ID    string
+	Title string
+	Run   Runner
+}
+
+var registry []Entry
+
+func register(id, title string, run Runner) {
+	registry = append(registry, Entry{ID: id, Title: title, Run: run})
+}
+
+// All returns the registered experiments in registration order.
+func All() []Entry { return append([]Entry(nil), registry...) }
+
+// ByID finds an experiment.
+func ByID(id string) (Entry, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// IDs lists all experiment ids.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.ID
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- campaign cache --------------------------------------------------------
+
+var (
+	campMu    sync.Mutex
+	campCache = map[uint64]*campaign.Result{}
+)
+
+// campaignFor runs (or reuses) the default campaign for a seed. The
+// campaign is deterministic, so caching is purely an optimization for
+// drivers and benchmarks that share a seed.
+func campaignFor(seed uint64) (*campaign.Result, error) {
+	campMu.Lock()
+	defer campMu.Unlock()
+	if res, ok := campCache[seed]; ok {
+		return res, nil
+	}
+	res, err := campaign.Run(campaign.Config{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	campCache[seed] = res
+	return res, nil
+}

@@ -1,0 +1,230 @@
+// Package fedlearn implements the paper's future-work direction
+// "federated learning at the edge": a round-based federated averaging
+// simulation in which devices spread over the sector grid train locally
+// and upload model updates through the simulated network, and an
+// aggregator (cloud-hosted or edge-hosted) assembles the global model.
+//
+// The network substrate is the same one the measurement campaign runs on,
+// so the round time directly inherits the paper's findings: with the
+// central UPF and public 5G, stragglers in loaded cells dominate the
+// round; with an edge aggregator and a URLLC slice (or 6G), rounds become
+// compute-bound.
+package fedlearn
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/corenet"
+	"repro/internal/des"
+	"repro/internal/geo"
+	"repro/internal/ran"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// Aggregator placement for the federated rounds.
+type Aggregator int
+
+const (
+	// AggregatorCloud hosts the parameter server in the Vienna cloud
+	// behind the central UPF (the measured deployment).
+	AggregatorCloud Aggregator = iota
+	// AggregatorEdge hosts it on the MEC platform at the edge UPF.
+	AggregatorEdge
+)
+
+func (a Aggregator) String() string {
+	if a == AggregatorCloud {
+		return "cloud"
+	}
+	return "edge"
+}
+
+// Config parameterizes a federated learning run.
+type Config struct {
+	Seed       uint64
+	Devices    int           // participating devices (default 24)
+	Rounds     int           // federated rounds (default 10)
+	ModelMB    float64       // model update size (default 8 MB)
+	ComputeMin time.Duration // fastest local training time (default 2 s)
+	ComputeMax time.Duration // slowest local training time (default 6 s)
+	Aggregator Aggregator
+	Radio      *ran.Profile // default ran.Profile5G for cloud, URLLC for edge
+	// UplinkMbpsPerDevice is the sustained uplink share a device gets
+	// (default 25 Mbps under 5G, 200 Mbps under 6G-class radio).
+	UplinkMbpsPerDevice float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Devices == 0 {
+		c.Devices = 24
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 10
+	}
+	if c.ModelMB == 0 {
+		c.ModelMB = 8
+	}
+	if c.ComputeMin == 0 {
+		c.ComputeMin = 2 * time.Second
+	}
+	if c.ComputeMax == 0 {
+		c.ComputeMax = 6 * time.Second
+	}
+	if c.Radio == nil {
+		if c.Aggregator == AggregatorEdge {
+			c.Radio = ran.Profile5GURLLC
+		} else {
+			c.Radio = ran.Profile5G
+		}
+	}
+	if c.UplinkMbpsPerDevice == 0 {
+		switch {
+		case c.Radio == ran.Profile6G:
+			c.UplinkMbpsPerDevice = 200
+		case c.Aggregator == AggregatorEdge:
+			// Local breakout at the MEC host: the upload never crosses
+			// the shared 235 km backhaul and transit chain, so each
+			// device sustains a materially larger share.
+			c.UplinkMbpsPerDevice = 60
+		default:
+			// Hairpinned through the central UPF: the shared backhaul
+			// and transit cap the per-device share.
+			c.UplinkMbpsPerDevice = 25
+		}
+	}
+	return c
+}
+
+// Report summarizes a federated run.
+type Report struct {
+	Aggregator     Aggregator
+	Devices        int
+	Rounds         int
+	MeanRound      time.Duration
+	P95Round       time.Duration
+	Total          time.Duration
+	MeanStraggler  time.Duration // mean gap between median and slowest device
+	NetworkShareMs float64       // mean per-round network time of the slowest device
+	ComputeShareMs float64       // mean per-round compute time of the slowest device
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("%s aggregator: %d devices, %d rounds, mean %v/round (p95 %v), straggler gap %v",
+		r.Aggregator, r.Devices, r.Rounds, r.MeanRound.Round(time.Millisecond),
+		r.P95Round.Round(time.Millisecond), r.MeanStraggler.Round(time.Millisecond))
+}
+
+type device struct {
+	cell geo.CellID
+	cond ran.Conditions
+}
+
+// Run executes the federated simulation.
+func Run(cfg Config) (Report, error) {
+	cfg = cfg.withDefaults()
+	ce := topo.BuildCentralEurope()
+	up := corenet.NewUserPlane(ce)
+	grid := geo.NewKlagenfurtGrid()
+	density := geo.NewKlagenfurtDensity(grid)
+
+	var sp corenet.SessionPath
+	var err error
+	switch cfg.Aggregator {
+	case AggregatorCloud:
+		sp, err = up.Establish(up.Central, ce.ExoscaleVie)
+	case AggregatorEdge:
+		sp, err = up.Establish(up.Edge, nil)
+	default:
+		return Report{}, fmt.Errorf("fedlearn: unknown aggregator %v", cfg.Aggregator)
+	}
+	if err != nil {
+		return Report{}, err
+	}
+
+	rng := des.NewRNG(cfg.Seed)
+	// Scatter devices over the dense cells, weighted by population.
+	dense := make([]geo.CellID, 0)
+	weights := make([]float64, 0)
+	for _, c := range density.TraversalCells() {
+		if density.Dense(c) {
+			dense = append(dense, c)
+			weights = append(weights, density.Cell(c))
+		}
+	}
+	devices := make([]device, cfg.Devices)
+	for i := range devices {
+		cell := dense[rng.Choice(weights)]
+		devices[i] = device{
+			cell: cell,
+			cond: ran.Conditions{Load: density.LoadFactor(cell), SiteKm: geo.NearestSiteKm(grid, cell)},
+		}
+	}
+
+	uploadTime := func() time.Duration {
+		bits := cfg.ModelMB * 8e6
+		return time.Duration(bits / (cfg.UplinkMbpsPerDevice * 1e6) * float64(time.Second))
+	}
+
+	rounds := stats.NewSample(cfg.Rounds)
+	var stragglerSum time.Duration
+	var netSlowSum, compSlowSum float64
+	for r := 0; r < cfg.Rounds; r++ {
+		finish := make([]time.Duration, cfg.Devices)
+		netPart := make([]time.Duration, cfg.Devices)
+		compPart := make([]time.Duration, cfg.Devices)
+		for i, d := range devices {
+			compute := time.Duration(rng.Uniform(float64(cfg.ComputeMin), float64(cfg.ComputeMax)))
+			// Download of the global model + upload of the update, each
+			// paying the session RTT for transfer setup/acks plus the
+			// serialization time of the model bytes.
+			rtt := up.SampleRTT(rng, cfg.Radio, d.cond, sp, 0.3)
+			xfer := 2*uploadTime() + 2*rtt
+			finish[i] = compute + xfer
+			netPart[i] = xfer
+			compPart[i] = compute
+		}
+		slowest, slowIdx := time.Duration(0), 0
+		for i, f := range finish {
+			if f > slowest {
+				slowest, slowIdx = f, i
+			}
+		}
+		sorted := append([]time.Duration(nil), finish...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		median := sorted[len(sorted)/2]
+		stragglerSum += slowest - median
+		netSlowSum += float64(netPart[slowIdx]) / float64(time.Millisecond)
+		compSlowSum += float64(compPart[slowIdx]) / float64(time.Millisecond)
+		// Aggregation cost at the server (proportional to devices).
+		agg := time.Duration(cfg.Devices) * 2 * time.Millisecond
+		rounds.AddDuration(slowest + agg)
+	}
+
+	rep := Report{
+		Aggregator:     cfg.Aggregator,
+		Devices:        cfg.Devices,
+		Rounds:         cfg.Rounds,
+		MeanRound:      time.Duration(rounds.Mean() * float64(time.Millisecond)),
+		P95Round:       time.Duration(rounds.Quantile(0.95) * float64(time.Millisecond)),
+		MeanStraggler:  stragglerSum / time.Duration(cfg.Rounds),
+		NetworkShareMs: netSlowSum / float64(cfg.Rounds),
+		ComputeShareMs: compSlowSum / float64(cfg.Rounds),
+	}
+	rep.Total = time.Duration(cfg.Rounds) * rep.MeanRound
+	return rep, nil
+}
+
+// Compare runs cloud vs edge vs 6G-edge with a shared seed.
+func Compare(seed uint64) (cloud, edge, sixg Report, err error) {
+	if cloud, err = Run(Config{Seed: seed, Aggregator: AggregatorCloud}); err != nil {
+		return
+	}
+	if edge, err = Run(Config{Seed: seed, Aggregator: AggregatorEdge}); err != nil {
+		return
+	}
+	sixg, err = Run(Config{Seed: seed, Aggregator: AggregatorEdge, Radio: ran.Profile6G})
+	return
+}

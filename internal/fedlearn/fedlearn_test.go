@@ -1,0 +1,116 @@
+package fedlearn
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ran"
+)
+
+func TestEdgeBeatsCloud(t *testing.T) {
+	cloud, edge, sixg, err := Compare(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edge.MeanRound >= cloud.MeanRound {
+		t.Fatalf("edge round %v not below cloud round %v", edge.MeanRound, cloud.MeanRound)
+	}
+	if sixg.MeanRound >= edge.MeanRound {
+		t.Fatalf("6G round %v not below 5G edge round %v", sixg.MeanRound, edge.MeanRound)
+	}
+}
+
+func TestRoundDominatedByComputeAtTheEdge(t *testing.T) {
+	_, edge, sixg, err := Compare(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With an edge aggregator the slowest device's compute exceeds its
+	// network time once the radio is 6G-class (compute-bound rounds).
+	if sixg.ComputeShareMs <= sixg.NetworkShareMs {
+		t.Fatalf("6G rounds should be compute-bound: compute %.0f ms vs network %.0f ms",
+			sixg.ComputeShareMs, sixg.NetworkShareMs)
+	}
+	if edge.Devices != 24 || edge.Rounds != 10 {
+		t.Fatal("defaults not applied")
+	}
+}
+
+func TestStragglerGapShrinksWithBetterNetwork(t *testing.T) {
+	cloud, _, sixg, err := Compare(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sixg.MeanStraggler >= cloud.MeanStraggler {
+		t.Fatalf("6G straggler gap %v not below cloud gap %v",
+			sixg.MeanStraggler, cloud.MeanStraggler)
+	}
+}
+
+func TestRoundTimeScalesWithModelSize(t *testing.T) {
+	small, err := Run(Config{Seed: 4, ModelMB: 2, Aggregator: AggregatorCloud})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Run(Config{Seed: 4, ModelMB: 64, Aggregator: AggregatorCloud})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.MeanRound <= small.MeanRound {
+		t.Fatalf("64 MB rounds (%v) should exceed 2 MB rounds (%v)",
+			big.MeanRound, small.MeanRound)
+	}
+	// 62 MB extra at 25 Mbps uplink is ~20 s of pure transfer per
+	// direction pair; the gap must reflect that magnitude.
+	if big.MeanRound-small.MeanRound < 20*time.Second {
+		t.Fatalf("model-size sensitivity too weak: %v vs %v", big.MeanRound, small.MeanRound)
+	}
+}
+
+func TestTotalConsistent(t *testing.T) {
+	rep, err := Run(Config{Seed: 5, Rounds: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != 7*rep.MeanRound {
+		t.Fatal("total != rounds * mean")
+	}
+	if rep.P95Round < rep.MeanRound/2 {
+		t.Fatal("p95 implausibly small")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Run(Config{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanRound != b.MeanRound || a.MeanStraggler != b.MeanStraggler {
+		t.Fatal("federated run not deterministic")
+	}
+}
+
+func TestDefaultsByAggregator(t *testing.T) {
+	c := Config{Aggregator: AggregatorEdge}.withDefaults()
+	if c.Radio != ran.Profile5GURLLC {
+		t.Fatal("edge default radio should be the URLLC slice")
+	}
+	c = Config{Aggregator: AggregatorCloud}.withDefaults()
+	if c.Radio != ran.Profile5G {
+		t.Fatal("cloud default radio should be public 5G")
+	}
+	c = Config{Radio: ran.Profile6G}.withDefaults()
+	if c.UplinkMbpsPerDevice != 200 {
+		t.Fatal("6G uplink default wrong")
+	}
+}
+
+func TestAggregatorString(t *testing.T) {
+	if AggregatorCloud.String() != "cloud" || AggregatorEdge.String() != "edge" {
+		t.Fatal("names wrong")
+	}
+}

@@ -1,0 +1,127 @@
+package gap
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/corenet"
+	"repro/internal/des"
+	"repro/internal/ran"
+	"repro/internal/topo"
+)
+
+func decompose(t *testing.T) Decomposition {
+	t.Helper()
+	up := corenet.NewUserPlane(topo.BuildCentralEurope())
+	dec, err := Decompose(up, ran.Profile5G,
+		ran.Conditions{Load: 0.55, SiteKm: 1}, up.Central, up.CE.ProbeUni, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dec
+}
+
+func TestDecomposeComponentsSum(t *testing.T) {
+	dec := decompose(t)
+	sum := dec.RadioMs + dec.BackhaulMs + dec.DatapathMs + dec.TransitMs
+	if math.Abs(sum-dec.TotalMs) > 1e-9 {
+		t.Fatalf("components %.3f do not sum to total %.3f", sum, dec.TotalMs)
+	}
+	for _, c := range dec.Components() {
+		if c.Ms < 0 {
+			t.Fatalf("negative component %s", c.Name)
+		}
+	}
+}
+
+func TestDecomposeShape(t *testing.T) {
+	dec := decompose(t)
+	// For the campaign's C2-like session: radio ~45 ms, transit ~30 ms,
+	// backhaul ~2.4 ms — radio dominates, transit second.
+	if dec.DominantComponent() != "radio-access" {
+		t.Fatalf("dominant component = %s, want radio-access (%v)", dec.DominantComponent(), dec)
+	}
+	if dec.TransitMs < 25 || dec.TransitMs > 36 {
+		t.Fatalf("transit = %.1f ms, want the ~30 ms Table I detour", dec.TransitMs)
+	}
+	if dec.BackhaulMs < 2 || dec.BackhaulMs > 4 {
+		t.Fatalf("backhaul = %.1f ms, want ~2.4 ms (235 km)", dec.BackhaulMs)
+	}
+	if dec.TotalMs < 60 || dec.TotalMs > 95 {
+		t.Fatalf("total = %.1f ms, want in the measured band", dec.TotalMs)
+	}
+}
+
+func TestDecomposeEdgeKillsTransit(t *testing.T) {
+	up := corenet.NewUserPlane(topo.BuildCentralEurope())
+	dec, err := Decompose(up, ran.Profile5GURLLC,
+		ran.Conditions{Load: 0.3, SiteKm: 0.5}, up.Edge, nil, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.TransitMs != 0 {
+		t.Fatalf("edge MEC session should have zero transit, got %.2f", dec.TransitMs)
+	}
+	if dec.TotalMs > 7 {
+		t.Fatalf("edge session total = %.1f ms, want < 7", dec.TotalMs)
+	}
+}
+
+func TestEndToEndAddsAppLayer(t *testing.T) {
+	rng := des.NewRNG(1)
+	const n = 50000
+	net := 65 * time.Millisecond
+	var sum float64
+	for i := 0; i < n; i++ {
+		e2e := EndToEnd(rng, net)
+		if e2e <= net {
+			t.Fatal("end-to-end must exceed network RTT")
+		}
+		sum += float64(e2e-net) / float64(time.Millisecond)
+	}
+	mean := sum / n
+	// Fezeu: application layer adds ~35 ms on average.
+	if math.Abs(mean-AppLayerMs) > 1.0 {
+		t.Fatalf("app layer mean = %.1f ms, want ~%.0f", mean, AppLayerMs)
+	}
+}
+
+func TestMeasurePHYAnchors(t *testing.T) {
+	rng := des.NewRNG(2)
+	a := MeasurePHY(rng, 200000)
+	// Paper (Fezeu): 4.4 % under 1 ms, 22.36 % under 3 ms.
+	if a.Below1msPct < 3.0 || a.Below1msPct > 5.5 {
+		t.Fatalf("P(<1ms) = %.2f%%, want ~4.4%%", a.Below1msPct)
+	}
+	if a.Below3msPct < 19 || a.Below3msPct > 27 {
+		t.Fatalf("P(<3ms) = %.2f%%, want ~22.4%%", a.Below3msPct)
+	}
+}
+
+func TestMeasurePHYDefaultN(t *testing.T) {
+	rng := des.NewRNG(3)
+	a := MeasurePHY(rng, 0)
+	if a.Below1msPct <= 0 || a.Below3msPct <= a.Below1msPct {
+		t.Fatal("default-n measurement inconsistent")
+	}
+}
+
+func TestBuildReport(t *testing.T) {
+	dec := decompose(t)
+	rng := des.NewRNG(4)
+	rep := Build(81*time.Millisecond, 11*time.Millisecond, dec, MeasurePHY(rng, 50000))
+	if math.Abs(rep.MobileVsWired-81.0/11.0) > 1e-9 {
+		t.Fatalf("factor = %.2f", rep.MobileVsWired)
+	}
+	// 81 ms vs 20 ms budget: 305 % excess.
+	if math.Abs(rep.ExcessPct-305) > 1e-9 {
+		t.Fatalf("excess = %.1f%%", rep.ExcessPct)
+	}
+	if rep.EndToEndMeanMs != rep.MeasuredMeanMs+AppLayerMs {
+		t.Fatal("end-to-end should add the Fezeu app layer")
+	}
+	if len(rep.Verdicts) == 0 {
+		t.Fatal("verdicts missing")
+	}
+}

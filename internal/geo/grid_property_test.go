@@ -1,0 +1,111 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOffsetStaysInCell(t *testing.T) {
+	g := NewKlagenfurtGrid()
+	f := func(colRaw, rowRaw uint8, exRaw, syRaw float64) bool {
+		c := CellID{Col: int(colRaw) % g.Cols, Row: int(rowRaw)%g.Rows + 1}
+		// Keep the probe point clear of cell boundaries: exactly on an
+		// edge, the spherical Offset and the equirectangular CellOf
+		// legitimately disagree at float precision.
+		ex := 0.02 + 0.96*math.Abs(math.Mod(exRaw, 1))
+		sy := 0.02 + 0.96*math.Abs(math.Mod(syRaw, 1))
+		p := g.Offset(c, ex, sy)
+		got, ok := g.CellOf(p)
+		return ok && got == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCellIDRoundTripProperty(t *testing.T) {
+	f := func(colRaw, rowRaw uint8) bool {
+		c := CellID{Col: int(colRaw) % 26, Row: int(rowRaw)%99 + 1}
+		parsed, err := ParseCellID(c.String())
+		return err == nil && parsed == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDensityContinuity(t *testing.T) {
+	// The raster is a sum of Gaussians: nearby points have nearby values.
+	g := NewKlagenfurtGrid()
+	m := NewKlagenfurtDensity(g)
+	f := func(xRaw, yRaw float64) bool {
+		x := math.Abs(math.Mod(xRaw, 6))
+		y := math.Abs(math.Mod(yRaw, 7))
+		a := m.AtKm(x, y)
+		b := m.AtKm(x+0.01, y+0.01)
+		return math.Abs(a-b) < 150 // max gradient of the blobs at 14 m step
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadFactorMonotoneInDensity(t *testing.T) {
+	g := NewKlagenfurtGrid()
+	m := NewKlagenfurtDensity(g)
+	cells := g.Cells()
+	for i := 0; i < len(cells); i++ {
+		for j := i + 1; j < len(cells); j++ {
+			di, dj := m.Cell(cells[i]), m.Cell(cells[j])
+			li, lj := m.LoadFactor(cells[i]), m.LoadFactor(cells[j])
+			if di < dj && li > lj {
+				t.Fatalf("load factor not monotone: %v(%.0f)=%.3f vs %v(%.0f)=%.3f",
+					cells[i], di, li, cells[j], dj, lj)
+			}
+		}
+	}
+}
+
+func TestTraversalSubsetOfGrid(t *testing.T) {
+	g := NewKlagenfurtGrid()
+	m := NewKlagenfurtDensity(g)
+	for _, c := range m.TraversalCells() {
+		if !g.Contains(c) {
+			t.Fatalf("traversal cell %v outside grid", c)
+		}
+	}
+	// Traversal picks the densest cells: every non-traversed cell must be
+	// no denser than the sparsest traversed cell.
+	trav := map[CellID]bool{}
+	minTrav := math.Inf(1)
+	for _, c := range m.TraversalCells() {
+		trav[c] = true
+		if d := m.Cell(c); d < minTrav {
+			minTrav = d
+		}
+	}
+	for _, c := range g.Cells() {
+		if !trav[c] && m.Cell(c) > minTrav {
+			t.Fatalf("non-traversed cell %v denser (%.0f) than traversed floor (%.0f)",
+				c, m.Cell(c), minTrav)
+		}
+	}
+}
+
+func TestBearingDestinationConsistency(t *testing.T) {
+	f := func(brgRaw, distRaw float64) bool {
+		brg := math.Mod(math.Abs(brgRaw), 360)
+		dist := math.Abs(math.Mod(distRaw, 200)) + 1
+		dest := Destination(Klagenfurt, brg, dist)
+		back := BearingDeg(Klagenfurt, dest)
+		diff := math.Abs(back - brg)
+		if diff > 180 {
+			diff = 360 - diff
+		}
+		return diff < 1.0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

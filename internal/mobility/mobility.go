@@ -1,0 +1,148 @@
+// Package mobility plans the mobile measurement nodes' traversal of the
+// sector grid: which cells each node drives through, in what order, and
+// how many measurement rounds it performs per cell. Dwell behaviour
+// follows the paper's description: "the number of measurements collected
+// per cell varied, influenced by adherence to traffic flow dynamics and
+// local traffic regulations" — dense cells are slow to cross and get many
+// rounds; sparse border cells are passed without stopping and collect
+// fewer than ten measurements.
+package mobility
+
+import (
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/geo"
+)
+
+// Stop is one cell visit of a mobile node.
+type Stop struct {
+	Cell geo.CellID
+	// Rounds is the number of full measurement rounds (each round pings
+	// every target once).
+	Rounds int
+	// PartialPings is the number of single pings in a final partial
+	// round (used in sparse drive-through cells).
+	PartialPings int
+}
+
+// Plan is the ordered visit list of one mobile node.
+type Plan struct {
+	Node  int
+	Stops []Stop
+}
+
+// TravelTime is the time to drive between adjacent cells (1 km of urban
+// traffic).
+const TravelTime = 2 * time.Minute
+
+// RoundInterval is the spacing between measurement rounds within a cell.
+const RoundInterval = 10 * time.Second
+
+// Serpentine orders cells row-major with alternating direction per row
+// (the natural drive pattern over a street grid).
+func Serpentine(cells []geo.CellID) []geo.CellID {
+	byRow := map[int][]geo.CellID{}
+	var rows []int
+	for _, c := range cells {
+		if _, ok := byRow[c.Row]; !ok {
+			rows = append(rows, c.Row)
+		}
+		byRow[c.Row] = append(byRow[c.Row], c)
+	}
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0 && rows[j] < rows[j-1]; j-- {
+			rows[j], rows[j-1] = rows[j-1], rows[j]
+		}
+	}
+	var out []geo.CellID
+	for i, r := range rows {
+		row := byRow[r]
+		geo.SortCells(row)
+		if i%2 == 1 {
+			for l, rr := 0, len(row)-1; l < rr; l, rr = l+1, rr-1 {
+				row[l], row[rr] = row[rr], row[l]
+			}
+		}
+		out = append(out, row...)
+	}
+	return out
+}
+
+// PlanRoutes builds the visit plans for n mobile nodes over the density
+// model's traversal set. Node 0 covers all traversal cells including the
+// sparse border cells; the remaining nodes keep to the dense cells (their
+// routes follow the main roads). Rounds per dense cell grow with
+// population density plus per-node variation.
+func PlanRoutes(m *geo.DensityModel, n int, rng *des.RNG) []Plan {
+	if n <= 0 {
+		return nil
+	}
+	traversal := m.TraversalCells()
+	var dense []geo.CellID
+	maxDensity := 0.0
+	for _, c := range traversal {
+		if m.Dense(c) {
+			dense = append(dense, c)
+		}
+		if d := m.Cell(c); d > maxDensity {
+			maxDensity = d
+		}
+	}
+
+	plans := make([]Plan, n)
+	for i := range plans {
+		plans[i].Node = i
+		route := dense
+		if i == 0 {
+			route = traversal
+		}
+		for _, c := range Serpentine(route) {
+			if !m.Dense(c) {
+				// Drive-through: traffic regulations forbid stopping; a
+				// handful of pings fire while crossing (always < 10 in
+				// total, since only node 0 enters these cells).
+				plans[i].Stops = append(plans[i].Stops, Stop{
+					Cell:         c,
+					PartialPings: 3 + rng.Intn(5), // 3..7
+				})
+				continue
+			}
+			// Dense cell: congestion slows the node down; rounds grow
+			// with density plus noise.
+			base := 6 + int(10*m.Cell(c)/maxDensity)
+			rounds := base + rng.Intn(5) - 2
+			if rounds < 3 {
+				rounds = 3
+			}
+			plans[i].Stops = append(plans[i].Stops, Stop{Cell: c, Rounds: rounds})
+		}
+	}
+	return plans
+}
+
+// Duration returns the virtual time a plan occupies.
+func (p Plan) Duration() time.Duration {
+	var d time.Duration
+	for _, s := range p.Stops {
+		d += TravelTime
+		d += time.Duration(s.Rounds) * RoundInterval
+		if s.PartialPings > 0 {
+			d += RoundInterval / 2
+		}
+	}
+	return d
+}
+
+// CellsVisited returns the distinct cells of a plan in visit order.
+func (p Plan) CellsVisited() []geo.CellID {
+	seen := map[geo.CellID]bool{}
+	var out []geo.CellID
+	for _, s := range p.Stops {
+		if !seen[s.Cell] {
+			seen[s.Cell] = true
+			out = append(out, s.Cell)
+		}
+	}
+	return out
+}

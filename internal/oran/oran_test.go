@@ -1,0 +1,235 @@
+package oran
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/topo"
+)
+
+func newCP(t *testing.T, arch Architecture) *ControlPlane {
+	t.Helper()
+	cp, err := NewControlPlane(topo.BuildCentralEurope(), arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cp
+}
+
+func TestTierLatencies(t *testing.T) {
+	cp := newCP(t, ArchTraditional)
+	if cp.EdgeRTT >= cp.CoreRTT {
+		t.Fatalf("edge RTT %v should be far below core RTT %v", cp.EdgeRTT, cp.CoreRTT)
+	}
+	// Core round trip crosses Klagenfurt-Vienna twice: > 2.3 ms.
+	if cp.CoreRTT < 2300*time.Microsecond {
+		t.Fatalf("core RTT = %v, want > 2.3 ms", cp.CoreRTT)
+	}
+	if cp.EdgeRTT > time.Millisecond {
+		t.Fatalf("edge RTT = %v, want < 1 ms", cp.EdgeRTT)
+	}
+}
+
+func TestConsolidationReducesEveryProcedure(t *testing.T) {
+	trad := newCP(t, ArchTraditional)
+	cons := newCP(t, ArchConsolidated)
+	for _, p := range Procedures {
+		lt, lc := trad.Latency(p), cons.Latency(p)
+		if lc >= lt {
+			t.Errorf("%v: consolidated %v not below traditional %v", p, lc, lt)
+		}
+	}
+}
+
+func TestArchitectureOrdering(t *testing.T) {
+	// For handover (the latency-critical procedure) the ordering must be
+	// consolidated <= hybrid < oran < traditional.
+	var lat [4]time.Duration
+	for i, a := range Architectures {
+		lat[i] = newCP(t, a).Latency(ProcHandover)
+	}
+	trad, oranL, cons, hyb := lat[0], lat[1], lat[2], lat[3]
+	if !(cons <= hyb && hyb < oranL && oranL < trad) {
+		t.Fatalf("handover ordering violated: trad=%v oran=%v cons=%v hybrid=%v",
+			trad, oranL, cons, hyb)
+	}
+}
+
+func TestHybridKeepsCoreForSessionSetup(t *testing.T) {
+	// The hybrid design intentionally pays one core trip on session
+	// setup (global policy), so it must sit above consolidated there.
+	cons := newCP(t, ArchConsolidated)
+	hyb := newCP(t, ArchHybrid)
+	if hyb.Latency(ProcSessionSetup) <= cons.Latency(ProcSessionSetup) {
+		t.Fatal("hybrid session setup should cost more than consolidated")
+	}
+	if hyb.AsyncCoreLoad(ProcHandover) == 0 {
+		t.Fatal("hybrid handover should sync the core asynchronously")
+	}
+}
+
+func TestTraditionalSessionSetupDominates(t *testing.T) {
+	cp := newCP(t, ArchTraditional)
+	if cp.Latency(ProcSessionSetup) <= cp.Latency(ProcHandover) {
+		t.Fatal("session setup (5 core RTs) should dominate handover (3)")
+	}
+	// Five Vienna round trips: > 12 ms.
+	if cp.Latency(ProcSessionSetup) < 12*time.Millisecond {
+		t.Fatalf("traditional session setup = %v, want > 12 ms", cp.Latency(ProcSessionSetup))
+	}
+}
+
+func TestConsolidatedIsMillisecondClass(t *testing.T) {
+	cp := newCP(t, ArchConsolidated)
+	for _, p := range Procedures {
+		if l := cp.Latency(p); l > 5*time.Millisecond {
+			t.Errorf("consolidated %v = %v, want < 5 ms", p, l)
+		}
+	}
+}
+
+func TestSampleJitterAroundMean(t *testing.T) {
+	cp := newCP(t, ArchTraditional)
+	rng := des.NewRNG(7)
+	mean := float64(cp.Latency(ProcHandover))
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := cp.Sample(rng, ProcHandover)
+		if float64(v) < mean/2 {
+			t.Fatalf("sample %v below floor", v)
+		}
+		sum += float64(v)
+	}
+	got := sum / n
+	if got < 0.97*mean || got > 1.05*mean {
+		t.Fatalf("sampled mean %.0f vs analytic %.0f", got, mean)
+	}
+}
+
+func TestWithinNearRT(t *testing.T) {
+	if !WithinNearRT(50 * time.Millisecond) {
+		t.Fatal("50 ms is within the Near-RT window")
+	}
+	if WithinNearRT(5*time.Millisecond) || WithinNearRT(2*time.Second) {
+		t.Fatal("outside the 10 ms - 1 s window")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if ArchORAN.String() != "oran-near-rt-ric" || ProcHandover.String() != "handover" {
+		t.Fatal("names wrong")
+	}
+	if Architecture(9).String() == "" || Procedure(9).String() == "" {
+		t.Fatal("unknown values should render")
+	}
+}
+
+// --- QoS rule table -------------------------------------------------------
+
+func makeRules(n int) []Rule {
+	rules := make([]Rule, n)
+	for i := range rules {
+		rules[i] = Rule{FlowID: i, UEID: i / 4, Priority: 9}
+	}
+	return rules
+}
+
+func TestRuleTableLookup(t *testing.T) {
+	tbl := NewRuleTable(makeRules(100), false)
+	lat, ok := tbl.Lookup(0)
+	if !ok || lat <= 0 {
+		t.Fatal("first rule lookup failed")
+	}
+	latLast, ok := tbl.Lookup(99)
+	if !ok || latLast <= lat {
+		t.Fatal("deep rule should cost more in a static table")
+	}
+	if _, ok := tbl.Lookup(1000); ok {
+		t.Fatal("missing flow should miss")
+	}
+}
+
+func TestContextAwareReducesLookupLatency(t *testing.T) {
+	// Jain [32]: dynamic prioritization reduces lookup latency for
+	// active flows. A hot flow deep in a large table must become cheap.
+	static := NewRuleTable(makeRules(2000), false)
+	aware := NewRuleTable(makeRules(2000), true)
+	hot := []int{1900, 1901, 1902, 1903} // one UE's four flows, all deep
+	for round := 0; round < 50; round++ {
+		for _, f := range hot {
+			static.Lookup(f)
+			aware.Lookup(f)
+		}
+	}
+	if aware.MeanScan() >= static.MeanScan()/5 {
+		t.Fatalf("context-aware mean scan %.1f vs static %.1f: want >= 5x reduction",
+			aware.MeanScan(), static.MeanScan())
+	}
+}
+
+func TestContextAwareMultipleFlowsPerUE(t *testing.T) {
+	// All four flows of the same UE stay simultaneously prioritized.
+	aware := NewRuleTable(makeRules(2000), true)
+	hot := []int{1900, 1901, 1902, 1903}
+	for round := 0; round < 20; round++ {
+		for _, f := range hot {
+			aware.Lookup(f)
+		}
+	}
+	for _, f := range hot {
+		lat, ok := aware.Lookup(f)
+		if !ok {
+			t.Fatal("hot flow missing")
+		}
+		if lat > 10*120*time.Nanosecond {
+			t.Fatalf("hot flow %d still deep: %v", f, lat)
+		}
+	}
+}
+
+func TestRuleTableUpdate(t *testing.T) {
+	tbl := NewRuleTable(makeRules(50), true)
+	lat, ok := tbl.Update(30, 1)
+	if !ok || lat <= 0 {
+		t.Fatal("update failed")
+	}
+	if _, ok := tbl.Update(999, 1); ok {
+		t.Fatal("update of missing flow should fail")
+	}
+	// Verify the priority actually changed.
+	found := false
+	for _, r := range tbl.rules {
+		if r.FlowID == 30 {
+			found = true
+			if r.Priority != 1 {
+				t.Fatal("priority not updated")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("rule lost by update")
+	}
+}
+
+func TestRuleTablePreservesAllRules(t *testing.T) {
+	tbl := NewRuleTable(makeRules(200), true)
+	rng := des.NewRNG(11)
+	for i := 0; i < 5000; i++ {
+		tbl.Lookup(rng.Intn(200))
+	}
+	if tbl.Len() != 200 {
+		t.Fatalf("table length changed: %d", tbl.Len())
+	}
+	seen := map[int]bool{}
+	for _, r := range tbl.rules {
+		if seen[r.FlowID] {
+			t.Fatalf("duplicate rule for flow %d", r.FlowID)
+		}
+		seen[r.FlowID] = true
+	}
+	if len(seen) != 200 {
+		t.Fatal("rules lost during move-to-front")
+	}
+}

@@ -1,0 +1,123 @@
+package probe
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/ran"
+)
+
+func TestEngineDeterministicPerSeed(t *testing.T) {
+	run := func() []time.Duration {
+		eng, up := newEngine()
+		rng := des.NewRNG(77)
+		var out []time.Duration
+		for i := 0; i < 50; i++ {
+			v, err := eng.MobileRTT(rng, ran.Conditions{Load: 0.4, SiteKm: 0.8},
+				up.Central, up.CE.ProbeUni)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, v)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("engine not deterministic")
+		}
+	}
+}
+
+func TestWiredJitterScalesWithHops(t *testing.T) {
+	eng, up := newEngine()
+	// Same pair measured many times: spread must be bounded and non-zero.
+	rng := des.NewRNG(5)
+	base, err := up.Router.Route(up.CE.WiredKlu, up.CE.ProbeUni)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var min, max time.Duration
+	for i := 0; i < 2000; i++ {
+		v, err := eng.WiredRTT(rng, up.CE.WiredKlu, up.CE.ProbeUni)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if min == 0 || v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if min < base.RTT() {
+		t.Fatalf("jitter went below the deterministic floor: %v < %v", min, base.RTT())
+	}
+	if max == min {
+		t.Fatal("no jitter at all")
+	}
+}
+
+func TestTracerouteDistanceMatchesSession(t *testing.T) {
+	eng, up := newEngine()
+	rng := des.NewRNG(6)
+	tr, err := eng.Traceroute(rng, ran.Conditions{Load: 0.5, SiteKm: 1}, up.Central, up.CE.ProbeUni)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := up.Establish(up.Central, up.CE.ProbeUni)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sp.Backhaul.DistKm() + sp.Breakout.DistKm()
+	if tr.DistKm != want {
+		t.Fatalf("trace distance %.1f != session distance %.1f", tr.DistKm, want)
+	}
+}
+
+func TestTracerouteHopIndices(t *testing.T) {
+	eng, up := newEngine()
+	rng := des.NewRNG(7)
+	tr, err := eng.Traceroute(rng, ran.Conditions{Load: 0.5, SiteKm: 1}, up.Central, up.CE.ProbeUni)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range tr.Hops {
+		if h.Index != i+1 {
+			t.Fatalf("hop %d has index %d", i, h.Index)
+		}
+	}
+}
+
+func TestMobileRTTFasterUnderSixG(t *testing.T) {
+	eng, up := newEngine()
+	rng := des.NewRNG(8)
+	cond := ran.Conditions{Load: 0.5, SiteKm: 1}
+	eng.Profile = ran.Profile6G
+	var sum6 time.Duration
+	for i := 0; i < 500; i++ {
+		v, err := eng.MobileRTT(rng, cond, up.Central, up.CE.ProbeUni)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum6 += v
+	}
+	eng.Profile = ran.Profile5G
+	var sum5 time.Duration
+	for i := 0; i < 500; i++ {
+		v, err := eng.MobileRTT(rng, cond, up.Central, up.CE.ProbeUni)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum5 += v
+	}
+	if sum6 >= sum5 {
+		t.Fatal("6G radio should beat 5G on the same wired path")
+	}
+	// But even 6G cannot fix the detour: the wired floor remains ~33 ms.
+	if sum6/500 < 30*time.Millisecond {
+		t.Fatalf("6G over the detour = %v, the wired floor should persist", sum6/500)
+	}
+}

@@ -1,0 +1,179 @@
+package probe
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/corenet"
+	"repro/internal/des"
+	"repro/internal/ran"
+	"repro/internal/topo"
+)
+
+func newEngine() (*Engine, *corenet.UserPlane) {
+	up := corenet.NewUserPlane(topo.BuildCentralEurope())
+	return NewEngine(up, ran.Profile5G), up
+}
+
+func TestWiredRTTStability(t *testing.T) {
+	eng, up := newEngine()
+	rng := des.NewRNG(1)
+	var min, max time.Duration
+	for i := 0; i < 500; i++ {
+		rtt, err := eng.WiredRTT(rng, up.CE.WiredKlu, up.CE.ProbeUni)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if min == 0 || rtt < min {
+			min = rtt
+		}
+		if rtt > max {
+			max = rtt
+		}
+	}
+	if min < 3*time.Millisecond || max > 7*time.Millisecond {
+		t.Fatalf("wired local RTT range [%v, %v] implausible", min, max)
+	}
+	if max-min > 2*time.Millisecond {
+		t.Fatalf("wired jitter spread %v too large", max-min)
+	}
+}
+
+func TestMobileRTTAboveWired(t *testing.T) {
+	eng, up := newEngine()
+	rng := des.NewRNG(2)
+	cond := ran.Conditions{Load: 0.5, SiteKm: 1}
+	for i := 0; i < 200; i++ {
+		mob, err := eng.MobileRTT(rng, cond, up.Central, up.CE.ProbeUni)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mob < 40*time.Millisecond {
+			t.Fatalf("mobile RTT %v below wired detour floor", mob)
+		}
+	}
+}
+
+func TestMobileMeanRTT(t *testing.T) {
+	eng, up := newEngine()
+	rng := des.NewRNG(3)
+	cond := ran.Conditions{Load: 0.6, SiteKm: 1}
+	want, err := eng.MobileMeanRTT(cond, up.Central, up.CE.ProbeUni)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v, err := eng.MobileRTT(rng, cond, up.Central, up.CE.ProbeUni)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += float64(v)
+	}
+	got := time.Duration(sum / n)
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	// Wired jitter has a small positive mean (folded normal), so allow
+	// a low-millisecond tolerance.
+	if diff > 2*time.Millisecond {
+		t.Fatalf("sampled mean %v vs analytic %v", got, want)
+	}
+}
+
+func TestTracerouteReproducesTableI(t *testing.T) {
+	eng, up := newEngine()
+	rng := des.NewRNG(4)
+	cond := ran.Conditions{Load: 0.55, SiteKm: 1} // cell C2 conditions
+	tr, err := eng.Traceroute(rng, cond, up.Central, up.CE.ProbeUni)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Hops) != 11 {
+		t.Fatalf("trace has %d hops, want 11 (Table I has 10 + uni gateway)", len(tr.Hops))
+	}
+	if tr.Hops[0].Node.Addr != "10.12.128.1" {
+		t.Fatalf("first hop %s, want the CGNAT gateway", tr.Hops[0].Node.Addr)
+	}
+	if last := tr.Hops[len(tr.Hops)-1]; last.Node.Addr != "195.140.139.133" {
+		t.Fatalf("last hop %s, want the RIPE probe", last.Node.Addr)
+	}
+	// Monotone non-decreasing RTTs apart from jitter noise.
+	for i := 1; i < len(tr.Hops); i++ {
+		if tr.Hops[i].RTT < tr.Hops[i-1].RTT-2*time.Millisecond {
+			t.Fatalf("hop %d RTT %v far below hop %d RTT %v",
+				i+1, tr.Hops[i].RTT, i, tr.Hops[i-1].RTT)
+		}
+	}
+	// Figure 4: the city sequence and ~2500 km detour.
+	if got := strings.Join(tr.Cities, ","); got != "Vienna,Prague,Bucharest,Vienna,Klagenfurt" {
+		t.Fatalf("cities = %s", got)
+	}
+	if tr.DistKm < 2400 || tr.DistKm > 2900 {
+		t.Fatalf("trace distance = %.0f km", tr.DistKm)
+	}
+	if tr.Total != tr.Hops[len(tr.Hops)-1].RTT {
+		t.Fatal("Total should equal final hop RTT")
+	}
+	if tr.RadioLeg <= 0 || tr.RadioLeg >= tr.Total {
+		t.Fatalf("radio leg %v inconsistent with total %v", tr.RadioLeg, tr.Total)
+	}
+}
+
+func TestTracerouteTotalInPaperBand(t *testing.T) {
+	// The paper's single measurement: 65 ms overall RTL. Across seeds the
+	// total must stay in a plausible band around it.
+	eng, up := newEngine()
+	cond := ran.Conditions{Load: 0.55, SiteKm: 1}
+	var sum time.Duration
+	const n = 200
+	rng := des.NewRNG(5)
+	for i := 0; i < n; i++ {
+		tr, err := eng.Traceroute(rng, cond, up.Central, up.CE.ProbeUni)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += tr.Total
+	}
+	mean := sum / n
+	if mean < 60*time.Millisecond || mean > 90*time.Millisecond {
+		t.Fatalf("mean trace total = %v, want around the paper's 65 ms", mean)
+	}
+}
+
+func TestTracerouteEdgeUPFIsLocal(t *testing.T) {
+	eng, up := newEngine()
+	rng := des.NewRNG(6)
+	eng.Profile = ran.Profile5GURLLC
+	tr, err := eng.Traceroute(rng, ran.Conditions{Load: 0.3, SiteKm: 0.5}, up.Edge, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Hops) != 1 {
+		t.Fatalf("edge MEC trace should be a single hop, got %d", len(tr.Hops))
+	}
+	if tr.Total > 8*time.Millisecond {
+		t.Fatalf("edge MEC RTT = %v, want < 8 ms", tr.Total)
+	}
+}
+
+func TestHopString(t *testing.T) {
+	_, up := newEngine()
+	h := Hop{Index: 1, Node: up.CE.UPFVienna, RTT: 42 * time.Millisecond}
+	s := h.String()
+	if !strings.Contains(s, "10.12.128.1") || !strings.Contains(s, "42.0 ms") {
+		t.Fatalf("hop rendering wrong: %s", s)
+	}
+}
+
+func TestMobileRTTErrorOnUnreachable(t *testing.T) {
+	eng, up := newEngine()
+	rng := des.NewRNG(7)
+	// Central UPF has no MEC host: a nil destination must error.
+	if _, err := eng.MobileRTT(rng, ran.Conditions{}, up.Central, nil); err == nil {
+		t.Fatal("expected error for MEC service on non-MEC UPF")
+	}
+}

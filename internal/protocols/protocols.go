@@ -1,0 +1,113 @@
+// Package protocols models the application-layer overhead of the IoT
+// messaging protocols the paper names (Section III-A): MQTT, AMQP and
+// CoAP add 5-8 additional milliseconds on top of the raw network round
+// trip [14]. The model decomposes that overhead into broker/stack
+// processing, transport acknowledgement behaviour and serialization, so
+// the experiments can show protocol choice shifting user-perceived
+// latency against the 16 ms budget.
+package protocols
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/des"
+)
+
+// Protocol identifies a messaging protocol.
+type Protocol int
+
+const (
+	MQTT Protocol = iota // TCP, broker-mediated publish/subscribe
+	AMQP                 // TCP, broker with heavier framing
+	CoAP                 // UDP, direct request/response (confirmable)
+)
+
+var protoNames = map[Protocol]string{MQTT: "MQTT", AMQP: "AMQP", CoAP: "CoAP"}
+
+func (p Protocol) String() string {
+	if s, ok := protoNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("Protocol(%d)", int(p))
+}
+
+// All lists the modelled protocols.
+var All = []Protocol{MQTT, AMQP, CoAP}
+
+// QoS is the delivery guarantee level (MQTT semantics; AMQP and CoAP map
+// their closest equivalents).
+type QoS int
+
+const (
+	QoS0 QoS = iota // at most once: fire and forget
+	QoS1            // at least once: one acknowledgement exchange
+	QoS2            // exactly once: two acknowledgement exchanges
+)
+
+// Spec captures a protocol's latency behaviour.
+type Spec struct {
+	Protocol Protocol
+	// StackMs is the fixed client+server stack traversal cost (ms).
+	StackMs float64
+	// BrokerMs is the broker forwarding cost per message (0 for CoAP).
+	BrokerMs float64
+	// SerializeMs is the framing/serialization cost per message.
+	SerializeMs float64
+	// AckRTTs is how many extra transport round trips each QoS level
+	// adds: index by QoS.
+	AckRTTs [3]float64
+	// JitterMs is the stddev of the overhead noise.
+	JitterMs float64
+}
+
+// specs are calibrated so that, at a typical in-sector RTT, the
+// end-to-end overhead over the raw RTT lands in the paper's 5-8 ms band
+// at QoS1.
+var specs = map[Protocol]Spec{
+	MQTT: {Protocol: MQTT, StackMs: 1.6, BrokerMs: 2.2, SerializeMs: 0.6,
+		AckRTTs: [3]float64{0, 1, 2}, JitterMs: 0.35},
+	AMQP: {Protocol: AMQP, StackMs: 2.0, BrokerMs: 2.9, SerializeMs: 1.0,
+		AckRTTs: [3]float64{0, 1, 2}, JitterMs: 0.45},
+	// Confirmable CoAP uses the separate-response pattern (empty ACK,
+	// then a confirmable response with its own ACK): two extra one-way
+	// crossings at QoS1 and above.
+	CoAP: {Protocol: CoAP, StackMs: 2.0, BrokerMs: 0, SerializeMs: 0.6,
+		AckRTTs: [3]float64{0, 2, 2}, JitterMs: 0.30},
+}
+
+// SpecFor returns the latency spec of a protocol.
+func SpecFor(p Protocol) Spec { return specs[p] }
+
+// MeanOverhead returns the expected protocol overhead beyond one raw
+// network round trip, for a message delivered at the given QoS when the
+// underlying transport RTT is rtt. For broker-mediated protocols the
+// message crosses the network twice (publisher -> broker -> subscriber),
+// so half an extra RTT is attributed per broker traversal.
+func MeanOverhead(p Protocol, q QoS, rtt time.Duration) time.Duration {
+	s := specs[p]
+	ms := s.StackMs + s.SerializeMs + s.BrokerMs
+	ms += s.AckRTTs[q] * float64(rtt) / float64(time.Millisecond) * 0.5
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+// SampleOverhead draws one protocol overhead.
+func SampleOverhead(rng *des.RNG, p Protocol, q QoS, rtt time.Duration) time.Duration {
+	mean := float64(MeanOverhead(p, q, rtt)) / float64(time.Millisecond)
+	s := specs[p]
+	v := rng.Normal(mean, s.JitterMs)
+	if v < mean/2 {
+		v = mean / 2
+	}
+	return time.Duration(v * float64(time.Millisecond))
+}
+
+// MessageLatency returns raw RTT plus sampled protocol overhead: the
+// user-perceived request latency of an IoT exchange.
+func MessageLatency(rng *des.RNG, p Protocol, q QoS, rtt time.Duration) time.Duration {
+	return rtt + SampleOverhead(rng, p, q, rtt)
+}
+
+// PaperBand is the 5-8 ms additional-delay band the paper attributes to
+// IoT protocols [14].
+var PaperBand = [2]time.Duration{5 * time.Millisecond, 8 * time.Millisecond}

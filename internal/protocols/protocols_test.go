@@ -1,0 +1,134 @@
+package protocols
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/des"
+)
+
+func TestOverheadInPaperBandAtQoS1(t *testing.T) {
+	// At a typical in-sector wired RTT (~4 ms), every protocol's QoS1
+	// overhead must land in the paper's 5-8 ms band [14].
+	rtt := 4 * time.Millisecond
+	for _, p := range All {
+		oh := MeanOverhead(p, QoS1, rtt)
+		if oh < PaperBand[0] || oh > PaperBand[1] {
+			t.Errorf("%v QoS1 overhead = %v, want within %v-%v", p, oh, PaperBand[0], PaperBand[1])
+		}
+	}
+}
+
+func TestQoSOrdering(t *testing.T) {
+	rtt := 10 * time.Millisecond
+	for _, p := range All {
+		o0 := MeanOverhead(p, QoS0, rtt)
+		o1 := MeanOverhead(p, QoS1, rtt)
+		o2 := MeanOverhead(p, QoS2, rtt)
+		if !(o0 < o1 && o1 <= o2) {
+			t.Errorf("%v: QoS ordering violated: %v %v %v", p, o0, o1, o2)
+		}
+	}
+}
+
+func TestCoAPLightestMQTTLighterThanAMQP(t *testing.T) {
+	rtt := 10 * time.Millisecond
+	// Fire-and-forget: the brokerless UDP protocol wins outright.
+	coap := MeanOverhead(CoAP, QoS0, rtt)
+	mqtt := MeanOverhead(MQTT, QoS0, rtt)
+	amqp := MeanOverhead(AMQP, QoS0, rtt)
+	if !(coap < mqtt && mqtt < amqp) {
+		t.Errorf("QoS0: want CoAP < MQTT < AMQP, got %v %v %v", coap, mqtt, amqp)
+	}
+	// With acknowledgements there is a crossover: on a fast network the
+	// heavier AMQP stack dominates; on a slow one CoAP's separate-response
+	// pattern (two extra crossings) costs more than broker overhead.
+	if MeanOverhead(AMQP, QoS1, 4*time.Millisecond) <= MeanOverhead(CoAP, QoS1, 4*time.Millisecond) {
+		t.Error("AMQP should be heaviest at QoS1 on a fast network")
+	}
+	if MeanOverhead(CoAP, QoS1, 40*time.Millisecond) <= MeanOverhead(AMQP, QoS1, 40*time.Millisecond) {
+		t.Error("CoAP confirmable should dominate at QoS1 on a slow network")
+	}
+}
+
+func TestOverheadGrowsWithRTTForAckedQoS(t *testing.T) {
+	a := MeanOverhead(MQTT, QoS1, 5*time.Millisecond)
+	b := MeanOverhead(MQTT, QoS1, 50*time.Millisecond)
+	if b <= a {
+		t.Fatal("acked QoS overhead should grow with transport RTT")
+	}
+	// QoS0 has no ack exchanges: overhead independent of RTT.
+	c := MeanOverhead(MQTT, QoS0, 5*time.Millisecond)
+	d := MeanOverhead(MQTT, QoS0, 50*time.Millisecond)
+	if c != d {
+		t.Fatal("QoS0 overhead should not depend on RTT")
+	}
+}
+
+func TestSampleOverheadStatistics(t *testing.T) {
+	rng := des.NewRNG(1)
+	rtt := 8 * time.Millisecond
+	const n = 50000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := SampleOverhead(rng, MQTT, QoS1, rtt)
+		if v <= 0 {
+			t.Fatal("non-positive overhead")
+		}
+		sum += float64(v) / float64(time.Millisecond)
+	}
+	mean := sum / n
+	want := float64(MeanOverhead(MQTT, QoS1, rtt)) / float64(time.Millisecond)
+	if math.Abs(mean-want) > 0.05 {
+		t.Fatalf("sampled mean %.3f vs analytic %.3f", mean, want)
+	}
+}
+
+func TestMessageLatencyAboveRTT(t *testing.T) {
+	rng := des.NewRNG(2)
+	rtt := 12 * time.Millisecond
+	for i := 0; i < 1000; i++ {
+		if MessageLatency(rng, CoAP, QoS0, rtt) <= rtt {
+			t.Fatal("message latency must exceed raw RTT")
+		}
+	}
+}
+
+func TestUserPerceivedBudgetScenario(t *testing.T) {
+	// Section III-A: with a sub-10 ms network and protocol overhead, the
+	// user-perceived latency must stay under 16 ms; with the measured 5G
+	// RTTs (> 60 ms) it cannot.
+	rng := des.NewRNG(3)
+	goodRTT := 6 * time.Millisecond
+	badRTT := 65 * time.Millisecond
+	good := MessageLatency(rng, CoAP, QoS0, goodRTT)
+	if good > 16*time.Millisecond {
+		t.Fatalf("optimized deployment misses the 16 ms budget: %v", good)
+	}
+	bad := MessageLatency(rng, CoAP, QoS0, badRTT)
+	if bad < 16*time.Millisecond {
+		t.Fatalf("measured 5G deployment should blow the budget: %v", bad)
+	}
+}
+
+func TestStringer(t *testing.T) {
+	if MQTT.String() != "MQTT" || CoAP.String() != "CoAP" {
+		t.Fatal("names wrong")
+	}
+	if Protocol(9).String() == "" {
+		t.Fatal("unknown protocol should render")
+	}
+}
+
+func TestSpecFor(t *testing.T) {
+	for _, p := range All {
+		s := SpecFor(p)
+		if s.Protocol != p {
+			t.Fatalf("SpecFor(%v) returned wrong spec", p)
+		}
+	}
+	if SpecFor(CoAP).BrokerMs != 0 {
+		t.Fatal("CoAP is brokerless")
+	}
+}

@@ -1,0 +1,211 @@
+package ran
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/des"
+)
+
+func TestSampleMatchesAnalyticalMean(t *testing.T) {
+	rng := des.NewRNG(1)
+	for _, prof := range []*Profile{Profile5G, Profile5GURLLC, Profile6G} {
+		for _, c := range []Conditions{
+			{Load: 0, SiteKm: 0},
+			{Load: 0.3, SiteKm: 0.5},
+			{Load: 0.99, SiteKm: 1.0},
+			{Load: 0.23, SiteKm: 2.24},
+		} {
+			const n = 60000
+			var sum float64
+			for i := 0; i < n; i++ {
+				sum += float64(prof.SampleRTT(rng, c)) / float64(time.Millisecond)
+			}
+			got := sum / n
+			want := float64(prof.MeanRTT(c)) / float64(time.Millisecond)
+			if math.Abs(got-want) > 0.02*want+0.15 {
+				t.Errorf("%s %+v: sampled mean %.2f ms, analytical %.2f ms", prof, c, got, want)
+			}
+		}
+	}
+}
+
+func TestSampleMatchesAnalyticalStd(t *testing.T) {
+	rng := des.NewRNG(2)
+	c := Conditions{Load: 0.23, SiteKm: 2.24} // E5-like: spike-dominated
+	const n = 120000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := float64(Profile5G.SampleRTT(rng, c)) / float64(time.Millisecond)
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	std := math.Sqrt(sum2/n - mean*mean)
+	want := float64(Profile5G.StdRTT(c)) / float64(time.Millisecond)
+	if math.Abs(std-want) > 0.05*want+0.2 {
+		t.Errorf("sampled std %.2f ms vs analytical %.2f ms", std, want)
+	}
+}
+
+func TestProfileOrdering(t *testing.T) {
+	// For any condition, 6G must beat URLLC-5G must beat public 5G.
+	f := func(loadRaw, distRaw float64) bool {
+		c := Conditions{
+			Load:   math.Abs(math.Mod(loadRaw, 1)),
+			SiteKm: math.Abs(math.Mod(distRaw, 3)),
+		}
+		m5 := Profile5G.MeanRTT(c)
+		mu := Profile5GURLLC.MeanRTT(c)
+		m6 := Profile6G.MeanRTT(c)
+		return m6 < mu && mu < m5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanMonotoneInLoadAndDistance(t *testing.T) {
+	f := func(a, b float64) bool {
+		l1 := math.Abs(math.Mod(a, 1))
+		l2 := math.Abs(math.Mod(b, 1))
+		if l1 > l2 {
+			l1, l2 = l2, l1
+		}
+		if Profile5G.MeanRTT(Conditions{Load: l1}) > Profile5G.MeanRTT(Conditions{Load: l2}) {
+			return false
+		}
+		d1 := math.Abs(math.Mod(a, 3))
+		d2 := math.Abs(math.Mod(b, 3))
+		if d1 > d2 {
+			d1, d2 = d2, d1
+		}
+		return Profile5G.MeanRTT(Conditions{SiteKm: d1}) <= Profile5G.MeanRTT(Conditions{SiteKm: d2})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSamplePositiveAndBounded(t *testing.T) {
+	rng := des.NewRNG(3)
+	for i := 0; i < 20000; i++ {
+		c := Conditions{Load: rng.Float64(), SiteKm: rng.Uniform(0, 3)}
+		v := Profile5G.SampleRTT(rng, c)
+		if v <= 0 {
+			t.Fatalf("non-positive sample %v at %+v", v, c)
+		}
+		if v > 500*time.Millisecond {
+			t.Fatalf("implausible sample %v at %+v", v, c)
+		}
+	}
+}
+
+func TestConditionClamping(t *testing.T) {
+	// Out-of-range conditions are clamped, not propagated.
+	a := Profile5G.MeanRTT(Conditions{Load: -0.5, SiteKm: -2})
+	b := Profile5G.MeanRTT(Conditions{Load: 0, SiteKm: 0})
+	if a != b {
+		t.Fatalf("negative conditions not clamped: %v vs %v", a, b)
+	}
+	c := Profile5G.MeanRTT(Conditions{Load: 7})
+	d := Profile5G.MeanRTT(Conditions{Load: 1})
+	if c != d {
+		t.Fatalf("overload not clamped: %v vs %v", c, d)
+	}
+}
+
+func TestHandoverProbCap(t *testing.T) {
+	p := Profile5G.HandoverProb(Conditions{SiteKm: 10})
+	if p != Profile5G.HandoverCap {
+		t.Fatalf("handover prob at 10 km = %v, want cap %v", p, Profile5G.HandoverCap)
+	}
+	if Profile5G.HandoverProb(Conditions{SiteKm: 0}) != 0 {
+		t.Fatal("handover prob at the site should be 0")
+	}
+}
+
+func TestSixGMeetsHundredMicrosecondClass(t *testing.T) {
+	// Section II-A: 6G air latency ~100 us; our round-trip floor must be
+	// sub-millisecond even under load.
+	m := Profile6G.MeanRTT(Conditions{Load: 0.5, SiteKm: 0.5})
+	if m > time.Millisecond {
+		t.Fatalf("6G loaded mean = %v, want < 1 ms", m)
+	}
+}
+
+func TestPHYCDFAnchorsFezeu(t *testing.T) {
+	// Fezeu [22]: 4.4 % of packets < 1 ms, 22.36 % < 3 ms.
+	p1 := DefaultPHY.CDF(1)
+	p3 := DefaultPHY.CDF(3)
+	if p1 < 0.030 || p1 > 0.055 {
+		t.Errorf("P(<1ms) = %.4f, want ~0.044", p1)
+	}
+	if p3 < 0.19 || p3 > 0.27 {
+		t.Errorf("P(<3ms) = %.4f, want ~0.2236", p3)
+	}
+}
+
+func TestPHYSampleMatchesCDF(t *testing.T) {
+	rng := des.NewRNG(4)
+	const n = 200000
+	below1, below3 := 0, 0
+	for i := 0; i < n; i++ {
+		v := DefaultPHY.Sample(rng)
+		if v < time.Millisecond {
+			below1++
+		}
+		if v < 3*time.Millisecond {
+			below3++
+		}
+	}
+	if got, want := float64(below1)/n, DefaultPHY.CDF(1); math.Abs(got-want) > 0.005 {
+		t.Errorf("sampled P(<1ms) = %.4f, analytical %.4f", got, want)
+	}
+	if got, want := float64(below3)/n, DefaultPHY.CDF(3); math.Abs(got-want) > 0.01 {
+		t.Errorf("sampled P(<3ms) = %.4f, analytical %.4f", got, want)
+	}
+}
+
+func TestPHYCDFMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		x := math.Abs(math.Mod(a, 100))
+		y := math.Abs(math.Mod(b, 100))
+		if x > y {
+			x, y = y, x
+		}
+		return DefaultPHY.CDF(x) <= DefaultPHY.CDF(y)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	if DefaultPHY.CDF(0) != 0 || DefaultPHY.CDF(-5) != 0 {
+		t.Fatal("CDF of non-positive latency should be 0")
+	}
+}
+
+func TestPHYMedian(t *testing.T) {
+	med := DefaultPHY.MedianMs()
+	if got := DefaultPHY.CDF(med); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("CDF(median) = %v, want 0.5", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	sample := func() []time.Duration {
+		rng := des.NewRNG(99)
+		out := make([]time.Duration, 100)
+		for i := range out {
+			out[i] = Profile5G.SampleRTT(rng, Conditions{Load: 0.5, SiteKm: 1})
+		}
+		return out
+	}
+	a, b := sample(), sample()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("radio sampling not deterministic")
+		}
+	}
+}

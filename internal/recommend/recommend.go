@@ -1,0 +1,275 @@
+// Package recommend evaluates the paper's three Section V
+// recommendations against the simulated infrastructure:
+//
+//   - V-A local peering optimization: inject a Klagenfurt exchange
+//     peering and compare route length, hop count and RTT;
+//   - V-B UPF integration: central vs edge vs dynamically selected UPF
+//     anchoring, plus the SmartNIC datapath ablation;
+//   - V-C control plane enhancement: procedure latencies across the four
+//     control-plane architectures, the context-aware QoS table, and
+//     reactive vs predictive slice reconfiguration.
+//
+// Each evaluator returns a structured report the experiments layer
+// renders as the corresponding table.
+package recommend
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/corenet"
+	"repro/internal/des"
+	"repro/internal/oran"
+	"repro/internal/ran"
+	"repro/internal/routing"
+	"repro/internal/slicing"
+	"repro/internal/topo"
+)
+
+// --- V-A: local peering ----------------------------------------------------
+
+// PeeringReport compares the transit detour with the locally peered path.
+type PeeringReport struct {
+	BaselineHops int
+	PeeredHops   int
+	BaselineKm   float64
+	PeeredKm     float64
+	BaselineRTT  time.Duration
+	PeeredRTT    time.Duration
+	// Cities is the baseline's geographic detour (Figure 4).
+	Cities []string
+	// HopReductionPct and RTTReductionPct quantify the gain.
+	HopReductionPct float64
+	RTTReductionPct float64
+}
+
+// EvaluatePeering measures the local-service path (Klagenfurt aggregation
+// to the university probe) before and after enabling local peering.
+func EvaluatePeering() (PeeringReport, error) {
+	base := topo.BuildCentralEurope()
+	basePR := routing.NewPolicyRouter(base.Net)
+	basePath, err := basePR.Route(base.AggKlu, base.ProbeUni)
+	if err != nil {
+		return PeeringReport{}, fmt.Errorf("recommend: baseline route: %w", err)
+	}
+	// The GTP-U tunnel hides the operator's transport from traceroute:
+	// hops between the aggregation site and the UPF do not appear as IP
+	// hops (Table I starts at the CGNAT gateway).
+	backhaul, err := basePR.Route(base.AggKlu, base.UPFVienna)
+	if err != nil {
+		return PeeringReport{}, fmt.Errorf("recommend: backhaul route: %w", err)
+	}
+	hiddenHops := backhaul.Hops()
+
+	peered := topo.BuildCentralEurope()
+	peered.EnableLocalPeering()
+	peerPR := routing.NewPolicyRouter(peered.Net)
+	peerPath, err := peerPR.Route(peered.AggKlu, peered.ProbeUni)
+	if err != nil {
+		return PeeringReport{}, fmt.Errorf("recommend: peered route: %w", err)
+	}
+
+	rep := PeeringReport{
+		BaselineHops: basePath.Hops() - hiddenHops,
+		PeeredHops:   peerPath.Hops(),
+		BaselineKm:   basePath.DistKm(),
+		PeeredKm:     peerPath.DistKm(),
+		BaselineRTT:  basePath.RTT(),
+		PeeredRTT:    peerPath.RTT(),
+		Cities:       basePath.Cities(),
+	}
+	rep.HopReductionPct = 100 * (1 - float64(rep.PeeredHops)/float64(rep.BaselineHops))
+	rep.RTTReductionPct = 100 * (1 - float64(rep.PeeredRTT)/float64(rep.BaselineRTT))
+	return rep, nil
+}
+
+// --- V-B: UPF integration ---------------------------------------------------
+
+// UPFDeploymentRow is one deployment option's expected performance for a
+// latency-critical edge service.
+type UPFDeploymentRow struct {
+	Name         string
+	Radio        *ran.Profile
+	MeanRTT      time.Duration
+	ReductionPct float64 // vs the first (central) row
+}
+
+// UPFReport is the Section V-B comparison.
+type UPFReport struct {
+	Rows []UPFDeploymentRow
+	// SmartNIC ablation (Jain [32], Panda [33]).
+	SmartNICLatencyFactor    float64 // host / smartnic per-packet latency
+	SmartNICThroughputFactor float64
+	// Dynamic selection outcome for a mixed flow population.
+	DynamicSensitiveAtEdge int
+	DynamicBulkAtCentral   int
+	DynamicSensitiveMean   time.Duration
+	DynamicBulkMean        time.Duration
+}
+
+// EvaluateUPF compares central anchoring (the measured deployment), edge
+// anchoring with a URLLC slice, and a SmartNIC edge UPF, then runs the
+// dynamic per-flow selection policy over a mixed population.
+func EvaluateUPF(seed uint64) (UPFReport, error) {
+	ce := topo.BuildCentralEurope()
+	up := corenet.NewUserPlane(ce)
+	busy := ran.Conditions{Load: 0.8, SiteKm: 1.0}  // loaded urban cell
+	slice := ran.Conditions{Load: 0.3, SiteKm: 0.5} // protected slice
+
+	central, err := up.Establish(up.Central, ce.ProbeUni)
+	if err != nil {
+		return UPFReport{}, err
+	}
+	edge, err := up.Establish(up.Edge, nil)
+	if err != nil {
+		return UPFReport{}, err
+	}
+
+	var rep UPFReport
+	add := func(name string, prof *ran.Profile, cond ran.Conditions,
+		sp corenet.SessionPath, offered float64) {
+		row := UPFDeploymentRow{
+			Name:    name,
+			Radio:   prof,
+			MeanRTT: up.MeanRTT(prof, cond, sp, offered),
+		}
+		if len(rep.Rows) > 0 {
+			row.ReductionPct = 100 * (1 - float64(row.MeanRTT)/float64(rep.Rows[0].MeanRTT))
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	add("central-vienna", ran.Profile5G, busy, central, 0.3)
+	add("edge-klagenfurt", ran.Profile5GURLLC, slice, edge, 0.3)
+
+	// SmartNIC edge UPF: same wired legs, faster datapath under load.
+	smart := edge
+	smart.UPF = &corenet.UPF{Name: "edge-klu-smartnic", Host: ce.UPFEdgeKlu,
+		Datapath: corenet.SmartNICDatapath, MEC: true}
+	add("edge-klagenfurt-smartnic", ran.Profile5GURLLC, slice, smart, 1.2)
+	add("sixg-edge", ran.Profile6G, slice, smart, 1.2)
+
+	rep.SmartNICLatencyFactor = float64(corenet.HostDatapath.PerPacket) /
+		float64(corenet.SmartNICDatapath.PerPacket)
+	rep.SmartNICThroughputFactor = corenet.SmartNICDatapath.CapacityMpps /
+		corenet.HostDatapath.CapacityMpps
+
+	// Dynamic selection over a mixed population.
+	rng := des.NewRNG(seed)
+	var flows []corenet.Flow
+	for i := 0; i < 40; i++ {
+		flows = append(flows, corenet.Flow{
+			ID:        i,
+			Sensitive: i%2 == 0,
+			RateMpps:  0.02 + rng.Float64()*0.06,
+		})
+	}
+	assign := up.Assign(corenet.SelectDynamic, flows)
+	var sensSum, bulkSum time.Duration
+	for _, f := range flows {
+		u := assign[f.ID]
+		var rtt time.Duration
+		if u == up.Edge {
+			rtt = up.MeanRTT(ran.Profile5GURLLC, slice, edge, up.Edge.OfferedMpps())
+		} else {
+			rtt = up.MeanRTT(ran.Profile5G, busy, central, up.Central.OfferedMpps())
+		}
+		if f.Sensitive {
+			if u == up.Edge {
+				rep.DynamicSensitiveAtEdge++
+			}
+			sensSum += rtt
+		} else {
+			if u == up.Central {
+				rep.DynamicBulkAtCentral++
+			}
+			bulkSum += rtt
+		}
+	}
+	nSens := 0
+	for _, f := range flows {
+		if f.Sensitive {
+			nSens++
+		}
+	}
+	if nSens > 0 {
+		rep.DynamicSensitiveMean = sensSum / time.Duration(nSens)
+	}
+	if nBulk := len(flows) - nSens; nBulk > 0 {
+		rep.DynamicBulkMean = bulkSum / time.Duration(nBulk)
+	}
+	return rep, nil
+}
+
+// --- V-C: control plane ------------------------------------------------------
+
+// CPFRow is one architecture's procedure latencies.
+type CPFRow struct {
+	Arch      oran.Architecture
+	Latencies map[oran.Procedure]time.Duration
+}
+
+// CPFReport is the Section V-C comparison.
+type CPFReport struct {
+	Rows []CPFRow
+	// QoS rule-table ablation (Jain [32]).
+	StaticMeanScan float64
+	AwareMeanScan  float64
+	ScanReduction  float64
+	// Slice reconfiguration comparison.
+	Reactive   slicing.Result
+	Predictive slicing.Result
+}
+
+// EvaluateCPF compares the four control-plane architectures, the
+// context-aware QoS table, and reactive vs predictive reconfiguration.
+func EvaluateCPF(seed uint64) (CPFReport, error) {
+	ce := topo.BuildCentralEurope()
+	var rep CPFReport
+	for _, arch := range oran.Architectures {
+		cp, err := oran.NewControlPlane(ce, arch)
+		if err != nil {
+			return CPFReport{}, err
+		}
+		row := CPFRow{Arch: arch, Latencies: map[oran.Procedure]time.Duration{}}
+		for _, p := range oran.Procedures {
+			row.Latencies[p] = cp.Latency(p)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+
+	// QoS table ablation: a hot UE with four flows deep in a 2000-rule
+	// table, under background lookups.
+	rules := make([]oran.Rule, 2000)
+	for i := range rules {
+		rules[i] = oran.Rule{FlowID: i, UEID: i / 4, Priority: 9}
+	}
+	static := oran.NewRuleTable(rules, false)
+	aware := oran.NewRuleTable(rules, true)
+	rng := des.NewRNG(seed)
+	hot := []int{1900, 1901, 1902, 1903}
+	for round := 0; round < 200; round++ {
+		for _, f := range hot {
+			static.Lookup(f)
+			aware.Lookup(f)
+		}
+		// Sparse background traffic.
+		bg := rng.Intn(2000)
+		static.Lookup(bg)
+		aware.Lookup(bg)
+	}
+	rep.StaticMeanScan = static.MeanScan()
+	rep.AwareMeanScan = aware.MeanScan()
+	if rep.StaticMeanScan > 0 {
+		rep.ScanReduction = rep.StaticMeanScan / rep.AwareMeanScan
+	}
+
+	// Reactive vs predictive slice reconfiguration on a diurnal ramp.
+	trace := make([]float64, 600)
+	for i := range trace {
+		trace[i] = 100 + 2.2*float64(i) + rng.Uniform(-3, 3)
+	}
+	rc := slicing.NewReconfigurer()
+	rep.Reactive = rc.Run(slicing.Reactive, trace)
+	rep.Predictive = rc.Run(slicing.Predictive, trace)
+	return rep, nil
+}

@@ -1,0 +1,153 @@
+package recommend
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/oran"
+)
+
+func TestEvaluatePeering(t *testing.T) {
+	rep, err := EvaluatePeering()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Baseline: the Table I shape — 10 hops, ~2500-2700 km.
+	if rep.BaselineHops != 10 {
+		t.Errorf("baseline hops = %d, want 10", rep.BaselineHops)
+	}
+	if rep.BaselineKm < 2300 || rep.BaselineKm > 2800 {
+		t.Errorf("baseline km = %.0f", rep.BaselineKm)
+	}
+	if got := strings.Join(rep.Cities, ","); got != "Klagenfurt,Vienna,Prague,Bucharest,Vienna,Klagenfurt" {
+		t.Errorf("baseline detour = %s", got)
+	}
+	// Peered: a handful of local hops, ~1-2 ms (Horvath [3]: as low as 1 ms).
+	if rep.PeeredHops > 4 {
+		t.Errorf("peered hops = %d", rep.PeeredHops)
+	}
+	if rep.PeeredRTT > 3*time.Millisecond || rep.PeeredRTT < 500*time.Microsecond {
+		t.Errorf("peered RTT = %v, want ~1-2 ms", rep.PeeredRTT)
+	}
+	if rep.RTTReductionPct < 90 {
+		t.Errorf("RTT reduction = %.1f%%, want > 90%%", rep.RTTReductionPct)
+	}
+	if rep.HopReductionPct < 50 {
+		t.Errorf("hop reduction = %.1f%%", rep.HopReductionPct)
+	}
+}
+
+func TestEvaluateUPF(t *testing.T) {
+	rep, err := EvaluateUPF(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rep.Rows))
+	}
+	central := rep.Rows[0]
+	edge := rep.Rows[1]
+	// The measured deployment exceeds 62 ms; the edge UPF lands in the
+	// 5-6.2 ms band of Barrachina [30] / Goshi [31].
+	if central.MeanRTT < 62*time.Millisecond {
+		t.Errorf("central mean = %v, want > 62 ms", central.MeanRTT)
+	}
+	if edge.MeanRTT < 4*time.Millisecond || edge.MeanRTT > 7*time.Millisecond {
+		t.Errorf("edge mean = %v, want 5-6.2 ms band", edge.MeanRTT)
+	}
+	// "A reduction of up to 90 %".
+	if edge.ReductionPct < 85 {
+		t.Errorf("edge reduction = %.1f%%, want >= 85%%", edge.ReductionPct)
+	}
+	// SmartNIC under load beats the host datapath under the same load.
+	smart := rep.Rows[2]
+	if smart.MeanRTT >= edge.MeanRTT+time.Millisecond {
+		t.Errorf("smartnic row %v should not regress vs edge %v", smart.MeanRTT, edge.MeanRTT)
+	}
+	// Jain's factors.
+	if rep.SmartNICLatencyFactor != 3.75 || rep.SmartNICThroughputFactor != 2.0 {
+		t.Errorf("SmartNIC factors = %.2f / %.2f", rep.SmartNICLatencyFactor, rep.SmartNICThroughputFactor)
+	}
+	// 6G edge is the fastest row of all.
+	sixg := rep.Rows[3]
+	if sixg.MeanRTT >= edge.MeanRTT {
+		t.Errorf("6G row %v should beat 5G edge %v", sixg.MeanRTT, edge.MeanRTT)
+	}
+	if sixg.MeanRTT > 2*time.Millisecond {
+		t.Errorf("6G edge mean = %v, want sub-2 ms", sixg.MeanRTT)
+	}
+}
+
+func TestEvaluateUPFDynamicSelection(t *testing.T) {
+	rep, err := EvaluateUPF(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All 20 sensitive flows fit the edge budget; bulk goes central.
+	if rep.DynamicSensitiveAtEdge != 20 {
+		t.Errorf("sensitive at edge = %d, want 20", rep.DynamicSensitiveAtEdge)
+	}
+	if rep.DynamicBulkAtCentral != 20 {
+		t.Errorf("bulk at central = %d, want 20", rep.DynamicBulkAtCentral)
+	}
+	if rep.DynamicSensitiveMean >= rep.DynamicBulkMean {
+		t.Errorf("sensitive mean %v should beat bulk mean %v",
+			rep.DynamicSensitiveMean, rep.DynamicBulkMean)
+	}
+}
+
+func TestEvaluateCPF(t *testing.T) {
+	rep, err := EvaluateCPF(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rep.Rows))
+	}
+	byArch := map[oran.Architecture]CPFRow{}
+	for _, r := range rep.Rows {
+		byArch[r.Arch] = r
+	}
+	for _, p := range oran.Procedures {
+		trad := byArch[oran.ArchTraditional].Latencies[p]
+		cons := byArch[oran.ArchConsolidated].Latencies[p]
+		if cons >= trad {
+			t.Errorf("%v: consolidated %v not below traditional %v", p, cons, trad)
+		}
+	}
+	// QoS ablation: context awareness must cut the mean scan by >= 5x.
+	if rep.ScanReduction < 5 {
+		t.Errorf("scan reduction = %.1fx, want >= 5x", rep.ScanReduction)
+	}
+	// Predictive reconfiguration beats reactive on a ramp.
+	if rep.Predictive.Violations >= rep.Reactive.Violations {
+		t.Errorf("predictive violations %d not below reactive %d",
+			rep.Predictive.Violations, rep.Reactive.Violations)
+	}
+}
+
+func TestEvaluateDeterminism(t *testing.T) {
+	a, err := EvaluateUPF(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EvaluateUPF(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DynamicSensitiveMean != b.DynamicSensitiveMean || a.Rows[1].MeanRTT != b.Rows[1].MeanRTT {
+		t.Fatal("UPF evaluation not deterministic")
+	}
+	c, err := EvaluateCPF(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := EvaluateCPF(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Reactive.Violations != d.Reactive.Violations {
+		t.Fatal("CPF evaluation not deterministic")
+	}
+}

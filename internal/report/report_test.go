@@ -1,0 +1,93 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("My Title", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("beta-long-name", 22)
+	s := tb.String()
+	if !strings.HasPrefix(s, "My Title\n") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("rendered %d lines: %q", len(lines), s)
+	}
+	// Columns must align: every data line has the same offset for col 2.
+	hdr := lines[1]
+	idx := strings.Index(hdr, "value")
+	if idx < 0 {
+		t.Fatal("missing header")
+	}
+	if !strings.HasPrefix(lines[3][idx:], "1.50") {
+		t.Fatalf("misaligned column: %q", lines[3])
+	}
+	if tb.Rows() != 2 {
+		t.Fatalf("Rows() = %d", tb.Rows())
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRow(3.14159)
+	if !strings.Contains(tb.String(), "3.14") {
+		t.Fatal("floats should render with two decimals")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("x,y", 1)
+	csv := tb.CSV()
+	lines := strings.Split(strings.TrimRight(csv, "\n"), "\n")
+	if lines[0] != "a,b" {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	if lines[1] != "x;y,1" {
+		t.Fatalf("csv row = %q (commas must be sanitized)", lines[1])
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow("x", "extra", "more")
+	s := tb.String()
+	if !strings.Contains(s, "extra") || !strings.Contains(s, "more") {
+		t.Fatal("ragged rows should still render")
+	}
+}
+
+func TestCellGrid(t *testing.T) {
+	g := geo.NewKlagenfurtGrid()
+	cg := NewCellGrid("Fig 2", g)
+	c3, _ := geo.ParseCellID("C3")
+	a1, _ := geo.ParseCellID("A1")
+	cg.Set(c3, 110.0)
+	cg.Set(a1, 0.0)
+	s := cg.String()
+	if !strings.Contains(s, "110.0") {
+		t.Fatal("value missing from grid")
+	}
+	if !strings.Contains(s, "0.0") {
+		t.Fatal("zero cell missing")
+	}
+	if !strings.Contains(s, "--") {
+		t.Fatal("unset cells should render as --")
+	}
+	// 7 rows + header + title.
+	if got := len(strings.Split(strings.TrimRight(s, "\n"), "\n")); got != 9 {
+		t.Fatalf("grid rendered %d lines", got)
+	}
+	if v, ok := cg.Value(c3); !ok || v != 110.0 {
+		t.Fatal("Value accessor wrong")
+	}
+	if _, ok := cg.Value(geo.CellID{Col: 5, Row: 7}); ok {
+		t.Fatal("unset cell should report !ok")
+	}
+}

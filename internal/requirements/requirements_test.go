@@ -1,0 +1,139 @@
+package requirements
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestCatalogWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Catalog {
+		if c.Name == "" || c.MaxRTT <= 0 || c.Source == "" {
+			t.Errorf("malformed class %+v", c)
+		}
+		if seen[c.Name] {
+			t.Errorf("duplicate class %s", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	if len(Catalog) < 5 {
+		t.Fatal("catalogue too small for the Section III analysis")
+	}
+}
+
+func TestPaperAnchors(t *testing.T) {
+	if ARGaming.MaxRTT != 20*time.Millisecond {
+		t.Error("AR budget must be the paper's 20 ms")
+	}
+	if InteractiveVideo.MaxRTT != 16600*time.Microsecond {
+		t.Error("60 FPS frame interval must be 16.6 ms")
+	}
+	if UserPerceivedIoT.MaxRTT != 16*time.Millisecond {
+		t.Error("user-perceived budget must be 16 ms")
+	}
+	if AutonomousVehicles.DailyGB != 4000 {
+		t.Error("AV volume must be 4 TB/day")
+	}
+	if SmartFactory.DailyGB != 5000 {
+		t.Error("factory volume must be 5 TB/day")
+	}
+	if SixG.AirLatency != 100*time.Microsecond {
+		t.Error("6G air latency target must be 100 us")
+	}
+	if SixG.PeakGbps != 1000 {
+		t.Error("6G peak must be 1 Tb/s")
+	}
+	if FiveG.AirLatency != time.Millisecond {
+		t.Error("5G air latency target must be 1 ms")
+	}
+	if GlobalDevices2030 != 125e9 {
+		t.Error("2030 forecast must be 125 billion devices")
+	}
+}
+
+func TestClassByName(t *testing.T) {
+	c, ok := ClassByName("ar-gaming")
+	if !ok || c.Name != "ar-gaming" {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := ClassByName("nope"); ok {
+		t.Fatal("phantom class")
+	}
+}
+
+func TestCheckExcess(t *testing.T) {
+	// The paper's headline: 74 ms measured vs 20 ms budget = 270 % excess.
+	v := Check(ARGaming, 74*time.Millisecond)
+	if v.Satisfied {
+		t.Fatal("74 ms cannot satisfy a 20 ms budget")
+	}
+	if math.Abs(v.ExcessPct-270) > 1e-9 {
+		t.Fatalf("excess = %.1f%%, want 270%%", v.ExcessPct)
+	}
+	ok := Check(ARGaming, 15*time.Millisecond)
+	if !ok.Satisfied || ok.ExcessPct >= 0 {
+		t.Fatal("15 ms should satisfy with negative excess")
+	}
+}
+
+func TestCheckAllAgainstMeasured5G(t *testing.T) {
+	vs := CheckAll(74 * time.Millisecond)
+	if len(vs) != len(Catalog) {
+		t.Fatal("incomplete verdicts")
+	}
+	// The measured 5G latency satisfies nothing in the catalogue — the
+	// paper's central finding.
+	if got := SatisfiedCount(vs); got != 0 {
+		t.Fatalf("classes satisfied at 74 ms = %d, want 0", got)
+	}
+	// Even the most lenient class (smart-city, 50 ms) only clears at a
+	// latency today's deployments do not deliver for mobile nodes.
+	if !Check(SmartCity, 40*time.Millisecond).Satisfied {
+		t.Error("smart-city should clear at 40 ms")
+	}
+}
+
+func TestCheckAllAtSixGLatency(t *testing.T) {
+	// A 6G-class deployment (~1 ms RTT) satisfies the entire catalogue.
+	vs := CheckAll(time.Millisecond)
+	if SatisfiedCount(vs) != len(Catalog) {
+		t.Fatalf("6G-class latency should satisfy everything, got %d/%d",
+			SatisfiedCount(vs), len(Catalog))
+	}
+}
+
+func TestDensitySupport(t *testing.T) {
+	// Smart city (200k devices/km^2) needs 6G-class density.
+	if DensitySupported(FiveG, SmartCity) {
+		t.Error("5G should not host smart-city density")
+	}
+	if !DensitySupported(SixG, SmartCity) {
+		t.Error("6G must host smart-city density")
+	}
+	if !DensitySupported(FiveG, RemoteSurgery) {
+		t.Error("5G hosts low-density classes")
+	}
+}
+
+func TestDailyVolumeSupport(t *testing.T) {
+	// 5G share: 20 Gbps/1000 /8 * 86400 = 216 GB/day -> AV's 4 TB fails.
+	if DailyVolumeSupported(FiveG, AutonomousVehicles) {
+		t.Error("5G cell share cannot drain 4 TB/day")
+	}
+	// 6G share: 1000/1000/8*86400 = 10.8 TB/day -> AV passes.
+	if !DailyVolumeSupported(SixG, AutonomousVehicles) {
+		t.Error("6G cell share must drain 4 TB/day")
+	}
+	if !DailyVolumeSupported(FiveG, UserPerceivedIoT) {
+		t.Error("IoT trickle volume fits any generation")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	v := Check(ARGaming, 74*time.Millisecond)
+	s := v.String()
+	if s == "" || v.MeasuredMs != 74 {
+		t.Fatalf("verdict rendering wrong: %q", s)
+	}
+}

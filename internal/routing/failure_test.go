@@ -1,0 +1,129 @@
+package routing
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/topo"
+)
+
+func failLink(t *testing.T, nw *topo.Network, a, b string) *topo.Link {
+	t.Helper()
+	l := nw.LinkBetween(nw.MustLookup(a), nw.MustLookup(b))
+	if l == nil {
+		t.Fatalf("no link %s <-> %s", a, b)
+	}
+	l.Fail()
+	return l
+}
+
+func TestPragueBucharestCutPartitionsBaseline(t *testing.T) {
+	// Without local peering the Table I detour is the ONLY route; cutting
+	// ZET's Prague-Bucharest long-haul strands the local request.
+	ce := topo.BuildCentralEurope()
+	pr := NewPolicyRouter(ce.Net)
+	if _, err := pr.Route(ce.AggKlu, ce.ProbeUni); err != nil {
+		t.Fatalf("pre-failure route missing: %v", err)
+	}
+	l := failLink(t, ce.Net, "zetservers.peering.cz", "vie-dr2-cr1.zet.net")
+	if _, err := pr.Route(ce.AggKlu, ce.ProbeUni); err == nil {
+		t.Fatal("baseline should be partitioned by the long-haul cut")
+	}
+	// Restoration heals the path.
+	l.Restore()
+	if _, err := pr.Route(ce.AggKlu, ce.ProbeUni); err != nil {
+		t.Fatalf("post-restore route missing: %v", err)
+	}
+}
+
+func TestLocalPeeringSurvivesLongHaulCut(t *testing.T) {
+	// Section V-A side effect: local peering is not just faster, it
+	// decouples local reachability from distant transit health.
+	ce := topo.BuildCentralEurope()
+	ce.EnableLocalPeering()
+	pr := NewPolicyRouter(ce.Net)
+	failLink(t, ce.Net, "zetservers.peering.cz", "vie-dr2-cr1.zet.net")
+	p, err := pr.Route(ce.AggKlu, ce.ProbeUni)
+	if err != nil {
+		t.Fatalf("peered route should survive the cut: %v", err)
+	}
+	if p.RTT() > 3*time.Millisecond {
+		t.Fatalf("surviving route RTT = %v, want the local path", p.RTT())
+	}
+}
+
+func TestBorderLinkFailureSelectsAlternate(t *testing.T) {
+	// Two parallel border links between a pair of ASes: failing the
+	// preferred one must shift traffic to the alternate, not kill it.
+	nw := topo.NewNetwork()
+	asA := nw.AddAS(1, "a")
+	asB := nw.AddAS(2, "b")
+	mk := func(name string) *topo.Node {
+		n := &topo.Node{Name: name, ProcDelay: 100 * time.Microsecond}
+		return n
+	}
+	a1 := mk("a1")
+	a1.AS = asA
+	nw.AddNode(a1)
+	a2 := mk("a2")
+	a2.AS = asA
+	nw.AddNode(a2)
+	b1 := mk("b1")
+	b1.AS = asB
+	nw.AddNode(b1)
+	nw.Connect(a1, a2, 1, topo.RelInternal, 10, 0)
+	short := nw.Connect(a1, b1, 1, topo.RelCustomer, 10, 0) // preferred: cheap
+	nw.Connect(a2, b1, 50, topo.RelCustomer, 10, 0)         // alternate: longer
+
+	pr := NewPolicyRouter(nw)
+	p, err := pr.Route(a1, b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Hops() != 1 {
+		t.Fatalf("pre-failure path should use the direct border link, got %v", p)
+	}
+	short.Fail()
+	p, err = pr.Route(a1, b1)
+	if err != nil {
+		t.Fatalf("alternate border link not used: %v", err)
+	}
+	if p.Hops() != 2 || p.DistKm() != 51 {
+		t.Fatalf("post-failure path wrong: %v (%.0f km)", p, p.DistKm())
+	}
+}
+
+func TestShortestDelaySkipsDownLinks(t *testing.T) {
+	ce := topo.BuildCentralEurope()
+	before, err := ShortestDelay(ce.Net, ce.WiredKlu, ce.ExoscaleVie)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the first link of the shortest path; a path must either reroute
+	// or disappear, but never traverse the failed link.
+	before.Links[0].Fail()
+	after, err := ShortestDelay(ce.Net, ce.WiredKlu, ce.ExoscaleVie)
+	if err == nil {
+		for _, l := range after.Links {
+			if !l.Up() {
+				t.Fatal("rerouted path uses a failed link")
+			}
+		}
+	}
+}
+
+func TestIntraASFailurePartitionsSession(t *testing.T) {
+	// Failing the operator's Klagenfurt-Vienna backhaul severs the
+	// central-UPF session even though all external links are healthy.
+	ce := topo.BuildCentralEurope()
+	pr := NewPolicyRouter(ce.Net)
+	failLink(t, ce.Net, "agg.klu.mobile-at.net", "gw.upf.vie.mobile-at.net")
+	if _, err := pr.Route(ce.AggKlu, ce.UPFVienna); err == nil {
+		t.Fatal("backhaul cut should sever the session")
+	}
+	// The edge UPF next door remains reachable: the Section V-B
+	// deployment is also the resilient one.
+	if _, err := pr.Route(ce.AggKlu, ce.UPFEdgeKlu); err != nil {
+		t.Fatalf("edge UPF should survive: %v", err)
+	}
+}

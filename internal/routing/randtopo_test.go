@@ -1,0 +1,205 @@
+package routing
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/geo"
+	"repro/internal/topo"
+)
+
+// genTieredTopology builds a random three-tier AS hierarchy (tier-1 clique
+// at the top, mid-tier providers, stub ASes at the bottom, random peering
+// among mid-tiers), one router per AS. This is the property-test
+// workhorse for the policy-routing invariants.
+func genTieredTopology(rng *des.RNG, tier1, tier2, stubs int) (*topo.Network, []*topo.Node) {
+	nw := topo.NewNetwork()
+	var nodes []*topo.Node
+	mk := func(asn int, tier string) *topo.Node {
+		as := nw.AddAS(asn, fmt.Sprintf("%s-%d", tier, asn))
+		n := nw.AddNode(&topo.Node{
+			Name: fmt.Sprintf("r%d", asn),
+			AS:   as,
+			Pos: geo.Point{
+				Lat: 45 + rng.Float64()*8,
+				Lon: 8 + rng.Float64()*18,
+			},
+			ProcDelay: time.Duration(100+rng.Intn(300)) * time.Microsecond,
+		})
+		nodes = append(nodes, n)
+		return n
+	}
+	asn := 1
+	var t1s, t2s []*topo.Node
+	for i := 0; i < tier1; i++ {
+		t1s = append(t1s, mk(asn, "t1"))
+		asn++
+	}
+	// Tier-1 full peering mesh.
+	for i := 0; i < len(t1s); i++ {
+		for j := i + 1; j < len(t1s); j++ {
+			nw.Connect(t1s[i], t1s[j], 0, topo.RelPeer, 100, 0.2)
+		}
+	}
+	for i := 0; i < tier2; i++ {
+		n := mk(asn, "t2")
+		asn++
+		// One or two tier-1 providers.
+		p1 := t1s[rng.Intn(len(t1s))]
+		nw.Connect(n, p1, 0, topo.RelCustomer, 100, 0.2)
+		if rng.Bernoulli(0.5) {
+			p2 := t1s[rng.Intn(len(t1s))]
+			if p2 != p1 {
+				nw.Connect(n, p2, 0, topo.RelCustomer, 100, 0.2)
+			}
+		}
+		t2s = append(t2s, n)
+	}
+	// Random peering among mid-tiers.
+	for i := 0; i < len(t2s); i++ {
+		for j := i + 1; j < len(t2s); j++ {
+			if rng.Bernoulli(0.25) {
+				nw.Connect(t2s[i], t2s[j], 0, topo.RelPeer, 100, 0.2)
+			}
+		}
+	}
+	for i := 0; i < stubs; i++ {
+		n := mk(asn, "stub")
+		asn++
+		p := t2s[rng.Intn(len(t2s))]
+		nw.Connect(n, p, 0, topo.RelCustomer, 100, 0.2)
+		if rng.Bernoulli(0.3) {
+			p2 := t2s[rng.Intn(len(t2s))]
+			if p2 != p {
+				nw.Connect(n, p2, 0, topo.RelCustomer, 100, 0.2)
+			}
+		}
+	}
+	return nw, nodes
+}
+
+func TestRandomTopologiesValleyFree(t *testing.T) {
+	rng := des.NewRNG(1234)
+	for trial := 0; trial < 25; trial++ {
+		nw, nodes := genTieredTopology(rng, 2+rng.Intn(2), 3+rng.Intn(4), 4+rng.Intn(6))
+		pr := NewPolicyRouter(nw)
+		for _, src := range nodes {
+			for _, dst := range nodes {
+				if src == dst {
+					continue
+				}
+				asPath, err := pr.ASPath(src.AS, dst.AS)
+				if err != nil {
+					// A stub behind a single-homed chain can legally be
+					// unreachable only if the graph is disconnected,
+					// which this generator never produces.
+					t.Fatalf("trial %d: no route %v -> %v: %v", trial, src.AS, dst.AS, err)
+				}
+				if !ValleyFree(nw, pr, asPath) {
+					t.Fatalf("trial %d: valley in %v", trial, asPath)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomTopologiesRouterPathsConsistent(t *testing.T) {
+	rng := des.NewRNG(99)
+	for trial := 0; trial < 15; trial++ {
+		nw, nodes := genTieredTopology(rng, 2, 4, 6)
+		pr := NewPolicyRouter(nw)
+		for _, src := range nodes {
+			for _, dst := range nodes {
+				if src == dst {
+					continue
+				}
+				p, err := pr.Route(src, dst)
+				if err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+				if !p.Valid() {
+					t.Fatalf("trial %d: structurally invalid path %v", trial, p)
+				}
+				if p.Nodes[0] != src || p.Nodes[len(p.Nodes)-1] != dst {
+					t.Fatalf("trial %d: endpoints wrong", trial)
+				}
+				// Dijkstra never does worse.
+				sp, err := ShortestDelay(nw, src, dst)
+				if err != nil {
+					t.Fatalf("trial %d: dijkstra: %v", trial, err)
+				}
+				if sp.OneWayDelay() > p.OneWayDelay() {
+					t.Fatalf("trial %d: dijkstra %v worse than policy %v",
+						trial, sp.OneWayDelay(), p.OneWayDelay())
+				}
+			}
+		}
+	}
+}
+
+func TestRandomTopologiesNoDuplicateNodesOnPath(t *testing.T) {
+	rng := des.NewRNG(7)
+	for trial := 0; trial < 15; trial++ {
+		nw, nodes := genTieredTopology(rng, 3, 5, 8)
+		pr := NewPolicyRouter(nw)
+		for _, src := range nodes {
+			for _, dst := range nodes {
+				if src == dst {
+					continue
+				}
+				p, err := pr.Route(src, dst)
+				if err != nil {
+					continue
+				}
+				seen := map[int]bool{}
+				for _, n := range p.Nodes {
+					if seen[n.ID] {
+						t.Fatalf("trial %d: loop through %s on %v", trial, n.Name, p)
+					}
+					seen[n.ID] = true
+				}
+			}
+		}
+	}
+}
+
+func TestRandomFailuresNeverRouteOverDownLinks(t *testing.T) {
+	rng := des.NewRNG(55)
+	for trial := 0; trial < 10; trial++ {
+		nw, nodes := genTieredTopology(rng, 2, 4, 6)
+		// Fail a random 20% of links.
+		for _, l := range nw.Links() {
+			if rng.Bernoulli(0.2) {
+				l.Fail()
+			}
+		}
+		pr := NewPolicyRouter(nw)
+		for _, src := range nodes {
+			for _, dst := range nodes {
+				if src == dst {
+					continue
+				}
+				p, err := pr.Route(src, dst)
+				if err != nil {
+					continue // partition is acceptable under failures
+				}
+				for _, l := range p.Links {
+					if !l.Up() {
+						t.Fatalf("trial %d: policy path over failed link", trial)
+					}
+				}
+				sp, err := ShortestDelay(nw, src, dst)
+				if err != nil {
+					t.Fatalf("trial %d: policy found a path but dijkstra did not", trial)
+				}
+				for _, l := range sp.Links {
+					if !l.Up() {
+						t.Fatalf("trial %d: dijkstra path over failed link", trial)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package slicing
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/corenet"
+	"repro/internal/ran"
+)
+
+// Standard 3GPP-style slice templates used by the end-to-end validation.
+var (
+	// URLLC: ultra-reliable low latency (edge robotics, the paper's AR
+	// use case sits just above this tier).
+	URLLC = Slice{Name: "urllc", LatencyBudget: 10 * time.Millisecond, MinGbps: 0.1, Share: 0.2}
+	// EMBB: enhanced mobile broadband (interactive video).
+	EMBB = Slice{Name: "embb", LatencyBudget: 50 * time.Millisecond, MinGbps: 1.0, Share: 0.5}
+	// MMTC: massive machine-type communication (sensor swarms).
+	MMTC = Slice{Name: "mmtc", LatencyBudget: time.Second, MinGbps: 0.05, Share: 0.3}
+)
+
+// StandardSlices lists the templates in admission order.
+var StandardSlices = []Slice{URLLC, EMBB, MMTC}
+
+// BudgetReport is the outcome of validating one slice on one deployment.
+type BudgetReport struct {
+	Slice    Slice
+	MeanRTT  time.Duration
+	TailRTT  time.Duration // mean + 3 sigma: the budget must hold here
+	Within   bool
+	MarginMs float64 // budget minus tail (negative = violated)
+}
+
+func (b BudgetReport) String() string {
+	state := "OK"
+	if !b.Within {
+		state = "VIOLATED"
+	}
+	return fmt.Sprintf("slice %-6s budget %6.1f ms: tail %7.2f ms, margin %+7.2f ms [%s]",
+		b.Slice.Name,
+		float64(b.Slice.LatencyBudget)/float64(time.Millisecond),
+		float64(b.TailRTT)/float64(time.Millisecond),
+		b.MarginMs, state)
+}
+
+// ValidateBudget composes a slice's end-to-end latency from its radio
+// profile, radio conditions and session path, then checks the three-sigma
+// tail against the slice's budget. This is the "end-to-end network
+// slicing" composition of Section V-C: a slice's guarantee is only as
+// good as the worst layer under it.
+func ValidateBudget(up *corenet.UserPlane, sl Slice, prof *ran.Profile,
+	cond ran.Conditions, sp corenet.SessionPath, offeredMpps float64) (BudgetReport, error) {
+	if err := sl.Validate(); err != nil {
+		return BudgetReport{}, err
+	}
+	mean := up.MeanRTT(prof, cond, sp, offeredMpps)
+	tail := mean + 3*prof.StdRTT(cond)
+	margin := float64(sl.LatencyBudget-tail) / float64(time.Millisecond)
+	return BudgetReport{
+		Slice:    sl,
+		MeanRTT:  mean,
+		TailRTT:  tail,
+		Within:   tail <= sl.LatencyBudget,
+		MarginMs: margin,
+	}, nil
+}
+
+// ValidateAll checks every standard slice against a deployment.
+func ValidateAll(up *corenet.UserPlane, prof *ran.Profile, cond ran.Conditions,
+	sp corenet.SessionPath, offeredMpps float64) ([]BudgetReport, error) {
+	out := make([]BudgetReport, 0, len(StandardSlices))
+	for _, sl := range StandardSlices {
+		r, err := ValidateBudget(up, sl, prof, cond, sp, offeredMpps)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,162 @@
+package slicing
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/corenet"
+	"repro/internal/ran"
+	"repro/internal/topo"
+)
+
+func sessions(t *testing.T) (*corenet.UserPlane, corenet.SessionPath, corenet.SessionPath) {
+	t.Helper()
+	up := corenet.NewUserPlane(topo.BuildCentralEurope())
+	central, err := up.Establish(up.Central, up.CE.ProbeUni)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge, err := up.Establish(up.Edge, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return up, central, edge
+}
+
+func TestURLLCNeedsEdgeUPF(t *testing.T) {
+	up, central, edge := sessions(t)
+	busy := ran.Conditions{Load: 0.6, SiteKm: 1}
+	slice := ran.Conditions{Load: 0.3, SiteKm: 0.5}
+
+	onCentral, err := ValidateBudget(up, URLLC, ran.Profile5G, busy, central, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onCentral.Within {
+		t.Fatalf("URLLC cannot hold over the central UPF: %v", onCentral)
+	}
+	onEdge, err := ValidateBudget(up, URLLC, ran.Profile5GURLLC, slice, edge, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !onEdge.Within {
+		t.Fatalf("URLLC should hold on the edge deployment: %v", onEdge)
+	}
+	if onEdge.MarginMs <= 0 {
+		t.Fatal("positive margin expected on the edge")
+	}
+}
+
+func TestEMBBNeedsPeeringEvenAtLightLoad(t *testing.T) {
+	// Even a lightly loaded cell cannot hold eMBB's 50 ms tail budget
+	// over the central deployment: the ~33 ms transit detour plus the
+	// public-5G radio floor eat it. With local peering the wired part
+	// collapses and the same radio conditions pass.
+	up, central, _ := sessions(t)
+	light := ran.Conditions{Load: 0.1, SiteKm: 0.3}
+	heavy := ran.Conditions{Load: 0.95, SiteKm: 1.5}
+	lr, err := ValidateBudget(up, EMBB, ran.Profile5G, light, central, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.Within {
+		t.Fatalf("eMBB over the detour should violate even lightly loaded: %v", lr)
+	}
+	hr, err := ValidateBudget(up, EMBB, ran.Profile5G, heavy, central, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr.Within {
+		t.Fatalf("eMBB at city-centre load should violate: %v", hr)
+	}
+
+	ceP := topo.BuildCentralEurope()
+	ceP.EnableLocalPeering()
+	upP := corenet.NewUserPlane(ceP)
+	peered, err := upP.Establish(upP.Central, ceP.ProbeUni)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := ValidateBudget(upP, EMBB, ran.Profile5G, light, peered, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Within {
+		t.Fatalf("eMBB should hold with local peering at light load: %v", pr)
+	}
+}
+
+func TestMMTCAlwaysHolds(t *testing.T) {
+	up, central, edge := sessions(t)
+	for _, tc := range []struct {
+		cond ran.Conditions
+		sp   corenet.SessionPath
+	}{
+		{ran.Conditions{Load: 0.95, SiteKm: 2.2}, central},
+		{ran.Conditions{Load: 0.3, SiteKm: 0.5}, edge},
+	} {
+		r, err := ValidateBudget(up, MMTC, ran.Profile5G, tc.cond, tc.sp, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Within {
+			t.Fatalf("mMTC's 1 s budget should always hold: %v", r)
+		}
+	}
+}
+
+func TestValidateAllOrderingAndRendering(t *testing.T) {
+	up, central, _ := sessions(t)
+	rs, err := ValidateAll(up, ran.Profile5G, ran.Conditions{Load: 0.6, SiteKm: 1}, central, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("reports = %d", len(rs))
+	}
+	if rs[0].Slice.Name != "urllc" || rs[2].Slice.Name != "mmtc" {
+		t.Fatal("order wrong")
+	}
+	if !strings.Contains(rs[0].String(), "VIOLATED") {
+		t.Fatalf("urllc over central should render VIOLATED: %s", rs[0])
+	}
+	if !strings.Contains(rs[2].String(), "OK") {
+		t.Fatalf("mmtc should render OK: %s", rs[2])
+	}
+}
+
+func TestValidateBudgetRejectsBadSlice(t *testing.T) {
+	up, central, _ := sessions(t)
+	bad := Slice{Name: "", LatencyBudget: time.Millisecond, Share: 0.1}
+	if _, err := ValidateBudget(up, bad, ran.Profile5G, ran.Conditions{}, central, 0.3); err == nil {
+		t.Fatal("invalid slice should be rejected")
+	}
+}
+
+func TestStandardSlicesAdmissible(t *testing.T) {
+	var a Admission
+	for _, s := range StandardSlices {
+		ok, err := a.Admit(s)
+		if err != nil || !ok {
+			t.Fatalf("standard slice %s not admissible: %v", s.Name, err)
+		}
+	}
+	if a.RemainingShare() < 0 {
+		t.Fatal("standard set oversubscribes")
+	}
+	if _, err := ValidateBudget(nil, Slice{}, nil, ran.Conditions{}, corenet.SessionPath{}, 0); err == nil {
+		t.Fatal("zero slice should fail validation")
+	}
+}
+
+func TestTailAboveMean(t *testing.T) {
+	up, central, _ := sessions(t)
+	r, err := ValidateBudget(up, EMBB, ran.Profile5G, ran.Conditions{Load: 0.5, SiteKm: 1.2}, central, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TailRTT <= r.MeanRTT {
+		t.Fatal("three-sigma tail must exceed the mean")
+	}
+}

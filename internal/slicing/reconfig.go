@@ -1,0 +1,107 @@
+package slicing
+
+import "fmt"
+
+// Reconfigurer compares the reactive and predictive slice-reconfiguration
+// regimes of Section V-C. A slice's offered load evolves as a time
+// series; capacity must be re-provisioned when load approaches the
+// currently reserved level. The reactive controller (the state of the art
+// the paper criticizes) acts only after observing a violation; the
+// predictive controller forecasts one step ahead with a linear trend and
+// re-provisions before the violation lands.
+type Reconfigurer struct {
+	// Headroom is the capacity margin provisioned above the (observed or
+	// predicted) load on each reconfiguration.
+	Headroom float64
+	// ReconfigCost is the number of steps a reconfiguration takes to
+	// apply; demand growth during the window can still violate.
+	ReconfigCost int
+}
+
+// NewReconfigurer returns the default controller model (20 % headroom,
+// one-step reconfiguration delay).
+func NewReconfigurer() *Reconfigurer {
+	return &Reconfigurer{Headroom: 0.20, ReconfigCost: 1}
+}
+
+// Mode selects the control behaviour.
+type Mode int
+
+const (
+	// Reactive reconfigures after a violation is observed.
+	Reactive Mode = iota
+	// Predictive reconfigures when the one-step forecast would violate.
+	Predictive
+)
+
+func (m Mode) String() string {
+	if m == Reactive {
+		return "reactive"
+	}
+	return "predictive"
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	Mode       Mode
+	Violations int // steps where load exceeded provisioned capacity
+	Reconfigs  int // number of reconfigurations issued
+	FinalCap   float64
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s: %d violations, %d reconfigs", r.Mode, r.Violations, r.Reconfigs)
+}
+
+// Run replays a load trace under the given mode. The slice starts with
+// capacity equal to the first sample plus headroom.
+func (rc *Reconfigurer) Run(mode Mode, load []float64) Result {
+	if len(load) == 0 {
+		return Result{Mode: mode}
+	}
+	capVal := load[0] * (1 + rc.Headroom)
+	res := Result{Mode: mode}
+	pendingCap := -1.0 // capacity being applied, lands after ReconfigCost steps
+	pendingIn := 0
+
+	for t, l := range load {
+		if pendingCap >= 0 {
+			pendingIn--
+			if pendingIn <= 0 {
+				capVal = pendingCap
+				pendingCap = -1
+			}
+		}
+		violated := l > capVal
+		if violated {
+			res.Violations++
+		}
+		switch mode {
+		case Reactive:
+			if violated && pendingCap < 0 {
+				res.Reconfigs++
+				pendingCap = l * (1 + rc.Headroom)
+				pendingIn = rc.ReconfigCost
+			}
+		case Predictive:
+			forecast := l
+			if t > 0 {
+				forecast = l + (l - load[t-1]) // linear trend, one step ahead
+			}
+			if forecast > capVal && pendingCap < 0 {
+				res.Reconfigs++
+				target := forecast * (1 + rc.Headroom)
+				if target < l*(1+rc.Headroom) {
+					target = l * (1 + rc.Headroom)
+				}
+				pendingCap = target
+				pendingIn = rc.ReconfigCost
+			}
+		}
+	}
+	res.FinalCap = capVal
+	if pendingCap >= 0 {
+		res.FinalCap = pendingCap
+	}
+	return res
+}

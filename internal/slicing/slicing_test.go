@@ -1,0 +1,244 @@
+package slicing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/des"
+)
+
+func TestSliceValidate(t *testing.T) {
+	good := Slice{Name: "urllc", LatencyBudget: time.Millisecond, Share: 0.2}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Slice{
+		{LatencyBudget: time.Millisecond, Share: 0.2},
+		{Name: "x", Share: 0.2},
+		{Name: "x", LatencyBudget: time.Millisecond, Share: 0},
+		{Name: "x", LatencyBudget: time.Millisecond, Share: 1.5},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad slice %d validated", i)
+		}
+	}
+}
+
+func TestAdmissionCapacity(t *testing.T) {
+	var a Admission
+	ok, err := a.Admit(Slice{Name: "embb", LatencyBudget: 20 * time.Millisecond, Share: 0.6})
+	if !ok || err != nil {
+		t.Fatal("first admit failed")
+	}
+	ok, err = a.Admit(Slice{Name: "urllc", LatencyBudget: time.Millisecond, Share: 0.3})
+	if !ok || err != nil {
+		t.Fatal("second admit failed")
+	}
+	ok, err = a.Admit(Slice{Name: "miot", LatencyBudget: 100 * time.Millisecond, Share: 0.2})
+	if ok || err != nil {
+		t.Fatal("oversubscription should be rejected without error")
+	}
+	if len(a.Admitted()) != 2 {
+		t.Fatal("admitted count wrong")
+	}
+	if math.Abs(a.RemainingShare()-0.1) > 1e-12 {
+		t.Fatalf("remaining = %v", a.RemainingShare())
+	}
+}
+
+func gridSites() []Site {
+	// 5x5 grid with a hot centre.
+	var sites []Site
+	for x := 0; x < 5; x++ {
+		for y := 0; y < 5; y++ {
+			d := 1.0
+			if x == 2 && y == 2 {
+				d = 10
+			}
+			sites = append(sites, Site{
+				Name: string(rune('a'+x)) + string(rune('0'+y)),
+				X:    float64(x), Y: float64(y), Demand: d,
+			})
+		}
+	}
+	return sites
+}
+
+func TestPlaceValidation(t *testing.T) {
+	sites := gridSites()
+	if _, err := Place(sites, 0, StrategyLatency); err == nil {
+		t.Fatal("k=0 should fail")
+	}
+	if _, err := Place(sites, len(sites)+1, StrategyLatency); err == nil {
+		t.Fatal("k>n should fail")
+	}
+}
+
+func TestLatencyStrategyBeatsResilienceOnDistance(t *testing.T) {
+	sites := gridSites()
+	lat, err := Place(sites, 3, StrategyLatency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Place(sites, 3, StrategyResilience)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat.MeanDistance(sites) > res.MeanDistance(sites) {
+		t.Fatalf("latency placement distance %.2f worse than resilience %.2f",
+			lat.MeanDistance(sites), res.MeanDistance(sites))
+	}
+}
+
+func TestResilienceStrategyMaximizesSeparation(t *testing.T) {
+	sites := gridSites()
+	lat, _ := Place(sites, 3, StrategyLatency)
+	res, _ := Place(sites, 3, StrategyResilience)
+	if res.MinSeparation(sites) < lat.MinSeparation(sites) {
+		t.Fatalf("resilience separation %.2f below latency placement %.2f",
+			res.MinSeparation(sites), lat.MinSeparation(sites))
+	}
+	// Greedy farthest-point starting from the hot centre of a 5x5 grid
+	// yields {centre, two opposite corners}: separation 2*sqrt(2).
+	if res.MinSeparation(sites) < 2.5 {
+		t.Fatalf("resilient placement separation %.2f too small", res.MinSeparation(sites))
+	}
+}
+
+func TestLoadBalanceStrategyReducesMaxLoad(t *testing.T) {
+	sites := gridSites()
+	lat, _ := Place(sites, 3, StrategyLatency)
+	lb, _ := Place(sites, 3, StrategyLoadBalance)
+	if lb.MaxLoad(sites) > lat.MaxLoad(sites) {
+		t.Fatalf("load-balance max load %.1f worse than latency %.1f",
+			lb.MaxLoad(sites), lat.MaxLoad(sites))
+	}
+}
+
+func TestPlacementAssignmentsComplete(t *testing.T) {
+	sites := gridSites()
+	for _, s := range []Strategy{StrategyLatency, StrategyResilience, StrategyLoadBalance} {
+		p, err := Place(sites, 4, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p.Hypervisors) != 4 {
+			t.Fatalf("%v: chose %d hypervisors", s, len(p.Hypervisors))
+		}
+		if len(p.Assign) != len(sites) {
+			t.Fatalf("%v: incomplete assignment", s)
+		}
+		for i, h := range p.Assign {
+			if !contains(p.Hypervisors, h) {
+				t.Fatalf("%v: site %d assigned to non-hypervisor %d", s, i, h)
+			}
+		}
+	}
+}
+
+func TestPlacementSingleSite(t *testing.T) {
+	sites := []Site{{Name: "only", Demand: 1}}
+	p, err := Place(sites, 1, StrategyResilience)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MinSeparation(sites) != 0 || p.MeanDistance(sites) != 0 {
+		t.Fatal("degenerate placement metrics wrong")
+	}
+}
+
+func TestPlaceDeterminism(t *testing.T) {
+	sites := gridSites()
+	f := func(_ uint8) bool {
+		a, _ := Place(sites, 3, StrategyLatency)
+		b, _ := Place(sites, 3, StrategyLatency)
+		if len(a.Hypervisors) != len(b.Hypervisors) {
+			return false
+		}
+		for i := range a.Hypervisors {
+			if a.Hypervisors[i] != b.Hypervisors[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Reconfiguration ------------------------------------------------------
+
+func rampTrace(n int, rng *des.RNG) []float64 {
+	// A steadily growing load with noise: the regime where prediction wins.
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 100 + 3*float64(i) + rng.Uniform(-2, 2)
+	}
+	return out
+}
+
+func TestPredictiveBeatsReactiveOnRamp(t *testing.T) {
+	rc := NewReconfigurer()
+	trace := rampTrace(300, des.NewRNG(3))
+	re := rc.Run(Reactive, trace)
+	pr := rc.Run(Predictive, trace)
+	if pr.Violations >= re.Violations {
+		t.Fatalf("predictive violations %d not below reactive %d",
+			pr.Violations, re.Violations)
+	}
+	if re.Violations == 0 {
+		t.Fatal("reactive should violate on a ramp")
+	}
+}
+
+func TestReconfigEmptyTrace(t *testing.T) {
+	rc := NewReconfigurer()
+	r := rc.Run(Reactive, nil)
+	if r.Violations != 0 || r.Reconfigs != 0 {
+		t.Fatal("empty trace should be a no-op")
+	}
+}
+
+func TestReconfigFlatTraceNoAction(t *testing.T) {
+	rc := NewReconfigurer()
+	flat := make([]float64, 100)
+	for i := range flat {
+		flat[i] = 50
+	}
+	for _, m := range []Mode{Reactive, Predictive} {
+		r := rc.Run(m, flat)
+		if r.Violations != 0 {
+			t.Fatalf("%v: violations on flat trace", m)
+		}
+		if r.Reconfigs != 0 {
+			t.Fatalf("%v: reconfigs on flat trace", m)
+		}
+	}
+}
+
+func TestReconfigCountsBounded(t *testing.T) {
+	rc := NewReconfigurer()
+	trace := rampTrace(300, des.NewRNG(5))
+	for _, m := range []Mode{Reactive, Predictive} {
+		r := rc.Run(m, trace)
+		if r.Reconfigs > len(trace) {
+			t.Fatalf("%v: more reconfigs than steps", m)
+		}
+		if r.FinalCap <= 0 {
+			t.Fatalf("%v: non-positive final capacity", m)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Reactive.String() != "reactive" || Predictive.String() != "predictive" {
+		t.Fatal("mode names wrong")
+	}
+	if StrategyLatency.String() != "latency" || Strategy(9).String() == "" {
+		t.Fatal("strategy names wrong")
+	}
+}

@@ -1,0 +1,294 @@
+// Package stats provides the statistical machinery used by the
+// measurement campaign and the experiment harness: streaming summaries
+// (Welford), quantiles, histograms, empirical CDFs, and small helpers for
+// calibration-band checks.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary accumulates count, mean, variance (Welford), min and max in a
+// single pass. The zero value is an empty summary ready for use.
+type Summary struct {
+	n          int
+	mean, m2   float64
+	min, max   float64
+	hasExtrema bool
+}
+
+// Add folds one observation into the summary.
+func (s *Summary) Add(x float64) {
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+	if !s.hasExtrema || x < s.min {
+		s.min = x
+	}
+	if !s.hasExtrema || x > s.max {
+		s.max = x
+	}
+	s.hasExtrema = true
+}
+
+// AddDuration folds a duration observation, in milliseconds.
+func (s *Summary) AddDuration(d time.Duration) {
+	s.Add(float64(d) / float64(time.Millisecond))
+}
+
+// Merge folds another summary into s (parallel Welford combination).
+func (s *Summary) Merge(o Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	n1, n2 := float64(s.n), float64(o.n)
+	delta := o.mean - s.mean
+	total := n1 + n2
+	s.m2 += o.m2 + delta*delta*n1*n2/total
+	s.mean += delta * n2 / total
+	s.n += o.n
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the arithmetic mean, or NaN when empty.
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.mean
+}
+
+// Var returns the unbiased sample variance, or NaN for n < 2.
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return math.NaN()
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the unbiased sample standard deviation, or NaN for n < 2.
+func (s *Summary) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the minimum observation, or NaN when empty.
+func (s *Summary) Min() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.min
+}
+
+// Max returns the maximum observation, or NaN when empty.
+func (s *Summary) Max() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.max
+}
+
+// String renders a compact human-readable summary.
+func (s *Summary) String() string {
+	if s.n == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%.2f std=%.2f min=%.2f max=%.2f",
+		s.n, s.Mean(), s.Std(), s.Min(), s.Max())
+}
+
+// Sample is an in-memory collection of observations supporting quantiles
+// and CDF evaluation on top of the streaming Summary.
+type Sample struct {
+	Summary
+	xs     []float64
+	sorted bool
+}
+
+// NewSample returns an empty sample with the given capacity hint.
+func NewSample(capacity int) *Sample {
+	return &Sample{xs: make([]float64, 0, capacity)}
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.Summary.Add(x)
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// AddDuration records a duration observation in milliseconds.
+func (s *Sample) AddDuration(d time.Duration) {
+	s.Add(float64(d) / float64(time.Millisecond))
+}
+
+// Values returns the observations in insertion order. The slice is the
+// sample's backing store when the sample has never been sorted; callers
+// must not mutate it.
+func (s *Sample) Values() []float64 { return s.xs }
+
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) by linear interpolation
+// between order statistics. It returns NaN for an empty sample.
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return s.Min()
+	}
+	if q >= 1 {
+		return s.Max()
+	}
+	s.ensureSorted()
+	pos := q * float64(len(s.xs)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := pos - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// Median returns the 0.5 quantile.
+func (s *Sample) Median() float64 { return s.Quantile(0.5) }
+
+// CDF returns the empirical probability P(X <= x).
+func (s *Sample) CDF(x float64) float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	s.ensureSorted()
+	idx := sort.SearchFloat64s(s.xs, x)
+	// Advance over ties so we count values equal to x as <= x.
+	for idx < len(s.xs) && s.xs[idx] <= x {
+		idx++
+	}
+	return float64(idx) / float64(len(s.xs))
+}
+
+// FractionBelow returns P(X < x) strictly.
+func (s *Sample) FractionBelow(x float64) float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	s.ensureSorted()
+	idx := sort.SearchFloat64s(s.xs, x)
+	return float64(idx) / float64(len(s.xs))
+}
+
+// Histogram bins the sample into n equal-width bins over [min, max] and
+// returns the bin edges (n+1 values) and counts (n values).
+func (s *Sample) Histogram(n int) (edges []float64, counts []int) {
+	if n <= 0 || len(s.xs) == 0 {
+		return nil, nil
+	}
+	lo, hi := s.Min(), s.Max()
+	if hi == lo {
+		hi = lo + 1
+	}
+	width := (hi - lo) / float64(n)
+	edges = make([]float64, n+1)
+	for i := range edges {
+		edges[i] = lo + float64(i)*width
+	}
+	counts = make([]int, n)
+	for _, x := range s.xs {
+		b := int((x - lo) / width)
+		if b >= n {
+			b = n - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		counts[b]++
+	}
+	return edges, counts
+}
+
+// CI95 returns the 95 % confidence interval of the mean as (lo, hi),
+// using the normal approximation with a small-sample t correction.
+// For n < 2 it returns (mean, mean).
+func (s *Summary) CI95() (lo, hi float64) {
+	m := s.Mean()
+	if s.n < 2 {
+		return m, m
+	}
+	// Two-sided 97.5 % t quantiles for small n, converging to 1.96.
+	t := 1.96
+	if s.n-1 < len(tTable) {
+		t = tTable[s.n-1]
+	}
+	half := t * s.Std() / math.Sqrt(float64(s.n))
+	return m - half, m + half
+}
+
+// tTable[i] is the 97.5 % two-sided Student-t quantile for i degrees of
+// freedom (index 0 unused).
+var tTable = []float64{
+	0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+	2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+	2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,
+}
+
+// Band is an inclusive numeric interval used to express calibration
+// targets ("the paper reports a value in [lo, hi]").
+type Band struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether x lies within the band.
+func (b Band) Contains(x float64) bool { return x >= b.Lo && x <= b.Hi }
+
+// String renders the band as "[lo, hi]".
+func (b Band) String() string { return fmt.Sprintf("[%g, %g]", b.Lo, b.Hi) }
+
+// MeanOf returns the mean of a float slice, or NaN when empty.
+func MeanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Ratio returns a/b, guarding against division by zero with NaN.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return math.NaN()
+	}
+	return a / b
+}
+
+// ExcessPercent returns how far measured exceeds required, in percent:
+// (measured - required) / required * 100. This is the paper's "exceeds
+// the requirements by approximately 270%" metric.
+func ExcessPercent(measured, required float64) float64 {
+	if required == 0 {
+		return math.NaN()
+	}
+	return (measured - required) / required * 100
+}

@@ -1,0 +1,336 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || !math.IsNaN(s.Mean()) || !math.IsNaN(s.Min()) {
+		t.Fatal("empty summary should be NaN/0")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("n = %d", s.N())
+	}
+	if got := s.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("mean = %v", got)
+	}
+	// Population std of this classic set is 2; sample std = sqrt(32/7).
+	if got := s.Std(); math.Abs(got-math.Sqrt(32.0/7.0)) > 1e-12 {
+		t.Fatalf("std = %v", got)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("extrema = %v, %v", s.Min(), s.Max())
+	}
+}
+
+func TestSummarySingleObservation(t *testing.T) {
+	var s Summary
+	s.Add(3.5)
+	if s.Mean() != 3.5 || s.Min() != 3.5 || s.Max() != 3.5 {
+		t.Fatal("single observation summary wrong")
+	}
+	if !math.IsNaN(s.Std()) {
+		t.Fatal("std of single observation should be NaN")
+	}
+}
+
+func TestSummaryAddDuration(t *testing.T) {
+	var s Summary
+	s.AddDuration(65 * time.Millisecond)
+	s.AddDuration(75 * time.Millisecond)
+	if got := s.Mean(); got != 70 {
+		t.Fatalf("duration mean = %v ms, want 70", got)
+	}
+}
+
+func TestSummaryMergeMatchesSequential(t *testing.T) {
+	f := func(as, bs []float64) bool {
+		clean := func(xs []float64) []float64 {
+			out := make([]float64, 0, len(xs))
+			for _, x := range xs {
+				if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+					out = append(out, x)
+				}
+			}
+			return out
+		}
+		as, bs = clean(as), clean(bs)
+		var merged, seq, sa, sb Summary
+		for _, x := range as {
+			sa.Add(x)
+			seq.Add(x)
+		}
+		for _, x := range bs {
+			sb.Add(x)
+			seq.Add(x)
+		}
+		merged = sa
+		merged.Merge(sb)
+		if merged.N() != seq.N() {
+			return false
+		}
+		if merged.N() == 0 {
+			return true
+		}
+		if math.Abs(merged.Mean()-seq.Mean()) > 1e-6*(1+math.Abs(seq.Mean())) {
+			return false
+		}
+		if merged.N() >= 2 && math.Abs(merged.Var()-seq.Var()) > 1e-5*(1+seq.Var()) {
+			return false
+		}
+		return merged.Min() == seq.Min() && merged.Max() == seq.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryMergeEmpty(t *testing.T) {
+	var a, b Summary
+	a.Add(1)
+	a.Merge(b) // merging empty is a no-op
+	if a.N() != 1 {
+		t.Fatal("merge with empty changed summary")
+	}
+	b.Merge(a) // merging into empty copies
+	if b.N() != 1 || b.Mean() != 1 {
+		t.Fatal("merge into empty wrong")
+	}
+}
+
+func TestSampleQuantiles(t *testing.T) {
+	s := NewSample(0)
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Median(); math.Abs(got-50.5) > 1e-9 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := s.Quantile(1); got != 100 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := s.Quantile(0.95); math.Abs(got-95.05) > 1e-9 {
+		t.Fatalf("p95 = %v", got)
+	}
+}
+
+func TestSampleQuantileMonotone(t *testing.T) {
+	s := NewSample(0)
+	for _, x := range []float64{9, 1, 7, 3, 3, 8, 2, 5} {
+		s.Add(x)
+	}
+	f := func(q1, q2 float64) bool {
+		a := math.Mod(math.Abs(q1), 1)
+		b := math.Mod(math.Abs(q2), 1)
+		if a > b {
+			a, b = b, a
+		}
+		return s.Quantile(a) <= s.Quantile(b)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleCDF(t *testing.T) {
+	s := NewSample(0)
+	for _, x := range []float64{1, 2, 2, 3, 10} {
+		s.Add(x)
+	}
+	if got := s.CDF(2); got != 0.6 {
+		t.Fatalf("CDF(2) = %v, want 0.6", got)
+	}
+	if got := s.FractionBelow(2); got != 0.2 {
+		t.Fatalf("P(X<2) = %v, want 0.2", got)
+	}
+	if got := s.CDF(0); got != 0 {
+		t.Fatalf("CDF(0) = %v", got)
+	}
+	if got := s.CDF(10); got != 1 {
+		t.Fatalf("CDF(10) = %v", got)
+	}
+}
+
+func TestSampleInterleavedAddAndQuantile(t *testing.T) {
+	// Sorting for a quantile must not corrupt subsequent additions.
+	s := NewSample(0)
+	s.Add(5)
+	s.Add(1)
+	_ = s.Median()
+	s.Add(3)
+	if got := s.Median(); got != 3 {
+		t.Fatalf("median after interleaved add = %v", got)
+	}
+	if s.N() != 3 {
+		t.Fatalf("n = %d", s.N())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	s := NewSample(0)
+	for i := 0; i < 10; i++ {
+		s.Add(float64(i))
+	}
+	edges, counts := s.Histogram(3)
+	if len(edges) != 4 || len(counts) != 3 {
+		t.Fatalf("histogram shape: %v %v", edges, counts)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 10 {
+		t.Fatalf("histogram loses mass: %v", counts)
+	}
+	if edges[0] != 0 || edges[3] != 9 {
+		t.Fatalf("edges = %v", edges)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	s := NewSample(0)
+	s.Add(5)
+	s.Add(5)
+	_, counts := s.Histogram(4)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 2 {
+		t.Fatal("constant sample histogram loses mass")
+	}
+	if e, c := s.Histogram(0); e != nil || c != nil {
+		t.Fatal("zero-bin histogram should be nil")
+	}
+}
+
+func TestCI95Coverage(t *testing.T) {
+	// Empirical coverage check: ~95 % of sample means of a known
+	// distribution must fall inside their own CI.
+	covered, trials := 0, 400
+	seed := uint64(1)
+	next := func() float64 {
+		// Tiny xorshift-free LCG for test-local noise.
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return float64(seed>>11) / float64(1<<53)
+	}
+	for trial := 0; trial < trials; trial++ {
+		var s Summary
+		for i := 0; i < 25; i++ {
+			// Irwin-Hall(3) has mean 1.5, nearly normal.
+			s.Add(next() + next() + next())
+		}
+		lo, hi := s.CI95()
+		if lo <= 1.5 && 1.5 <= hi {
+			covered++
+		}
+	}
+	frac := float64(covered) / float64(trials)
+	if frac < 0.90 || frac > 0.99 {
+		t.Fatalf("CI95 coverage = %.3f, want ~0.95", frac)
+	}
+}
+
+func TestCI95Degenerate(t *testing.T) {
+	var s Summary
+	s.Add(3)
+	lo, hi := s.CI95()
+	if lo != 3 || hi != 3 {
+		t.Fatalf("single-sample CI = [%v, %v]", lo, hi)
+	}
+	// Small n uses the wider t quantile.
+	var s2 Summary
+	s2.Add(1)
+	s2.Add(2)
+	lo2, hi2 := s2.CI95()
+	if hi2-lo2 < 2 { // t(1) = 12.706: the interval must be wide
+		t.Fatalf("n=2 CI too narrow: [%v, %v]", lo2, hi2)
+	}
+}
+
+func TestBand(t *testing.T) {
+	b := Band{Lo: 61, Hi: 110}
+	if !b.Contains(61) || !b.Contains(110) || !b.Contains(80) {
+		t.Fatal("band should contain endpoints and interior")
+	}
+	if b.Contains(60.9) || b.Contains(110.1) {
+		t.Fatal("band contains outside values")
+	}
+}
+
+func TestExcessPercent(t *testing.T) {
+	// The paper: measured ~74 ms vs 20 ms requirement -> ~270 % excess.
+	if got := ExcessPercent(74, 20); math.Abs(got-270) > 1e-9 {
+		t.Fatalf("ExcessPercent(74,20) = %v, want 270", got)
+	}
+	if got := ExcessPercent(20, 20); got != 0 {
+		t.Fatalf("no excess should be 0, got %v", got)
+	}
+	if !math.IsNaN(ExcessPercent(1, 0)) {
+		t.Fatal("zero requirement should be NaN")
+	}
+}
+
+func TestRatioAndMeanOf(t *testing.T) {
+	if Ratio(14, 2) != 7 {
+		t.Fatal("ratio wrong")
+	}
+	if !math.IsNaN(Ratio(1, 0)) {
+		t.Fatal("ratio by zero should be NaN")
+	}
+	if MeanOf([]float64{1, 2, 3}) != 2 {
+		t.Fatal("MeanOf wrong")
+	}
+	if !math.IsNaN(MeanOf(nil)) {
+		t.Fatal("MeanOf(nil) should be NaN")
+	}
+}
+
+func TestSummaryMeanWithinExtrema(t *testing.T) {
+	f := func(xs []float64) bool {
+		var s Summary
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				continue
+			}
+			s.Add(x)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		spread := s.Max() - s.Min()
+		return s.Mean() >= s.Min()-1e-9*(1+spread) && s.Mean() <= s.Max()+1e-9*(1+spread)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVarianceNonNegative(t *testing.T) {
+	f := func(xs []float64) bool {
+		var s Summary
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				continue
+			}
+			s.Add(x)
+		}
+		if s.N() < 2 {
+			return true
+		}
+		return s.Var() >= -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

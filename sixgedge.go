@@ -1,0 +1,92 @@
+// Package sixgedge is the public facade of the 6G-edge analytical
+// framework: a deterministic simulation study reproducing "6G
+// Infrastructures for Edge AI: An Analytical Perspective" (IPPS 2025).
+//
+// The facade wraps the internal packages behind a small, stable surface:
+//
+//   - RunCampaign executes the Klagenfurt 5G measurement campaign
+//     (Figures 1-3 of the paper) over a simulated central-European
+//     topology and returns per-cell latency statistics;
+//   - Experiments lists one driver per table/figure/claim of the paper;
+//     RunExperiment regenerates a single artefact;
+//   - EvaluatePeering / EvaluateUPF / EvaluateCPF score the paper's three
+//     Section V recommendations;
+//   - PlayARGame simulates the Section IV-A augmented-reality use case on
+//     a chosen deployment.
+//
+// Everything is seeded and exactly reproducible: the same seed yields the
+// same bytes of output.
+package sixgedge
+
+import (
+	"fmt"
+
+	"repro/internal/argame"
+	"repro/internal/campaign"
+	"repro/internal/experiments"
+	"repro/internal/recommend"
+)
+
+// CampaignConfig parameterizes the measurement campaign. The zero value
+// plus a seed reproduces the paper's setup: three mobile nodes, eight
+// sector probes, public 5G, central UPF.
+type CampaignConfig = campaign.Config
+
+// CampaignResult holds per-cell statistics and campaign aggregates.
+type CampaignResult = campaign.Result
+
+// RunCampaign executes the Section IV measurement campaign.
+func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+	return campaign.Run(cfg)
+}
+
+// Artifact is a reproduced paper artefact (table or figure) with its
+// paper-vs-measured comparison rows.
+type Artifact = experiments.Artifact
+
+// Experiment is a registered artefact driver.
+type Experiment = experiments.Entry
+
+// Experiments returns all registered paper artefacts in registration
+// order (figures first, then analysis and recommendations).
+func Experiments() []Experiment { return experiments.All() }
+
+// RunExperiment regenerates one artefact by id (e.g. "fig2", "table1").
+func RunExperiment(id string, seed uint64) (Artifact, error) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		return Artifact{}, fmt.Errorf("sixgedge: unknown experiment %q (have %v)",
+			id, experiments.IDs())
+	}
+	return e.Run(seed)
+}
+
+// PeeringReport scores the Section V-A local-peering recommendation.
+type PeeringReport = recommend.PeeringReport
+
+// EvaluatePeering compares the transit detour with a locally peered path.
+func EvaluatePeering() (PeeringReport, error) { return recommend.EvaluatePeering() }
+
+// UPFReport scores the Section V-B UPF-integration recommendation.
+type UPFReport = recommend.UPFReport
+
+// EvaluateUPF compares central, edge, SmartNIC-edge and 6G UPF anchoring.
+func EvaluateUPF(seed uint64) (UPFReport, error) { return recommend.EvaluateUPF(seed) }
+
+// CPFReport scores the Section V-C control-plane recommendation.
+type CPFReport = recommend.CPFReport
+
+// EvaluateCPF compares the four control-plane architectures.
+func EvaluateCPF(seed uint64) (CPFReport, error) { return recommend.EvaluateCPF(seed) }
+
+// GameConfig parameterizes an AR game session (Section IV-A use case).
+type GameConfig = argame.Config
+
+// GameReport summarizes a session's frame QoE.
+type GameReport = argame.Report
+
+// GameDeployments lists the infrastructure ladders a session can run on.
+var GameDeployments = argame.Deployments
+
+// PlayARGame simulates one AR dodgeball session.
+func PlayARGame(cfg GameConfig) (GameReport, error) { return argame.Run(cfg) }

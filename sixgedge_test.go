@@ -1,0 +1,74 @@
+package sixgedge
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunCampaignFacade(t *testing.T) {
+	res, err := RunCampaign(CampaignConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MinMean.MeanMs <= 0 || res.MaxMean.MeanMs <= res.MinMean.MeanMs {
+		t.Fatal("campaign extremes inconsistent")
+	}
+}
+
+func TestRunExperimentFacade(t *testing.T) {
+	art, err := RunExperiment("fig2", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.ID != "fig2" || art.Text == "" {
+		t.Fatal("artifact malformed")
+	}
+	if _, err := RunExperiment("bogus", 42); err == nil ||
+		!strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatal("unknown id should error with the available list")
+	}
+}
+
+func TestExperimentsListed(t *testing.T) {
+	if len(Experiments()) < 13 {
+		t.Fatalf("only %d experiments registered", len(Experiments()))
+	}
+}
+
+func TestRecommendationFacades(t *testing.T) {
+	p, err := EvaluatePeering()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.BaselineHops != 10 {
+		t.Fatalf("baseline hops = %d", p.BaselineHops)
+	}
+	u, err := EvaluateUPF(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Rows) != 4 {
+		t.Fatal("UPF rows missing")
+	}
+	c, err := EvaluateCPF(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Rows) != 4 {
+		t.Fatal("CPF rows missing")
+	}
+}
+
+func TestPlayARGameFacade(t *testing.T) {
+	rep, err := PlayARGame(GameConfig{Seed: 1, Duration: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Frames == 0 {
+		t.Fatal("no frames")
+	}
+	if len(GameDeployments) != 4 {
+		t.Fatal("deployment ladder incomplete")
+	}
+}
