@@ -7,6 +7,7 @@ package sixgedge
 //
 //	go test -bench=. -benchmem
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -21,6 +22,7 @@ import (
 	"repro/internal/recommend"
 	"repro/internal/routing"
 	"repro/internal/slicing"
+	"repro/internal/sweep"
 	"repro/internal/topo"
 )
 
@@ -304,6 +306,61 @@ func BenchmarkHypervisorPlacement(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkSweep runs a 64-scenario grid (16 seeds x local peering x
+// UPF placement) serially and on a 4-worker pool, uncached so every
+// scenario simulates. The ratio of the two tracks the parallel speedup
+// across PRs; results are identical at both worker counts.
+func BenchmarkSweep(b *testing.B) {
+	seeds := make([]uint64, 16)
+	for i := range seeds {
+		seeds[i] = uint64(i) + 1
+	}
+	grid := sweep.Grid{
+		Seeds:        seeds,
+		LocalPeering: []bool{false, true},
+		EdgeUPF:      []bool{false, true},
+	}
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			var res *sweep.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = sweep.Run(grid, sweep.Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(res.Scenarios)), "scenarios")
+			b.ReportMetric(float64(len(res.Variants)), "variants")
+		})
+	}
+}
+
+// BenchmarkSweepCached measures a fully warm sweep: the second pass over
+// a grid whose scenarios are all in the content-hash cache.
+func BenchmarkSweepCached(b *testing.B) {
+	grid := sweep.Grid{
+		Seeds:        []uint64{1, 2, 3, 4},
+		LocalPeering: []bool{false, true},
+		EdgeUPF:      []bool{false, true},
+	}
+	cache := sweep.NewCache()
+	if _, err := sweep.Run(grid, sweep.Options{Workers: 4, Cache: cache}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sweep.Run(grid, sweep.Options{Workers: 4, Cache: cache})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.CacheHits != len(res.Scenarios) {
+			b.Fatal("warm sweep missed the cache")
+		}
 	}
 }
 

@@ -1,0 +1,175 @@
+// Command sweep explores the scenario space: it expands a grid of
+// campaign axes, runs every scenario on a worker pool, prints the
+// per-variant aggregate table plus recommendation deltas, and exports
+// one JSONL record per scenario. Output is deterministic at any worker
+// count.
+//
+// Usage:
+//
+//	sweep                                   # the paper's baseline, one seed
+//	sweep -seeds 1,2,3 -edge-upf both       # 3 replications x UPF placement
+//	sweep -reps 4 -base-seed 42 -peering both -edge-upf both -workers 8
+//	sweep -profiles 5G-public,6G-target -out grid.jsonl
+//	sweep -cells "B2,E2;A3,C4" -nodes 3,5   # probe-set and fleet axes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	sixgedge "repro"
+	"repro/internal/ran"
+	"repro/internal/sweep"
+)
+
+func main() {
+	var (
+		seeds    = flag.String("seeds", "", "comma-separated explicit seeds (overrides -reps/-base-seed)")
+		reps     = flag.Int("reps", 1, "replications derived from -base-seed when -seeds is empty")
+		baseSeed = flag.Uint64("base-seed", 42, "root seed for derived replications")
+		profiles = flag.String("profiles", "", "comma-separated profile names (default 5G-public); known: "+profileNames())
+		peering  = flag.String("peering", "off", "local-peering axis: off, on or both")
+		edgeUPF  = flag.String("edge-upf", "off", "edge-UPF axis: off, on or both")
+		nodes    = flag.String("nodes", "", "comma-separated mobile-node counts (default 3)")
+		cells    = flag.String("cells", "", "semicolon-separated target-cell sets, cells comma-separated")
+		workers  = flag.Int("workers", 0, "concurrent scenarios (0 = GOMAXPROCS)")
+		out      = flag.String("out", "", "JSONL output file (\"-\" for stdout, empty to skip)")
+		deltas   = flag.Bool("deltas", false, "print per-cell recommendation deltas")
+	)
+	flag.Parse()
+
+	grid, err := buildGrid(*seeds, *reps, *baseSeed, *profiles, *peering, *edgeUPF, *nodes, *cells)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := sixgedge.RunSweep(grid, sixgedge.SweepOptions{Workers: *workers, Cache: sweep.Shared})
+	if err != nil {
+		fatal(err)
+	}
+
+	// With -out -, stdout carries the JSONL stream; the human-readable
+	// report moves to stderr so the stream stays machine-parseable.
+	report := os.Stdout
+	if *out == "-" {
+		report = os.Stderr
+	}
+	fmt.Fprintf(report, "sweep: %d scenarios, %d variants, %d cache hits / %d misses\n\n",
+		len(res.Scenarios), len(res.Variants), res.CacheHits, res.CacheMisses)
+	fmt.Fprintf(report, "%-16s %-14s %-7s %-5s %5s %5s %9s %9s %7s\n",
+		"variant", "profile", "peering", "edge", "nodes", "reps", "mobile-ms", "wired-ms", "factor")
+	for _, v := range res.Variants {
+		fmt.Fprintf(report, "%-16s %-14s %-7t %-5t %5d %5d %9.2f %9.2f %7.2f\n",
+			v.ID, v.Config.Profile.Name, v.Config.LocalPeering, v.Config.EdgeUPF,
+			v.Config.MobileNodes, len(v.Seeds), v.Mobile.Mean(), v.Wired.Mean(), v.Factor)
+	}
+
+	if ds := res.Deltas(); len(ds) > 0 {
+		fmt.Fprintf(report, "\n%-14s %-16s %-16s %12s %8s\n",
+			"axis", "base", "alt", "reduction-ms", "pct")
+		for _, d := range ds {
+			fmt.Fprintf(report, "%-14s %-16s %-16s %12.2f %7.1f%%\n",
+				d.Axis, d.Base, d.Alt, d.MeanReductionMs, d.MeanReductionPct)
+			if *deltas {
+				for _, c := range d.Cells {
+					fmt.Fprintf(report, "    %-4s %8.2f -> %8.2f  (%+.2f ms, %+.1f%%)\n",
+						c.Cell, c.BaseMeanMs, c.AltMeanMs, -c.ReductionMs, -c.ReductionPct)
+				}
+			}
+		}
+	}
+
+	if *out != "" {
+		w := os.Stdout
+		if *out != "-" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := res.WriteJSONL(w); err != nil {
+			fatal(err)
+		}
+		if *out != "-" {
+			fmt.Printf("\nwrote %d JSONL records to %s\n", len(res.Scenarios), *out)
+		}
+	}
+}
+
+func buildGrid(seeds string, reps int, baseSeed uint64, profiles, peering, edgeUPF,
+	nodes, cells string) (sweep.Grid, error) {
+	g := sweep.Grid{BaseSeed: baseSeed, Replications: reps}
+	if seeds != "" {
+		for _, s := range strings.Split(seeds, ",") {
+			v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+			if err != nil {
+				return g, fmt.Errorf("bad seed %q: %v", s, err)
+			}
+			g.Seeds = append(g.Seeds, v)
+		}
+	}
+	if profiles != "" {
+		for _, name := range strings.Split(profiles, ",") {
+			p, ok := ran.ProfileByName(strings.TrimSpace(name))
+			if !ok {
+				return g, fmt.Errorf("unknown profile %q (known: %s)", name, profileNames())
+			}
+			g.Profiles = append(g.Profiles, p)
+		}
+	}
+	var err error
+	if g.LocalPeering, err = boolAxis("peering", peering); err != nil {
+		return g, err
+	}
+	if g.EdgeUPF, err = boolAxis("edge-upf", edgeUPF); err != nil {
+		return g, err
+	}
+	if nodes != "" {
+		for _, s := range strings.Split(nodes, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return g, fmt.Errorf("bad node count %q: %v", s, err)
+			}
+			g.MobileNodes = append(g.MobileNodes, v)
+		}
+	}
+	if cells != "" {
+		for _, set := range strings.Split(cells, ";") {
+			var cs []string
+			for _, c := range strings.Split(set, ",") {
+				cs = append(cs, strings.TrimSpace(c))
+			}
+			g.TargetCellSets = append(g.TargetCellSets, cs)
+		}
+	}
+	return g, nil
+}
+
+func boolAxis(name, v string) ([]bool, error) {
+	switch v {
+	case "off":
+		return nil, nil
+	case "on":
+		return []bool{true}, nil
+	case "both":
+		return []bool{false, true}, nil
+	}
+	return nil, fmt.Errorf("-%s must be off, on or both (got %q)", name, v)
+}
+
+func profileNames() string {
+	names := make([]string, len(ran.Profiles))
+	for i, p := range ran.Profiles {
+		names[i] = p.Name
+	}
+	return strings.Join(names, ",")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

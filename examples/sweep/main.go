@@ -1,0 +1,58 @@
+// Sweep walkthrough: explore the paper's deployment space in one shot
+// instead of one campaign at a time. A 2-replication grid over the
+// Section V recommendation axes (local peering x edge UPF) runs on a
+// worker pool, aggregates per variant, scores the recommendations with
+// cross-scenario deltas, and exports JSONL — then re-runs to show the
+// content-hash cache skipping every completed scenario.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	sixgedge "repro"
+	"repro/internal/sweep"
+)
+
+func main() {
+	grid := sixgedge.SweepGrid{
+		BaseSeed:     42,
+		Replications: 2,
+		LocalPeering: []bool{false, true},
+		EdgeUPF:      []bool{false, true},
+	}
+	cache := sweep.NewCache()
+
+	res, err := sixgedge.RunSweep(grid, sixgedge.SweepOptions{Workers: 4, Cache: cache})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("sweep of %d scenarios (%d variants x %d replications)\n\n",
+		len(res.Scenarios), len(res.Variants), grid.Replications)
+	for _, v := range res.Variants {
+		fmt.Printf("  peering=%-5t edge-upf=%-5t  mobile %6.2f ms  factor %.2f\n",
+			v.Config.LocalPeering, v.Config.EdgeUPF, v.Mobile.Mean(), v.Factor)
+	}
+
+	fmt.Println("\nrecommendation deltas (positive = latency saved):")
+	for _, d := range res.Deltas() {
+		fmt.Printf("  %-13s %s -> %s: %+.2f ms (%+.1f%%)\n",
+			d.Axis, d.Base, d.Alt, d.MeanReductionMs, d.MeanReductionPct)
+	}
+
+	out, err := res.ExportJSONL()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nJSONL export: %d records, %d bytes\n",
+		bytes.Count(out, []byte("\n")), len(out))
+
+	// Same grid again: every scenario is served from the cache.
+	again, err := sixgedge.RunSweep(grid, sixgedge.SweepOptions{Workers: 4, Cache: cache})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("re-run: %d cache hits, %d misses\n", again.CacheHits, again.CacheMisses)
+}

@@ -43,6 +43,11 @@ type Config struct {
 	WiredRounds int
 }
 
+// Canonical returns the config with all defaults applied: the normal form
+// used for content-addressed scenario identity (internal/sweep), so that
+// a zero-value field and its explicit default hash identically.
+func (c Config) Canonical() Config { return c.withDefaults() }
+
 func (c Config) withDefaults() Config {
 	if c.MobileNodes == 0 {
 		c.MobileNodes = 3

@@ -37,6 +37,15 @@ func NewRNG(seed uint64) *RNG {
 // hashes the name (FNV-1a) into the parent seed, so identical names give
 // identical streams and distinct names give independent ones.
 func (r *RNG) Stream(name string) *RNG {
+	return NewRNG(DeriveSeed(r.seed, name))
+}
+
+// DeriveSeed returns the seed of the named sub-stream of base: the pure
+// seed counterpart of RNG.Stream, with NewRNG(DeriveSeed(base, name))
+// equivalent to NewRNG(base).Stream(name). Orchestration layers use it to
+// hand independent deterministic seeds to concurrent workers without
+// sharing RNG state across goroutines.
+func DeriveSeed(base uint64, name string) uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
@@ -46,7 +55,7 @@ func (r *RNG) Stream(name string) *RNG {
 		h ^= uint64(name[i])
 		h *= prime64
 	}
-	return NewRNG(r.seed ^ bits.RotateLeft64(h, 17) ^ 0xd1b54a32d192ed03)
+	return base ^ bits.RotateLeft64(h, 17) ^ 0xd1b54a32d192ed03
 }
 
 // Uint64 returns the next 64 random bits.

@@ -9,9 +9,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 
 	"repro/internal/campaign"
+	"repro/internal/sweep"
 )
 
 // Artifact is one reproduced table or figure.
@@ -92,24 +92,11 @@ func IDs() []string {
 
 // --- campaign cache --------------------------------------------------------
 
-var (
-	campMu    sync.Mutex
-	campCache = map[uint64]*campaign.Result{}
-)
-
-// campaignFor runs (or reuses) the default campaign for a seed. The
-// campaign is deterministic, so caching is purely an optimization for
-// drivers and benchmarks that share a seed.
+// campaignFor runs (or reuses) the default campaign for a seed through
+// the process-wide sweep cache. The key is the full scenario content
+// hash — not the bare seed — so drivers never conflate differing
+// configs, and sweeps that already ran a scenario hand the drivers a
+// free hit (and vice versa).
 func campaignFor(seed uint64) (*campaign.Result, error) {
-	campMu.Lock()
-	defer campMu.Unlock()
-	if res, ok := campCache[seed]; ok {
-		return res, nil
-	}
-	res, err := campaign.Run(campaign.Config{Seed: seed})
-	if err != nil {
-		return nil, err
-	}
-	campCache[seed] = res
-	return res, nil
+	return sweep.Shared.GetOrRun(campaign.Config{Seed: seed})
 }

@@ -111,6 +111,21 @@ var Profile6G = &Profile{
 	HOHi:             3 * time.Millisecond,
 }
 
+// Profiles lists the built-in radio profiles in ladder order: public 5G,
+// the dedicated URLLC slice, and the 6G target.
+var Profiles = []*Profile{Profile5G, Profile5GURLLC, Profile6G}
+
+// ProfileByName resolves a built-in profile by its Name (e.g. as parsed
+// from a sweep CLI axis).
+func ProfileByName(name string) (*Profile, bool) {
+	for _, p := range Profiles {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
 func (p *Profile) String() string { return p.Name }
 
 func (p *Profile) validate(c Conditions) Conditions {

@@ -101,6 +101,38 @@ func (s *Summary) Max() float64 {
 	return s.max
 }
 
+// Snapshot is an exported, encoding-friendly view of a Summary. Moments
+// that are undefined for the sample size (mean of an empty summary, std
+// for n < 2) are rendered as 0 so the snapshot always serializes to valid
+// JSON (NaN has no JSON encoding).
+type Snapshot struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// Snapshot returns the summary's exported view.
+func (s *Summary) Snapshot() Snapshot {
+	return Snapshot{
+		N:    s.n,
+		Mean: FiniteOr0(s.Mean()),
+		Std:  FiniteOr0(s.Std()),
+		Min:  FiniteOr0(s.Min()),
+		Max:  FiniteOr0(s.Max()),
+	}
+}
+
+// FiniteOr0 maps NaN and infinities to 0, the convention the paper's
+// figures use for undefined cells.
+func FiniteOr0(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return x
+}
+
 // String renders a compact human-readable summary.
 func (s *Summary) String() string {
 	if s.n == 0 {

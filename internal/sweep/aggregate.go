@@ -1,0 +1,184 @@
+package sweep
+
+import (
+	"repro/internal/campaign"
+	"repro/internal/geo"
+	"repro/internal/stats"
+)
+
+// CellAggregate is one cell of a variant's merged Figure 2 / Figure 3
+// grid: replication samples combined with the parallel Welford merge.
+// Unreported cells (fewer than campaign.MinMeasurements merged samples)
+// carry zero moments, matching the paper's figure convention.
+type CellAggregate struct {
+	Cell     string  `json:"cell"`
+	N        int     `json:"n"`
+	MeanMs   float64 `json:"mean_ms"`
+	StdMs    float64 `json:"std_ms"`
+	Reported bool    `json:"reported"`
+}
+
+// Variant aggregates all replications (seeds) of one deployment point.
+type Variant struct {
+	// ID is the seed-independent variant hash.
+	ID string
+	// Config is a representative config (the first replication's, with
+	// defaults applied).
+	Config campaign.Config
+	// Seeds lists the replication seeds in grid order.
+	Seeds []uint64
+	// Mobile merges the raw samples of every cell that is Reported
+	// under the merged threshold (the same rule Cells uses, so the
+	// headline mean and the per-cell grid always agree on which cells
+	// count); Wired merges the probe-to-probe baselines.
+	Mobile, Wired stats.Summary
+	// Factor is the paper's headline mobile-vs-wired ratio over the
+	// merged summaries.
+	Factor float64
+	// Cells is the merged per-cell grid in traversal order.
+	Cells []CellAggregate
+}
+
+// aggregate groups runs by variant hash, preserving first-appearance
+// order, and merges replication statistics. runs must be in grid order,
+// which makes the output independent of worker scheduling.
+func aggregate(runs []ScenarioRun) []Variant {
+	order := make([]string, 0, len(runs))
+	byID := make(map[string][]ScenarioRun)
+	for _, r := range runs {
+		if _, ok := byID[r.Variant]; !ok {
+			order = append(order, r.Variant)
+		}
+		byID[r.Variant] = append(byID[r.Variant], r)
+	}
+
+	out := make([]Variant, 0, len(order))
+	for _, id := range order {
+		group := byID[id]
+		v := Variant{ID: id, Config: group[0].Config.Canonical()}
+		cellSum := make(map[geo.CellID]*stats.Summary)
+		for _, r := range group {
+			v.Seeds = append(v.Seeds, r.Config.Canonical().Seed)
+			v.Wired.Merge(r.Result.Wired)
+			for c, s := range r.Result.Samples {
+				sum, ok := cellSum[c]
+				if !ok {
+					sum = &stats.Summary{}
+					cellSum[c] = sum
+				}
+				sum.Merge(s.Summary)
+			}
+		}
+		// All replications traverse the same density-derived cells, so
+		// the first result's report order is the variant's cell order.
+		// Reporting uses the merged sample count: pooling replications
+		// can lift a cell over the threshold that no single campaign
+		// reached, and Mobile merges exactly the reported cells so the
+		// headline mean and the grid never disagree.
+		for _, rep := range group[0].Result.Reports {
+			sum := cellSum[rep.Cell]
+			agg := CellAggregate{Cell: rep.Cell.String(), N: sum.N()}
+			if sum.N() >= campaign.MinMeasurements {
+				agg.Reported = true
+				agg.MeanMs = sum.Mean()
+				agg.StdMs = stats.FiniteOr0(sum.Std())
+				v.Mobile.Merge(*sum)
+			}
+			v.Cells = append(v.Cells, agg)
+		}
+		v.Factor = stats.FiniteOr0(stats.Ratio(v.Mobile.Mean(), v.Wired.Mean()))
+		out = append(out, v)
+	}
+	return out
+}
+
+// CellDelta compares one cell between a baseline and an alternative
+// variant.
+type CellDelta struct {
+	Cell         string  `json:"cell"`
+	BaseMeanMs   float64 `json:"base_mean_ms"`
+	AltMeanMs    float64 `json:"alt_mean_ms"`
+	ReductionMs  float64 `json:"reduction_ms"`
+	ReductionPct float64 `json:"reduction_pct"`
+}
+
+// VariantDelta scores one recommendation axis (edge UPF anchoring or
+// local peering) by pairing a variant that enables it against the
+// otherwise-identical variant that does not.
+type VariantDelta struct {
+	// Axis is "edge_upf" or "local_peering".
+	Axis string `json:"axis"`
+	// Base and Alt are the paired variant IDs (flag off / flag on).
+	Base string `json:"base"`
+	Alt  string `json:"alt"`
+	// MeanReductionMs / Pct compare the merged mobile means.
+	MeanReductionMs  float64 `json:"mean_reduction_ms"`
+	MeanReductionPct float64 `json:"mean_reduction_pct"`
+	// Cells compares cells reported in both variants.
+	Cells []CellDelta `json:"cells"`
+}
+
+// Deltas computes cross-scenario comparisons: for every variant with
+// EdgeUPF (resp. LocalPeering) enabled whose flag-off twin is also in
+// the sweep, the per-cell and overall latency reduction. Order follows
+// the alt variant's grid order, edge-UPF axis first.
+func (r *Result) Deltas() []VariantDelta {
+	byID := make(map[string]*Variant, len(r.Variants))
+	for i := range r.Variants {
+		byID[r.Variants[i].ID] = &r.Variants[i]
+	}
+	var out []VariantDelta
+	for _, axis := range []string{"edge_upf", "local_peering"} {
+		for i := range r.Variants {
+			alt := &r.Variants[i]
+			baseCfg := alt.Config
+			switch axis {
+			case "edge_upf":
+				if !baseCfg.EdgeUPF {
+					continue
+				}
+				baseCfg.EdgeUPF = false
+			case "local_peering":
+				if !baseCfg.LocalPeering {
+					continue
+				}
+				baseCfg.LocalPeering = false
+			}
+			base, ok := byID[VariantID(baseCfg)]
+			if !ok {
+				continue
+			}
+			d := VariantDelta{
+				Axis:            axis,
+				Base:            base.ID,
+				Alt:             alt.ID,
+				MeanReductionMs: stats.FiniteOr0(base.Mobile.Mean() - alt.Mobile.Mean()),
+			}
+			if m := base.Mobile.Mean(); m != 0 {
+				d.MeanReductionPct = stats.FiniteOr0(d.MeanReductionMs / m * 100)
+			}
+			altCells := make(map[string]CellAggregate, len(alt.Cells))
+			for _, c := range alt.Cells {
+				altCells[c.Cell] = c
+			}
+			for _, bc := range base.Cells {
+				ac, ok := altCells[bc.Cell]
+				if !ok || !bc.Reported || !ac.Reported {
+					continue
+				}
+				cd := CellDelta{
+					Cell:        bc.Cell,
+					BaseMeanMs:  bc.MeanMs,
+					AltMeanMs:   ac.MeanMs,
+					ReductionMs: bc.MeanMs - ac.MeanMs,
+				}
+				if bc.MeanMs != 0 {
+					cd.ReductionPct = cd.ReductionMs / bc.MeanMs * 100
+				}
+				d.Cells = append(d.Cells, cd)
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+package sweep
+
+import (
+	"sync"
+
+	"repro/internal/campaign"
+)
+
+// Cache memoizes completed campaign results by scenario content hash.
+// Campaigns are deterministic, so a hit is indistinguishable from a
+// re-run; caching only removes wall-clock. The zero value is not usable;
+// construct with NewCache.
+type Cache struct {
+	mu sync.RWMutex
+	m  map[string]*campaign.Result
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache { return &Cache{m: make(map[string]*campaign.Result)} }
+
+// Shared is the process-wide cache: sweeps and the experiment drivers
+// both consult it, so an artefact regenerated after a sweep (or vice
+// versa) reuses the completed scenario instead of re-simulating it.
+var Shared = NewCache()
+
+// Get returns the cached result for a scenario ID.
+func (c *Cache) Get(id string) (*campaign.Result, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	res, ok := c.m[id]
+	return res, ok
+}
+
+// Put stores a completed result under its scenario ID.
+func (c *Cache) Put(id string, res *campaign.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[id] = res
+}
+
+// Len returns the number of cached scenarios.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// GetOrRun returns the cached result for cfg's scenario hash, running
+// the campaign on a miss. Concurrent misses on the same key may both
+// run; determinism makes the duplicate work harmless and the stored
+// results identical.
+func (c *Cache) GetOrRun(cfg campaign.Config) (*campaign.Result, error) {
+	id := ScenarioID(cfg)
+	if res, ok := c.Get(id); ok {
+		return res, nil
+	}
+	res, err := campaign.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.Put(id, res)
+	return res, nil
+}

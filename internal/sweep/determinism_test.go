@@ -1,0 +1,68 @@
+package sweep
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestSweepDeterministicAcrossWorkerCounts is the subsystem's core
+// contract: the same grid produces identical aggregates and identical
+// JSONL bytes whether scenarios run serially or race across a pool.
+// CI runs this under -race, which also exercises the executor for data
+// races between workers and the shared cache.
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	grid := Grid{
+		BaseSeed:     2025,
+		Replications: 2,
+		EdgeUPF:      []bool{false, true},
+		LocalPeering: []bool{false, true},
+	}
+
+	type snapshot struct {
+		workers  int
+		jsonl    []byte
+		variants []Variant
+		hits     int
+	}
+	var snaps []snapshot
+	for _, workers := range []int{1, 4, 8} {
+		// A fresh cache per run so every worker count actually executes
+		// (and mutates the cache concurrently, for the race detector).
+		res, err := Run(grid, Options{Workers: workers, Cache: NewCache()})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		out, err := res.ExportJSONL()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		snaps = append(snaps, snapshot{workers, out, res.Variants, res.CacheHits})
+	}
+
+	ref := snaps[0]
+	if len(ref.jsonl) == 0 {
+		t.Fatal("serial run produced no JSONL")
+	}
+	for _, s := range snaps[1:] {
+		if !bytes.Equal(ref.jsonl, s.jsonl) {
+			t.Errorf("JSONL bytes differ between workers=%d and workers=%d",
+				ref.workers, s.workers)
+		}
+		if !reflect.DeepEqual(ref.variants, s.variants) {
+			t.Errorf("aggregated variants differ between workers=%d and workers=%d",
+				ref.workers, s.workers)
+		}
+		if s.hits != 0 {
+			t.Errorf("workers=%d: fresh cache reported %d hits", s.workers, s.hits)
+		}
+	}
+
+	// Deltas derive from the aggregates, so they must agree too.
+	base := (&Result{Variants: snaps[0].variants}).Deltas()
+	for _, s := range snaps[1:] {
+		if !reflect.DeepEqual(base, (&Result{Variants: s.variants}).Deltas()) {
+			t.Errorf("deltas differ at workers=%d", s.workers)
+		}
+	}
+}

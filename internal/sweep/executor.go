@@ -1,0 +1,126 @@
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/campaign"
+)
+
+// Options controls sweep execution.
+type Options struct {
+	// Workers bounds the number of scenarios simulated concurrently.
+	// Zero or negative means GOMAXPROCS.
+	Workers int
+	// Cache, when non-nil, is consulted before running a scenario and
+	// updated after. Pass Shared to cooperate with the experiment
+	// drivers, a fresh NewCache for an isolated sweep, or nil to force
+	// every scenario to run.
+	Cache *Cache
+}
+
+// ScenarioRun is one executed scenario.
+type ScenarioRun struct {
+	Scenario
+	// Cached reports that the result was served from the cache.
+	Cached bool
+	Result *campaign.Result
+}
+
+// Result is a completed sweep.
+type Result struct {
+	Grid Grid
+	// Scenarios holds every run in grid order, independent of worker
+	// scheduling.
+	Scenarios []ScenarioRun
+	// Variants aggregates replications per deployment, ordered by first
+	// appearance in the grid.
+	Variants []Variant
+	// CacheHits and CacheMisses account for this run only.
+	CacheHits, CacheMisses int
+}
+
+// Run expands the grid and executes every scenario on a bounded worker
+// pool. Each scenario owns an isolated simulator seeded from its config,
+// so results are independent of worker count and goroutine
+// interleaving; the output (scenario order, aggregates, JSONL bytes) is
+// byte-identical for any Workers value.
+func Run(g Grid, opt Options) (*Result, error) {
+	scenarios, err := g.Scenarios()
+	if err != nil {
+		return nil, err
+	}
+	if len(scenarios) == 0 {
+		return nil, fmt.Errorf("sweep: empty grid")
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+
+	runs := make([]ScenarioRun, len(scenarios))
+	idx := make(chan int, len(scenarios))
+	for i := range scenarios {
+		idx <- i
+	}
+	close(idx)
+
+	var (
+		wg      sync.WaitGroup
+		stop    atomic.Bool
+		errOnce sync.Once
+		runErr  error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if stop.Load() {
+					continue
+				}
+				sc := scenarios[i]
+				var res *campaign.Result
+				cached := false
+				if opt.Cache != nil {
+					res, cached = opt.Cache.Get(sc.ID)
+				}
+				if res == nil {
+					r, err := campaign.Run(sc.Config)
+					if err != nil {
+						errOnce.Do(func() {
+							runErr = fmt.Errorf("sweep: scenario %d (%s): %w", sc.Index, sc.ID, err)
+							stop.Store(true)
+						})
+						continue
+					}
+					res = r
+					if opt.Cache != nil {
+						opt.Cache.Put(sc.ID, res)
+					}
+				}
+				runs[i] = ScenarioRun{Scenario: sc, Cached: cached, Result: res}
+			}
+		}()
+	}
+	wg.Wait()
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	out := &Result{Grid: g, Scenarios: runs}
+	for _, r := range runs {
+		if r.Cached {
+			out.CacheHits++
+		} else {
+			out.CacheMisses++
+		}
+	}
+	out.Variants = aggregate(runs)
+	return out, nil
+}

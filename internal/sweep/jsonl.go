@@ -1,0 +1,78 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/stats"
+)
+
+// Record is one JSONL row: a single executed scenario with its config
+// axes and headline statistics. Field order is fixed by the struct, and
+// every float is finite, so marshalling is byte-deterministic.
+type Record struct {
+	Scenario     string          `json:"scenario"`
+	Variant      string          `json:"variant"`
+	Seed         uint64          `json:"seed"`
+	Profile      string          `json:"profile"`
+	LocalPeering bool            `json:"local_peering"`
+	EdgeUPF      bool            `json:"edge_upf"`
+	MobileNodes  int             `json:"mobile_nodes"`
+	TargetCells  []string        `json:"target_cells"`
+	Measurements int             `json:"measurements"`
+	Mobile       stats.Snapshot  `json:"mobile"`
+	Wired        stats.Snapshot  `json:"wired"`
+	Factor       float64         `json:"mobile_vs_wired_factor"`
+	Cells        []CellAggregate `json:"cells"`
+}
+
+// RecordOf builds the JSONL row for one run.
+func RecordOf(r ScenarioRun) Record {
+	cfg := r.Config.Canonical()
+	rec := Record{
+		Scenario:     r.ID,
+		Variant:      r.Variant,
+		Seed:         cfg.Seed,
+		Profile:      cfg.Profile.Name,
+		LocalPeering: cfg.LocalPeering,
+		EdgeUPF:      cfg.EdgeUPF,
+		MobileNodes:  cfg.MobileNodes,
+		TargetCells:  cfg.TargetCells,
+		Measurements: r.Result.TotalMeasurements,
+		Mobile:       r.Result.MobileAll.Snapshot(),
+		Wired:        r.Result.Wired.Snapshot(),
+		Factor:       stats.FiniteOr0(r.Result.MobileVsWiredFactor()),
+	}
+	for _, rep := range r.Result.Reports {
+		rec.Cells = append(rec.Cells, CellAggregate{
+			Cell:     rep.Cell.String(),
+			N:        rep.N,
+			MeanMs:   rep.MeanMs,
+			StdMs:    stats.FiniteOr0(rep.StdMs),
+			Reported: rep.Reported,
+		})
+	}
+	return rec
+}
+
+// WriteJSONL writes one record per scenario, in grid order, to w.
+func (r *Result) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, run := range r.Scenarios {
+		if err := enc.Encode(RecordOf(run)); err != nil {
+			return fmt.Errorf("sweep: encode scenario %s: %w", run.ID, err)
+		}
+	}
+	return nil
+}
+
+// ExportJSONL returns the full JSONL export as bytes.
+func (r *Result) ExportJSONL() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

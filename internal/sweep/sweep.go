@@ -1,0 +1,189 @@
+// Package sweep turns the single-campaign simulator into a
+// scenario-exploration engine. A Grid enumerates axes (seeds, radio
+// profiles, peering, UPF placement, mobile-node counts, target-cell
+// sets) and expands to the cartesian product of campaign configs, each
+// with a stable content-hash scenario ID. Run fans the scenarios out
+// over a bounded worker pool; determinism is guaranteed by per-scenario
+// des.RNG sub-streams, so the same grid and seed produce byte-identical
+// aggregates and JSONL at any worker count. Results are cached by
+// scenario hash (the experiment drivers share the process-wide cache),
+// replications merge per variant via stats.Summary.Merge, and
+// cross-scenario deltas score the paper's peering and edge-UPF
+// recommendations across the whole grid at once.
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/des"
+	"repro/internal/ran"
+)
+
+// Grid enumerates the scenario axes. Every empty axis contributes a
+// single default element, so the zero Grid expands to exactly the
+// paper's baseline campaign. Seed handling: an explicit Seeds axis wins;
+// otherwise Replications seeds are derived from BaseSeed via independent
+// des sub-streams, which keeps replication seeds decorrelated without
+// the caller hand-picking them.
+type Grid struct {
+	// Seeds is the explicit replication axis. When empty, Replications
+	// seeds are derived from BaseSeed.
+	Seeds []uint64
+	// BaseSeed roots the derived replication seeds (used only when
+	// Seeds is empty).
+	BaseSeed uint64
+	// Replications is the number of derived seeds (default 1).
+	Replications int
+
+	// Profiles is the radio-profile axis (default: campaign default,
+	// public 5G).
+	Profiles []*ran.Profile
+	// LocalPeering is the Section V-A axis (default: {false}).
+	LocalPeering []bool
+	// EdgeUPF is the Section V-B axis (default: {false}).
+	EdgeUPF []bool
+	// MobileNodes is the fleet-size axis; 0 means the campaign default
+	// of three nodes (default: {0}).
+	MobileNodes []int
+	// TargetCellSets is the probe-placement axis; a nil set means the
+	// paper's eight sector probes (default: {nil}).
+	TargetCellSets [][]string
+}
+
+// Scenario is one fully resolved point of the grid.
+type Scenario struct {
+	// Index is the scenario's position in deterministic grid order.
+	Index int
+	// ID is the content hash of the canonical config, seed included.
+	ID string
+	// Variant is the content hash with the seed excluded; replications
+	// of the same deployment share it.
+	Variant string
+	Config  campaign.Config
+}
+
+// SeedAxis returns the resolved replication seeds.
+func (g Grid) SeedAxis() []uint64 {
+	if len(g.Seeds) > 0 {
+		return g.Seeds
+	}
+	reps := g.Replications
+	if reps <= 0 {
+		reps = 1
+	}
+	seeds := make([]uint64, reps)
+	for i := range seeds {
+		seeds[i] = des.DeriveSeed(g.BaseSeed, fmt.Sprintf("sweep-rep-%d", i))
+	}
+	return seeds
+}
+
+// Size returns the number of scenarios the grid expands to.
+func (g Grid) Size() int {
+	n := len(g.SeedAxis())
+	for _, l := range []int{len(g.Profiles), len(g.LocalPeering), len(g.EdgeUPF),
+		len(g.MobileNodes), len(g.TargetCellSets)} {
+		if l > 0 {
+			n *= l
+		}
+	}
+	return n
+}
+
+// Scenarios expands the grid in deterministic order: profiles, peering,
+// UPF placement, node counts, cell sets, then seeds innermost so the
+// replications of one variant are adjacent. It rejects grids whose axes
+// contain duplicates (two scenarios with one ID would make cache-hit
+// accounting and JSONL row counts ambiguous).
+func (g Grid) Scenarios() ([]Scenario, error) {
+	seeds := g.SeedAxis()
+	profiles := g.Profiles
+	if len(profiles) == 0 {
+		profiles = []*ran.Profile{nil}
+	}
+	peering := g.LocalPeering
+	if len(peering) == 0 {
+		peering = []bool{false}
+	}
+	edge := g.EdgeUPF
+	if len(edge) == 0 {
+		edge = []bool{false}
+	}
+	nodes := g.MobileNodes
+	if len(nodes) == 0 {
+		nodes = []int{0}
+	}
+	cellSets := g.TargetCellSets
+	if len(cellSets) == 0 {
+		cellSets = [][]string{nil}
+	}
+
+	out := make([]Scenario, 0, g.Size())
+	seen := make(map[string]int, g.Size())
+	for _, p := range profiles {
+		for _, lp := range peering {
+			for _, eu := range edge {
+				for _, mn := range nodes {
+					for _, cells := range cellSets {
+						for _, seed := range seeds {
+							cfg := campaign.Config{
+								Seed:         seed,
+								MobileNodes:  mn,
+								Profile:      p,
+								LocalPeering: lp,
+								EdgeUPF:      eu,
+								TargetCells:  cells,
+							}
+							sc := Scenario{
+								Index:   len(out),
+								ID:      ScenarioID(cfg),
+								Variant: VariantID(cfg),
+								Config:  cfg,
+							}
+							if prev, dup := seen[sc.ID]; dup {
+								return nil, fmt.Errorf(
+									"sweep: scenarios %d and %d are identical (%s); deduplicate the grid axes",
+									prev, sc.Index, sc.ID)
+							}
+							seen[sc.ID] = sc.Index
+							out = append(out, sc)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// ScenarioID returns the stable content hash identifying a campaign
+// config, seed included. Configs are canonicalized first, so a zero
+// field and its explicit default produce the same ID.
+func ScenarioID(cfg campaign.Config) string { return hashConfig(cfg, true) }
+
+// VariantID returns the content hash with the seed excluded: the key
+// under which replications of one deployment aggregate.
+func VariantID(cfg campaign.Config) string { return hashConfig(cfg, false) }
+
+// hashedConfigFields is the number of campaign.Config fields hashConfig
+// folds into scenario identity. A test asserts it against the struct via
+// reflection, so adding a Config field without extending the hash fails
+// loudly instead of silently conflating cache entries.
+const hashedConfigFields = 7
+
+func hashConfig(cfg campaign.Config, withSeed bool) string {
+	c := cfg.Canonical()
+	var b strings.Builder
+	if withSeed {
+		fmt.Fprintf(&b, "seed=%d;", c.Seed)
+	}
+	fmt.Fprintf(&b, "nodes=%d;profile=%s;peering=%t;edgeupf=%t;wired=%d;cells=%s",
+		c.MobileNodes, c.Profile.Name, c.LocalPeering, c.EdgeUPF, c.WiredRounds,
+		strings.Join(c.TargetCells, ","))
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:8])
+}

@@ -1,0 +1,319 @@
+package sweep
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/des"
+	"repro/internal/ran"
+)
+
+func TestGridDefaultsToBaseline(t *testing.T) {
+	scs, err := Grid{}.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 1 {
+		t.Fatalf("zero grid expands to %d scenarios, want 1", len(scs))
+	}
+	cfg := scs[0].Config.Canonical()
+	if cfg.Profile != ran.Profile5G || cfg.MobileNodes != 3 || cfg.LocalPeering || cfg.EdgeUPF {
+		t.Fatalf("zero grid is not the paper baseline: %+v", cfg)
+	}
+}
+
+func TestGridExpansionOrderAndSize(t *testing.T) {
+	g := Grid{
+		Seeds:        []uint64{1, 2, 3},
+		Profiles:     []*ran.Profile{ran.Profile5G, ran.Profile6G},
+		EdgeUPF:      []bool{false, true},
+		LocalPeering: []bool{false, true},
+	}
+	if g.Size() != 24 {
+		t.Fatalf("Size = %d, want 24", g.Size())
+	}
+	scs, err := g.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 24 {
+		t.Fatalf("expanded %d scenarios, want 24", len(scs))
+	}
+	ids := make(map[string]bool)
+	for i, sc := range scs {
+		if sc.Index != i {
+			t.Fatalf("scenario %d has Index %d", i, sc.Index)
+		}
+		if ids[sc.ID] {
+			t.Fatalf("duplicate scenario ID %s", sc.ID)
+		}
+		ids[sc.ID] = true
+	}
+	// Seeds are innermost: the first three scenarios are replications of
+	// one variant.
+	if scs[0].Variant != scs[1].Variant || scs[1].Variant != scs[2].Variant {
+		t.Fatal("replications of one variant are not adjacent")
+	}
+	if scs[2].Variant == scs[3].Variant {
+		t.Fatal("variant boundary missing after the seed axis")
+	}
+}
+
+func TestGridRejectsDuplicates(t *testing.T) {
+	if _, err := (Grid{Seeds: []uint64{7, 7}}).Scenarios(); err == nil {
+		t.Fatal("duplicate seeds should be rejected")
+	}
+}
+
+func TestDerivedSeedsAreStableAndDistinct(t *testing.T) {
+	g := Grid{BaseSeed: 42, Replications: 4}
+	a, b := g.SeedAxis(), g.SeedAxis()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("derived seeds are not stable")
+		}
+		if a[i] != des.DeriveSeed(42, "sweep-rep-"+string(rune('0'+i))) {
+			t.Fatalf("seed %d does not match its des sub-stream", i)
+		}
+	}
+	seen := map[uint64]bool{}
+	for _, s := range a {
+		if seen[s] {
+			t.Fatal("derived seeds collide")
+		}
+		seen[s] = true
+	}
+}
+
+func TestScenarioIDCanonicalization(t *testing.T) {
+	zero := campaign.Config{Seed: 9}
+	explicit := campaign.Config{Seed: 9, MobileNodes: 3, Profile: ran.Profile5G, WiredRounds: 5,
+		TargetCells: []string{"B2", "E2", "A3", "C4", "F3", "B5", "D5", "C6"}}
+	if ScenarioID(zero) != ScenarioID(explicit) {
+		t.Fatal("zero config and explicit defaults must hash identically")
+	}
+	for _, alt := range []campaign.Config{
+		{Seed: 10},
+		{Seed: 9, EdgeUPF: true},
+		{Seed: 9, LocalPeering: true},
+		{Seed: 9, MobileNodes: 5},
+		{Seed: 9, Profile: ran.Profile6G},
+		{Seed: 9, TargetCells: []string{"B2"}},
+	} {
+		if ScenarioID(alt) == ScenarioID(zero) {
+			t.Fatalf("config %+v should not collide with the baseline", alt)
+		}
+	}
+	if VariantID(campaign.Config{Seed: 1}) != VariantID(campaign.Config{Seed: 2}) {
+		t.Fatal("VariantID must ignore the seed")
+	}
+	if VariantID(campaign.Config{Seed: 1}) == VariantID(campaign.Config{Seed: 1, EdgeUPF: true}) {
+		t.Fatal("VariantID must distinguish deployments")
+	}
+}
+
+func TestScenarioIDCoversEveryConfigField(t *testing.T) {
+	// hashConfig hand-enumerates campaign.Config; if the struct grows a
+	// field the hash does not cover, two differing configs would share
+	// a scenario ID and the shared cache would hand back the wrong
+	// result. Fail here first.
+	if n := reflect.TypeOf(campaign.Config{}).NumField(); n != hashedConfigFields {
+		t.Fatalf("campaign.Config has %d fields but hashConfig covers %d: "+
+			"extend hashConfig (and this constant) so scenario identity stays complete",
+			n, hashedConfigFields)
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, p := range ran.Profiles {
+		got, ok := ran.ProfileByName(p.Name)
+		if !ok || got != p {
+			t.Fatalf("ProfileByName(%q) = %v, %v", p.Name, got, ok)
+		}
+	}
+	if _, ok := ran.ProfileByName("lte"); ok {
+		t.Fatal("unknown profile name should miss")
+	}
+}
+
+func TestCacheSkipsCompletedScenarios(t *testing.T) {
+	cache := NewCache()
+	g := Grid{Seeds: []uint64{1, 2}}
+	first, err := Run(g, Options{Workers: 2, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHits != 0 || first.CacheMisses != 2 {
+		t.Fatalf("first run hits/misses = %d/%d, want 0/2", first.CacheHits, first.CacheMisses)
+	}
+	second, err := Run(g, Options{Workers: 2, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.CacheHits != 2 || second.CacheMisses != 0 {
+		t.Fatalf("second run hits/misses = %d/%d, want 2/0", second.CacheHits, second.CacheMisses)
+	}
+	for i := range first.Scenarios {
+		if first.Scenarios[i].Result != second.Scenarios[i].Result {
+			t.Fatal("cached run should reuse the completed result object")
+		}
+	}
+	if cache.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", cache.Len())
+	}
+}
+
+func TestCacheGetOrRunKeyedByFullConfig(t *testing.T) {
+	cache := NewCache()
+	base, err := cache.GetOrRun(campaign.Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := cache.GetOrRun(campaign.Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != again {
+		t.Fatal("same config must hit the cache")
+	}
+	edge, err := cache.GetOrRun(campaign.Config{Seed: 5, EdgeUPF: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edge == base {
+		t.Fatal("differing configs with one seed must not conflate")
+	}
+	if edge.MobileAll.Mean() == base.MobileAll.Mean() {
+		t.Fatal("edge-UPF campaign should measure a different mobile mean")
+	}
+}
+
+func TestAggregateMergesReplications(t *testing.T) {
+	res, err := Run(Grid{Seeds: []uint64{1, 2}, EdgeUPF: []bool{false, true}},
+		Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Variants) != 2 {
+		t.Fatalf("got %d variants, want 2", len(res.Variants))
+	}
+	for _, v := range res.Variants {
+		if len(v.Seeds) != 2 {
+			t.Fatalf("variant %s has %d seeds, want 2", v.ID, len(v.Seeds))
+		}
+		// The headline summary and the cell grid share one reporting
+		// rule: Mobile merges exactly the reported cells' samples.
+		var reportedN int
+		for _, c := range v.Cells {
+			if c.Reported {
+				reportedN += c.N
+			}
+		}
+		if v.Mobile.N() != reportedN {
+			t.Fatalf("variant %s merged %d samples, reported cells hold %d",
+				v.ID, v.Mobile.N(), reportedN)
+		}
+		var cellN int
+		for _, c := range v.Cells {
+			cellN += c.N
+		}
+		var wantCellN int
+		for _, run := range res.Scenarios {
+			if run.Variant == v.ID {
+				wantCellN += run.Result.TotalMeasurements
+			}
+		}
+		if cellN != wantCellN {
+			t.Fatalf("variant %s cell samples %d, want %d", v.ID, cellN, wantCellN)
+		}
+	}
+}
+
+func TestDeltasScoreRecommendations(t *testing.T) {
+	res, err := Run(Grid{
+		Seeds:        []uint64{1},
+		EdgeUPF:      []bool{false, true},
+		LocalPeering: []bool{false, true},
+	}, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	variantCfg := func(id string) campaign.Config {
+		for _, v := range res.Variants {
+			if v.ID == id {
+				return v.Config
+			}
+		}
+		t.Fatalf("delta references unknown variant %s", id)
+		return campaign.Config{}
+	}
+	deltas := res.Deltas()
+	// Two edge-UPF pairs (peering off/on) and two peering pairs (edge
+	// off/on).
+	var edge, peering int
+	for _, d := range deltas {
+		switch d.Axis {
+		case "edge_upf":
+			edge++
+			if len(d.Cells) == 0 {
+				t.Fatal("edge delta has no per-cell rows")
+			}
+			// Edge anchoring only pays off once the breakout stops
+			// detouring over transit (Section V-A + V-B compose).
+			if variantCfg(d.Alt).LocalPeering && d.MeanReductionMs <= 0 {
+				t.Fatalf("edge UPF with peering should reduce latency, got %+.2f ms",
+					d.MeanReductionMs)
+			}
+		case "local_peering":
+			peering++
+			if d.MeanReductionMs <= 0 {
+				t.Fatalf("local peering should reduce latency, got %+.2f ms", d.MeanReductionMs)
+			}
+		}
+	}
+	if edge != 2 || peering != 2 {
+		t.Fatalf("got %d edge / %d peering deltas, want 2/2", edge, peering)
+	}
+}
+
+func TestJSONLWellFormed(t *testing.T) {
+	res, err := Run(Grid{Seeds: []uint64{1, 2}}, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := res.ExportJSONL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	var lines int
+	for sc.Scan() {
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", lines, err)
+		}
+		if rec.Scenario == "" || rec.Profile == "" || rec.Measurements == 0 {
+			t.Fatalf("line %d is missing fields: %+v", lines, rec)
+		}
+		if rec.Mobile.Mean <= rec.Wired.Mean {
+			t.Fatalf("line %d: mobile mean should exceed wired", lines)
+		}
+		lines++
+	}
+	if lines != len(res.Scenarios) {
+		t.Fatalf("JSONL has %d lines, want %d", lines, len(res.Scenarios))
+	}
+}
+
+func TestRunPropagatesScenarioError(t *testing.T) {
+	// A target cell outside the grid makes AddSectorProbes fail.
+	_, err := Run(Grid{Seeds: []uint64{1}, TargetCellSets: [][]string{{"Z9"}}},
+		Options{Workers: 2})
+	if err == nil {
+		t.Fatal("invalid scenario should fail the sweep")
+	}
+}

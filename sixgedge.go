@@ -7,6 +7,10 @@
 //   - RunCampaign executes the Klagenfurt 5G measurement campaign
 //     (Figures 1-3 of the paper) over a simulated central-European
 //     topology and returns per-cell latency statistics;
+//   - RunSweep expands a scenario grid (seeds × profiles × peering ×
+//     UPF placement × fleet sizes × probe sets) and executes it on a
+//     bounded worker pool, deterministically at any worker count, with
+//     content-hash result caching and JSONL export;
 //   - Experiments lists one driver per table/figure/claim of the paper;
 //     RunExperiment regenerates a single artefact;
 //   - EvaluatePeering / EvaluateUPF / EvaluateCPF score the paper's three
@@ -25,6 +29,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/experiments"
 	"repro/internal/recommend"
+	"repro/internal/sweep"
 )
 
 // CampaignConfig parameterizes the measurement campaign. The zero value
@@ -38,6 +43,27 @@ type CampaignResult = campaign.Result
 // RunCampaign executes the Section IV measurement campaign.
 func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 	return campaign.Run(cfg)
+}
+
+// SweepGrid enumerates scenario axes (seeds, radio profiles, peering,
+// UPF placement, node counts, target-cell sets); it expands to the
+// cartesian product of campaign configs, each with a stable
+// content-hash scenario ID.
+type SweepGrid = sweep.Grid
+
+// SweepOptions bounds the worker pool and selects the result cache.
+type SweepOptions = sweep.Options
+
+// SweepResult holds every scenario run in grid order, per-variant
+// aggregates merged across replications, and recommendation deltas; its
+// JSONL export is byte-identical at any worker count.
+type SweepResult = sweep.Result
+
+// RunSweep executes a scenario sweep over a bounded worker pool.
+// Determinism holds at any worker count: each scenario owns an isolated
+// simulator seeded from its config, and output order is grid order.
+func RunSweep(g SweepGrid, opt SweepOptions) (*SweepResult, error) {
+	return sweep.Run(g, opt)
 }
 
 // Artifact is a reproduced paper artefact (table or figure) with its

@@ -16,6 +16,30 @@ func TestRunCampaignFacade(t *testing.T) {
 	}
 }
 
+func TestRunSweepFacade(t *testing.T) {
+	res, err := RunSweep(SweepGrid{
+		Seeds:   []uint64{1, 2},
+		EdgeUPF: []bool{false, true},
+	}, SweepOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scenarios) != 4 || len(res.Variants) != 2 {
+		t.Fatalf("got %d scenarios / %d variants, want 4 / 2",
+			len(res.Scenarios), len(res.Variants))
+	}
+	out, err := res.ExportJSONL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("empty JSONL export")
+	}
+	if len(res.Deltas()) != 1 {
+		t.Fatalf("want one edge-UPF delta, got %d", len(res.Deltas()))
+	}
+}
+
 func TestRunExperimentFacade(t *testing.T) {
 	art, err := RunExperiment("fig2", 42)
 	if err != nil {
