@@ -23,6 +23,7 @@ import (
 	"repro/internal/routing"
 	"repro/internal/slicing"
 	"repro/internal/sweep"
+	"repro/internal/sweep/store"
 	"repro/internal/topo"
 )
 
@@ -361,6 +362,78 @@ func BenchmarkSweepCached(b *testing.B) {
 		if res.CacheHits != len(res.Scenarios) {
 			b.Fatal("warm sweep missed the cache")
 		}
+	}
+}
+
+// BenchmarkSweepDiskWarm measures a sweep served entirely from the
+// on-disk store through a cold in-memory cache — the process-restart
+// path — in both record modes. The gap between this and
+// BenchmarkSweepCached is the cost of record decode + result restore.
+func BenchmarkSweepDiskWarm(b *testing.B) {
+	grid := sweep.Grid{
+		Seeds:        []uint64{1, 2, 3, 4},
+		LocalPeering: []bool{false, true},
+		EdgeUPF:      []bool{false, true},
+	}
+	for _, mode := range []struct {
+		name    string
+		compact bool
+	}{{"full", false}, {"compact", true}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			st, err := store.Open(b.TempDir(), store.Options{Compact: mode.compact})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			if _, err := sweep.Run(grid, sweep.Options{Workers: 4,
+				Cache: sweep.NewPersistentCache(st)}); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := sweep.Run(grid, sweep.Options{Workers: 4,
+					Cache: sweep.NewPersistentCache(st)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.CacheMisses != 0 {
+					b.Fatal("disk-warm sweep re-simulated a scenario")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStorePutGet measures raw record persistence: one campaign
+// result encoded + atomically committed, then decoded + restored, per
+// record mode.
+func BenchmarkStorePutGet(b *testing.B) {
+	res, err := campaign.Run(campaign.Config{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name    string
+		compact bool
+	}{{"full", false}, {"compact", true}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			st, err := store.Open(b.TempDir(), store.Options{Compact: mode.compact})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := st.Put("bench", res); err != nil {
+					b.Fatal(err)
+				}
+				if _, ok := st.Get("bench"); !ok {
+					b.Fatal("stored record unreadable")
+				}
+			}
+		})
 	}
 }
 

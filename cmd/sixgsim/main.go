@@ -25,8 +25,16 @@ func main() {
 		list   = flag.Bool("list", false, "list experiment ids and exit")
 		checks = flag.Bool("checks", false, "print only paper-vs-measured rows")
 		outDir = flag.String("out", "", "also write each artefact to <dir>/<id>.txt")
+		cache  = flag.String("cache-dir", "", "persist completed campaigns to this directory and reuse them across runs")
 	)
 	flag.Parse()
+
+	if *cache != "" {
+		if err := sixgedge.UseDiskCache(*cache, false); err != nil {
+			fmt.Fprintln(os.Stderr, "sixgsim:", err)
+			os.Exit(1)
+		}
+	}
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -66,11 +74,24 @@ func main() {
 		return nil
 	}
 
+	// Persistence is best-effort and never fails a run, but a cache
+	// directory that silently persists nothing would surprise the next
+	// invocation — say so.
+	warnStore := func() {
+		if n := sixgedge.CacheStoreErrors(); n > 0 {
+			fmt.Fprintf(os.Stderr,
+				"sixgsim: warning: %d cache writes to %s failed; results were computed but not persisted\n",
+				n, *cache)
+		}
+	}
+
 	if *exp != "" {
 		if err := run(*exp); err != nil {
 			fmt.Fprintln(os.Stderr, "sixgsim:", err)
+			warnStore()
 			os.Exit(1)
 		}
+		warnStore()
 		return
 	}
 	failed := false
@@ -80,6 +101,7 @@ func main() {
 			failed = true
 		}
 	}
+	warnStore()
 	if failed {
 		os.Exit(1)
 	}

@@ -11,6 +11,8 @@
 //	sweep -reps 4 -base-seed 42 -peering both -edge-upf both -workers 8
 //	sweep -profiles 5G-public,6G-target -out grid.jsonl
 //	sweep -cells "B2,E2;A3,C4" -nodes 3,5   # probe-set and fleet axes
+//	sweep -reps 4 -cache-dir .sweepcache    # persist results; re-runs resume warm
+//	sweep -reps 4 -cache-dir .sweepcache -compact   # summary-only records on disk
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	sixgedge "repro"
 	"repro/internal/ran"
 	"repro/internal/sweep"
+	"repro/internal/sweep/store"
 )
 
 func main() {
@@ -38,6 +41,8 @@ func main() {
 		workers  = flag.Int("workers", 0, "concurrent scenarios (0 = GOMAXPROCS)")
 		out      = flag.String("out", "", "JSONL output file (\"-\" for stdout, empty to skip)")
 		deltas   = flag.Bool("deltas", false, "print per-cell recommendation deltas")
+		cacheDir = flag.String("cache-dir", "", "persist the result cache to this directory; re-runs over completed scenarios resume warm")
+		compact  = flag.Bool("compact", false, "with -cache-dir: store summary-only records (per-cell moments, no raw samples)")
 	)
 	flag.Parse()
 
@@ -45,7 +50,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := sixgedge.RunSweep(grid, sixgedge.SweepOptions{Workers: *workers, Cache: sweep.Shared})
+	cache := sweep.Shared
+	var st *store.Store
+	if *cacheDir != "" {
+		st, err = store.Open(*cacheDir, store.Options{Compact: *compact})
+		if err != nil {
+			fatal(err)
+		}
+		defer st.Close()
+		cache = sweep.NewPersistentCache(st)
+	} else if *compact {
+		fatal(fmt.Errorf("-compact requires -cache-dir"))
+	}
+	res, err := sixgedge.RunSweep(grid, sixgedge.SweepOptions{Workers: *workers, Cache: cache})
 	if err != nil {
 		fatal(err)
 	}
@@ -56,8 +73,20 @@ func main() {
 	if *out == "-" {
 		report = os.Stderr
 	}
-	fmt.Fprintf(report, "sweep: %d scenarios, %d variants, %d cache hits / %d misses\n\n",
+	fmt.Fprintf(report, "sweep: %d scenarios, %d variants, %d cache hits / %d misses\n",
 		len(res.Scenarios), len(res.Variants), res.CacheHits, res.CacheMisses)
+	if st != nil {
+		mode := "full"
+		if st.Compact() {
+			mode = "compact"
+		}
+		fmt.Fprintf(report, "cache-dir: %s holds %d records (%s)", st.Dir(), st.Len(), mode)
+		if n := cache.StoreErrors(); n > 0 {
+			fmt.Fprintf(report, "; %d persist errors (cache degraded, results unaffected)", n)
+		}
+		fmt.Fprintln(report)
+	}
+	fmt.Fprintln(report)
 	fmt.Fprintf(report, "%-16s %-14s %-7s %-5s %5s %5s %9s %9s %7s\n",
 		"variant", "profile", "peering", "edge", "nodes", "reps", "mobile-ms", "wired-ms", "factor")
 	for _, v := range res.Variants {

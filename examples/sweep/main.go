@@ -2,17 +2,21 @@
 // instead of one campaign at a time. A 2-replication grid over the
 // Section V recommendation axes (local peering x edge UPF) runs on a
 // worker pool, aggregates per variant, scores the recommendations with
-// cross-scenario deltas, and exports JSONL — then re-runs to show the
-// content-hash cache skipping every completed scenario.
+// cross-scenario deltas, and exports JSONL — then re-runs against a
+// fresh cache backed by the same on-disk store, simulating a process
+// restart: every scenario is served from disk, zero re-simulated, and
+// the JSONL comes out byte-identical.
 package main
 
 import (
 	"bytes"
 	"fmt"
 	"log"
+	"os"
 
 	sixgedge "repro"
 	"repro/internal/sweep"
+	"repro/internal/sweep/store"
 )
 
 func main() {
@@ -22,7 +26,17 @@ func main() {
 		LocalPeering: []bool{false, true},
 		EdgeUPF:      []bool{false, true},
 	}
-	cache := sweep.NewCache()
+	dir, err := os.MkdirTemp("", "sweep-cache-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(dir, store.Options{Compact: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+	cache := sweep.NewPersistentCache(st)
 
 	res, err := sixgedge.RunSweep(grid, sixgedge.SweepOptions{Workers: 4, Cache: cache})
 	if err != nil {
@@ -48,11 +62,19 @@ func main() {
 	}
 	fmt.Printf("\nJSONL export: %d records, %d bytes\n",
 		bytes.Count(out, []byte("\n")), len(out))
+	fmt.Printf("store: %d compact records in %s\n", st.Len(), dir)
 
-	// Same grid again: every scenario is served from the cache.
-	again, err := sixgedge.RunSweep(grid, sixgedge.SweepOptions{Workers: 4, Cache: cache})
+	// Same grid against a fresh in-memory cache over the same store —
+	// a simulated process restart. Every scenario is a disk hit.
+	again, err := sixgedge.RunSweep(grid,
+		sixgedge.SweepOptions{Workers: 4, Cache: sweep.NewPersistentCache(st)})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("re-run: %d cache hits, %d misses\n", again.CacheHits, again.CacheMisses)
+	fmt.Printf("restart re-run: %d cache hits, %d misses\n", again.CacheHits, again.CacheMisses)
+	outAgain, err := again.ExportJSONL()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("JSONL byte-identical across restart: %t\n", bytes.Equal(out, outAgain))
 }

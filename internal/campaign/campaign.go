@@ -98,6 +98,12 @@ type Result struct {
 
 	TotalMeasurements int
 	VirtualDuration   time.Duration
+
+	// SummaryOnly marks a result restored from a compact record:
+	// every summary and report is exact, but raw per-cell samples are
+	// absent, so quantiles, CDFs and histograms are unavailable.
+	// Consumers needing raw samples should re-run instead.
+	SummaryOnly bool
 }
 
 // MobileVsWiredFactor returns the paper's headline ratio (~7x).
@@ -240,18 +246,28 @@ func Run(cfg Config) (*Result, error) {
 		res.Reports = append(res.Reports, rep)
 	}
 
-	reported := make([]CellReport, 0, len(res.Reports))
-	for _, rep := range res.Reports {
+	if err := res.computeExtremes(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// computeExtremes derives the Min/Max report fields from Reports. It is
+// shared between Run and ResultState.Restore so a rehydrated result
+// reproduces the same extremes the original run computed.
+func (r *Result) computeExtremes() error {
+	reported := make([]CellReport, 0, len(r.Reports))
+	for _, rep := range r.Reports {
 		if rep.Reported {
 			reported = append(reported, rep)
 		}
 	}
 	if len(reported) == 0 {
-		return nil, fmt.Errorf("campaign: no cell reached %d measurements", MinMeasurements)
+		return fmt.Errorf("campaign: no cell reached %d measurements", MinMeasurements)
 	}
 	sort.Slice(reported, func(i, j int) bool { return reported[i].MeanMs < reported[j].MeanMs })
-	res.MinMean, res.MaxMean = reported[0], reported[len(reported)-1]
+	r.MinMean, r.MaxMean = reported[0], reported[len(reported)-1]
 	sort.Slice(reported, func(i, j int) bool { return reported[i].StdMs < reported[j].StdMs })
-	res.MinStd, res.MaxStd = reported[0], reported[len(reported)-1]
-	return res, nil
+	r.MinStd, r.MaxStd = reported[0], reported[len(reported)-1]
+	return nil
 }

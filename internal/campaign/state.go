@@ -1,0 +1,173 @@
+package campaign
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/ran"
+	"repro/internal/stats"
+)
+
+// ResultState is the serializable form of a completed Result, built for
+// the sweep result store: every summary is captured losslessly (raw
+// Welford accumulators, stats.SummaryState), so a State→Restore
+// round-trip reproduces the original result bit-for-bit in everything
+// downstream consumers derive from it — JSONL records, variant
+// aggregates, recommendation deltas. Raw per-cell samples are included
+// only in the full form; the compact form drops them and keeps the
+// per-cell moments, which is all the sweep pipeline needs.
+type ResultState struct {
+	Config       ConfigState        `json:"config"`
+	Measurements int                `json:"measurements"`
+	VirtualNs    int64              `json:"virtual_ns"`
+	MobileMean   stats.SummaryState `json:"mobile_mean"`
+	MobileAll    stats.SummaryState `json:"mobile_all"`
+	Wired        stats.SummaryState `json:"wired"`
+	Cells        []CellState        `json:"cells"`
+	// Compact records that raw samples were dropped at capture time;
+	// Restore surfaces it as Result.SummaryOnly so consumers can tell a
+	// compact record from missing data.
+	Compact bool `json:"compact,omitempty"`
+}
+
+// ConfigState serializes a canonical Config. The radio profile is
+// stored by name and resolved through the ran registry on restore;
+// a config using an unregistered profile cannot round-trip.
+type ConfigState struct {
+	Seed         uint64   `json:"seed"`
+	MobileNodes  int      `json:"mobile_nodes"`
+	Profile      string   `json:"profile"`
+	LocalPeering bool     `json:"local_peering"`
+	EdgeUPF      bool     `json:"edge_upf"`
+	TargetCells  []string `json:"target_cells"`
+	WiredRounds  int      `json:"wired_rounds"`
+}
+
+// CellState is one traversed cell: the report row plus the cell's full
+// sample moments (reported or not), and the raw RTT samples in
+// milliseconds unless captured compactly.
+type CellState struct {
+	Cell     string             `json:"cell"`
+	N        int                `json:"n"`
+	MeanMs   float64            `json:"mean_ms"`
+	StdMs    float64            `json:"std_ms"`
+	Reported bool               `json:"reported"`
+	Summary  stats.SummaryState `json:"summary"`
+	Samples  []float64          `json:"samples,omitempty"`
+}
+
+// State captures the result. With compact set, raw per-cell samples are
+// omitted — orders of magnitude smaller for large campaigns — at the
+// cost of quantile/CDF/histogram support on the restored result.
+func (r *Result) State(compact bool) ResultState {
+	cfg := r.Config.Canonical()
+	st := ResultState{
+		Config: ConfigState{
+			Seed:         cfg.Seed,
+			MobileNodes:  cfg.MobileNodes,
+			Profile:      cfg.Profile.Name,
+			LocalPeering: cfg.LocalPeering,
+			EdgeUPF:      cfg.EdgeUPF,
+			TargetCells:  append([]string{}, cfg.TargetCells...),
+			WiredRounds:  cfg.WiredRounds,
+		},
+		Measurements: r.TotalMeasurements,
+		VirtualNs:    int64(r.VirtualDuration),
+		MobileMean:   r.MobileMean.State(),
+		MobileAll:    r.MobileAll.State(),
+		Wired:        r.Wired.State(),
+		Cells:        make([]CellState, 0, len(r.Reports)),
+		Compact:      compact,
+	}
+	for _, rep := range r.Reports {
+		cs := CellState{
+			Cell:     rep.Cell.String(),
+			N:        rep.N,
+			MeanMs:   rep.MeanMs,
+			StdMs:    rep.StdMs,
+			Reported: rep.Reported,
+		}
+		if s := r.Samples[rep.Cell]; s != nil {
+			cs.Summary = s.State()
+			if !compact {
+				cs.Samples = append([]float64{}, s.Values()...)
+			}
+		}
+		st.Cells = append(st.Cells, cs)
+	}
+	return st
+}
+
+// Restore rebuilds a Result from the captured state. The static
+// topology (sector grid, density model) is reconstructed from the same
+// deterministic builders Run uses; summaries restore losslessly; the
+// extreme cells are recomputed with Run's rule. Restoring fails if the
+// profile name no longer resolves or a cell id is malformed — callers
+// (the sweep store) treat that as a cache miss, never as a fatal error.
+func (st ResultState) Restore() (*Result, error) {
+	profile, ok := ran.ProfileByName(st.Config.Profile)
+	if !ok {
+		return nil, fmt.Errorf("campaign: state references unknown profile %q", st.Config.Profile)
+	}
+	grid := geo.NewKlagenfurtGrid()
+	density := geo.NewKlagenfurtDensity(grid)
+	res := &Result{
+		Config: Config{
+			Seed:         st.Config.Seed,
+			MobileNodes:  st.Config.MobileNodes,
+			Profile:      profile,
+			LocalPeering: st.Config.LocalPeering,
+			EdgeUPF:      st.Config.EdgeUPF,
+			TargetCells:  append([]string{}, st.Config.TargetCells...),
+			WiredRounds:  st.Config.WiredRounds,
+		},
+		Grid:              grid,
+		Density:           density,
+		Samples:           make(map[geo.CellID]*stats.Sample, len(st.Cells)),
+		Reports:           make([]CellReport, 0, len(st.Cells)),
+		MobileMean:        st.MobileMean.Summary(),
+		MobileAll:         st.MobileAll.Summary(),
+		Wired:             st.Wired.Summary(),
+		TotalMeasurements: st.Measurements,
+		VirtualDuration:   time.Duration(st.VirtualNs),
+		SummaryOnly:       st.Compact,
+	}
+	for _, cs := range st.Cells {
+		cell, err := geo.ParseCellID(cs.Cell)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: state cell %q: %w", cs.Cell, err)
+		}
+		res.Samples[cell] = stats.RestoreSample(cs.Summary.Summary(), cs.Samples)
+		res.Reports = append(res.Reports, CellReport{
+			Cell:     cell,
+			N:        cs.N,
+			MeanMs:   cs.MeanMs,
+			StdMs:    cs.StdMs,
+			Reported: cs.Reported,
+		})
+	}
+	if err := res.computeExtremes(); err != nil {
+		return nil, fmt.Errorf("campaign: state restores to %w", err)
+	}
+	return res, nil
+}
+
+// Clone returns an independent deep copy of the result: the caller may
+// mutate samples, reports or config freely without affecting the
+// original. The sector grid and density model are shared — they are
+// immutable topology. The sweep cache clones on both insert and lookup
+// so no caller ever holds a pointer into cached state.
+func (r *Result) Clone() *Result {
+	if r == nil {
+		return nil
+	}
+	cp := *r
+	cp.Config.TargetCells = append([]string(nil), r.Config.TargetCells...)
+	cp.Samples = make(map[geo.CellID]*stats.Sample, len(r.Samples))
+	for c, s := range r.Samples {
+		cp.Samples[c] = s.Clone()
+	}
+	cp.Reports = append([]CellReport(nil), r.Reports...)
+	return &cp
+}

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/sweep"
+	"repro/internal/sweep/store"
 )
 
 // Artifact is one reproduced table or figure.
@@ -96,7 +97,24 @@ func IDs() []string {
 // the process-wide sweep cache. The key is the full scenario content
 // hash — not the bare seed — so drivers never conflate differing
 // configs, and sweeps that already ran a scenario hand the drivers a
-// free hit (and vice versa).
+// free hit (and vice versa). Concurrent drivers asking for the same
+// seed de-duplicate to one simulation (singleflight in GetOrRun), and
+// every caller gets an independent copy it may mutate freely.
 func campaignFor(seed uint64) (*campaign.Result, error) {
 	return sweep.Shared.GetOrRun(campaign.Config{Seed: seed})
+}
+
+// UseDiskCache layers a persistent result store under the shared
+// campaign cache, so artefact regeneration re-uses scenarios completed
+// in earlier processes (and sweeps run with the same cache directory).
+// Compact mode stores summary-only records; artefacts that only need
+// moments are unaffected, but drivers needing raw sample quantiles
+// should use the full mode.
+func UseDiskCache(dir string, compact bool) error {
+	st, err := store.Open(dir, store.Options{Compact: compact})
+	if err != nil {
+		return err
+	}
+	sweep.Shared.AttachStore(st)
+	return nil
 }

@@ -107,8 +107,22 @@ func TestCampaignCacheReuse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a != b {
-		t.Fatal("campaign cache not reused")
+	// The cache hands out defensive copies: same statistics, distinct
+	// objects, so a driver mutating its result can't poison later hits.
+	if a == b {
+		t.Fatal("cache hit must be an independent copy")
+	}
+	if a.MobileAll.Snapshot() != b.MobileAll.Snapshot() ||
+		a.TotalMeasurements != b.TotalMeasurements {
+		t.Fatal("campaign cache not reused: statistics differ")
+	}
+	a.TotalMeasurements = -1
+	c, err := campaignFor(123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalMeasurements != b.TotalMeasurements {
+		t.Fatal("mutating a returned result leaked into the cache")
 	}
 }
 

@@ -124,6 +124,59 @@ func (s *Summary) Snapshot() Snapshot {
 	}
 }
 
+// Summary reconstructs a mergeable Summary from the snapshot. The
+// moments a Snapshot renders as 0 for small samples (std at n < 2)
+// reconstruct to their exact values — 0 is also the true second moment
+// there — so merging restored snapshots is equivalent to merging the
+// original summaries up to floating-point rounding in the std→m2
+// round-trip. This is the bridge for consumers of exported snapshots
+// (JSONL records, compact cache entries) that need to aggregate them
+// further.
+func (sn Snapshot) Summary() Summary {
+	s := Summary{
+		n:          sn.N,
+		mean:       sn.Mean,
+		min:        sn.Min,
+		max:        sn.Max,
+		hasExtrema: sn.N > 0,
+	}
+	if sn.N > 1 {
+		s.m2 = sn.Std * sn.Std * float64(sn.N-1)
+	}
+	return s
+}
+
+// SummaryState is the lossless serialization of a Summary: the raw
+// Welford accumulators rather than the derived moments, so a
+// state→Summary→state round-trip is bit-exact (every field is finite,
+// so it always survives JSON). Use Snapshot for human-facing exports
+// and SummaryState when downstream consumers must reproduce the
+// original summary byte-for-byte (the sweep result store).
+type SummaryState struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// State returns the summary's lossless serializable form.
+func (s *Summary) State() SummaryState {
+	return SummaryState{N: s.n, Mean: s.mean, M2: s.m2, Min: s.min, Max: s.max}
+}
+
+// Summary reconstructs the exact Summary the state was taken from.
+func (st SummaryState) Summary() Summary {
+	return Summary{
+		n:          st.N,
+		mean:       st.Mean,
+		m2:         st.M2,
+		min:        st.Min,
+		max:        st.Max,
+		hasExtrema: st.N > 0,
+	}
+}
+
 // FiniteOr0 maps NaN and infinities to 0, the convention the paper's
 // figures use for undefined cells.
 func FiniteOr0(x float64) float64 {
@@ -171,6 +224,26 @@ func (s *Sample) AddDuration(d time.Duration) {
 // sample's backing store when the sample has never been sorted; callers
 // must not mutate it.
 func (s *Sample) Values() []float64 { return s.xs }
+
+// Clone returns an independent deep copy: mutating the clone (Add,
+// Quantile's in-place sort) never affects the original, which is what
+// lets the sweep cache hand out defensive copies of cached results.
+func (s *Sample) Clone() *Sample {
+	cp := *s
+	cp.xs = append([]float64(nil), s.xs...)
+	return &cp
+}
+
+// RestoreSample rebuilds a Sample from a previously captured summary and
+// (optionally) its raw observations. values is copied; it may be nil for
+// a summary-only sample, which supports everything but quantiles, CDFs
+// and histograms — the compact form the sweep result store persists.
+// The summary is trusted rather than recomputed from values: re-folding
+// observations in a different order would perturb the Welford
+// accumulators in the last ulp and break byte-exact round-trips.
+func RestoreSample(sum Summary, values []float64) *Sample {
+	return &Sample{Summary: sum, xs: append([]float64(nil), values...)}
+}
 
 func (s *Sample) ensureSorted() {
 	if !s.sorted {

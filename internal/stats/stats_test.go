@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"testing"
 	"testing/quick"
@@ -332,5 +333,118 @@ func TestVarianceNonNegative(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestSummaryStateRoundTripIsLossless(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{3.5, 1.25, 9.875, 2.5, 7.125, 4.0625} {
+		s.Add(x)
+	}
+	restored := s.State().Summary()
+	if restored != s {
+		t.Fatalf("state round-trip changed the summary: %+v vs %+v", restored, s)
+	}
+	// Through JSON too: every field is finite, and Go's float64 JSON
+	// encoding round-trips exactly.
+	data, err := json.Marshal(s.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st SummaryState
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Summary() != s {
+		t.Fatalf("JSON state round-trip changed the summary: %+v vs %+v", st.Summary(), s)
+	}
+	// The restored summary stays mergeable and keeps extrema tracking.
+	restored.Add(0.5)
+	if restored.Min() != 0.5 || restored.N() != s.N()+1 {
+		t.Fatalf("restored summary broken after Add: %s", restored.String())
+	}
+
+	var empty Summary
+	if empty.State().Summary() != empty {
+		t.Fatal("empty summary must round-trip to the zero value")
+	}
+}
+
+func TestSnapshotSummaryRoundTrip(t *testing.T) {
+	var a, b Summary
+	for i := 0; i < 40; i++ {
+		a.Add(float64(i%7) + 0.25)
+		b.Add(float64(i%11) * 1.5)
+	}
+	for _, s := range []*Summary{&a, &b} {
+		r := s.Snapshot().Summary()
+		if r.N() != s.N() || r.Mean() != s.Mean() || r.Min() != s.Min() || r.Max() != s.Max() {
+			t.Fatalf("snapshot round-trip lost first moments: %s vs %s", r.String(), s.String())
+		}
+		if math.Abs(r.Std()-s.Std()) > 1e-12*(1+s.Std()) {
+			t.Fatalf("snapshot round-trip std %v, want ~%v", r.Std(), s.Std())
+		}
+	}
+	// Merging restored snapshots is equivalent to merging the originals.
+	direct := a
+	direct.Merge(b)
+	restored := a.Snapshot().Summary()
+	restored.Merge(b.Snapshot().Summary())
+	if restored.N() != direct.N() || math.Abs(restored.Mean()-direct.Mean()) > 1e-12 ||
+		math.Abs(restored.Std()-direct.Std()) > 1e-9 {
+		t.Fatalf("merged restored snapshots diverge: %s vs %s", restored.String(), direct.String())
+	}
+	// Degenerate sizes: n=0 and n=1 snapshots render std as 0, which is
+	// also the exact second moment, so they restore losslessly.
+	var empty, one Summary
+	one.Add(3)
+	if empty.Snapshot().Summary() != empty {
+		t.Fatal("empty snapshot must restore to the zero summary")
+	}
+	got := one.Snapshot().Summary()
+	got.Merge(a)
+	want := one
+	want.Merge(a)
+	if got.N() != want.N() || got.Mean() != want.Mean() || got.Min() != want.Min() {
+		t.Fatalf("n=1 snapshot merge diverges: %s vs %s", got.String(), want.String())
+	}
+}
+
+func TestSampleCloneIsIndependent(t *testing.T) {
+	s := NewSample(4)
+	for _, x := range []float64{5, 1, 3} {
+		s.Add(x)
+	}
+	c := s.Clone()
+	if c.Median() != 3 { // sorts the clone's backing slice in place
+		t.Fatalf("clone median = %v", c.Median())
+	}
+	if got := s.Values(); got[0] != 5 || got[1] != 1 || got[2] != 3 {
+		t.Fatalf("cloning then sorting the clone mutated the original: %v", got)
+	}
+	c.Add(100)
+	if s.N() != 3 || s.Max() != 5 {
+		t.Fatal("adding to the clone mutated the original summary")
+	}
+}
+
+func TestRestoreSample(t *testing.T) {
+	orig := NewSample(4)
+	for _, x := range []float64{2, 8, 4} {
+		orig.Add(x)
+	}
+	full := RestoreSample(orig.Summary, orig.Values())
+	if full.Summary != orig.Summary {
+		t.Fatal("restored sample must carry the exact summary")
+	}
+	if full.Median() != 4 {
+		t.Fatalf("restored sample median = %v, want 4", full.Median())
+	}
+	compact := RestoreSample(orig.Summary, nil)
+	if compact.N() != 3 || compact.Mean() != orig.Mean() {
+		t.Fatal("summary-only sample lost its moments")
+	}
+	if !math.IsNaN(compact.Quantile(0.5)) {
+		t.Fatal("summary-only sample should have no quantiles")
 	}
 }

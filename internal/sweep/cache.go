@@ -1,63 +1,253 @@
 package sweep
 
 import (
+	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/campaign"
 )
 
-// Cache memoizes completed campaign results by scenario content hash.
-// Campaigns are deterministic, so a hit is indistinguishable from a
-// re-run; caching only removes wall-clock. The zero value is not usable;
-// construct with NewCache.
-type Cache struct {
-	mu sync.RWMutex
-	m  map[string]*campaign.Result
+// BackingStore is a persistent layer under a Cache: the disk store
+// (internal/sweep/store) implements it. Get misses must be cheap and
+// never fatal; Put errors are surfaced to the cache's error counter but
+// never fail a sweep.
+type BackingStore interface {
+	Get(id string) (*campaign.Result, bool)
+	Put(id string, res *campaign.Result) error
 }
 
-// NewCache returns an empty cache.
-func NewCache() *Cache { return &Cache{m: make(map[string]*campaign.Result)} }
+// DefaultSharedLimit bounds the process-wide Shared cache. Before the
+// limit existed, every scenario ever simulated stayed resident —
+// unbounded growth over a long-lived process sweeping large grids. With
+// a backing store attached, evicted entries are only a disk read away.
+const DefaultSharedLimit = 1024
+
+// Cache memoizes completed campaign results by scenario content hash.
+// Campaigns are deterministic, so a hit is indistinguishable from a
+// re-run; caching only removes wall-clock.
+//
+// Results are defensively copied on both insert and lookup: no caller
+// ever holds a pointer into cached state, so mutating a returned result
+// (or even calling Quantile, which sorts samples in place) cannot
+// corrupt later hits.
+//
+// A cache may be bounded (SetLimit) — entries evict least-recently-used
+// — and may be layered over a BackingStore (AttachStore), which makes
+// Get read-through and Put write-through: misses consult disk before
+// reporting failure, inserts persist before returning. The zero value
+// is not usable; construct with NewCache or NewPersistentCache.
+type Cache struct {
+	mu        sync.Mutex
+	m         map[string]*list.Element // id → lru element holding *entry
+	lru       *list.List               // front = most recently used
+	limit     int                      // ≤ 0 means unbounded
+	store     BackingStore
+	inflight  map[string]*flight
+	storeErrs atomic.Int64
+}
+
+type entry struct {
+	id  string
+	res *campaign.Result
+}
+
+// flight is one in-progress GetOrRun execution; concurrent callers for
+// the same key wait on it instead of re-running the campaign. Only the
+// error is shared through the flight — on success followers re-read the
+// now-warm cache, so they never touch the result object the leader's
+// caller owns (and may already be mutating).
+type flight struct {
+	done chan struct{}
+	err  error
+}
+
+// NewCache returns an empty, unbounded, memory-only cache.
+func NewCache() *Cache {
+	return &Cache{
+		m:        make(map[string]*list.Element),
+		lru:      list.New(),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// NewPersistentCache returns a cache layered over a backing store.
+func NewPersistentCache(s BackingStore) *Cache {
+	c := NewCache()
+	c.store = s
+	return c
+}
 
 // Shared is the process-wide cache: sweeps and the experiment drivers
 // both consult it, so an artefact regenerated after a sweep (or vice
-// versa) reuses the completed scenario instead of re-simulating it.
-var Shared = NewCache()
+// versa) reuses the completed scenario instead of re-simulating it. It
+// is bounded (DefaultSharedLimit, LRU) so long-lived processes don't
+// grow without bound; attach a disk store (AttachStore) to make
+// eviction free and to survive restarts.
+var Shared = func() *Cache {
+	c := NewCache()
+	c.SetLimit(DefaultSharedLimit)
+	return c
+}()
 
-// Get returns the cached result for a scenario ID.
-func (c *Cache) Get(id string) (*campaign.Result, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	res, ok := c.m[id]
-	return res, ok
-}
-
-// Put stores a completed result under its scenario ID.
-func (c *Cache) Put(id string, res *campaign.Result) {
+// SetLimit bounds the number of in-memory entries; 0 or negative means
+// unbounded. Shrinking below the current size evicts immediately,
+// least-recently-used first.
+func (c *Cache) SetLimit(n int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.m[id] = res
+	c.limit = n
+	c.evictLocked()
 }
 
-// Len returns the number of cached scenarios.
+// AttachStore layers a backing store under the cache. Existing
+// in-memory entries are not flushed retroactively; entries inserted
+// from then on persist.
+func (c *Cache) AttachStore(s BackingStore) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.store = s
+}
+
+// StoreErrors returns how many backing-store writes failed. Persistence
+// is best-effort — a full disk degrades the cache, never the sweep —
+// so failures count rather than propagate.
+func (c *Cache) StoreErrors() int64 { return c.storeErrs.Load() }
+
+// Get returns an independent copy of the cached result for a scenario
+// ID, consulting the backing store on a memory miss.
+func (c *Cache) Get(id string) (*campaign.Result, bool) {
+	c.mu.Lock()
+	el, ok := c.m[id]
+	var cached *campaign.Result
+	if ok {
+		c.lru.MoveToFront(el)
+		cached = el.Value.(*entry).res
+	}
+	st := c.store
+	c.mu.Unlock()
+	if ok {
+		// Cache-owned results are only ever replaced, never mutated in
+		// place, so cloning outside the lock is safe and keeps a large
+		// copy from serializing every other cache access.
+		return cached.Clone(), true
+	}
+	if st == nil {
+		return nil, false
+	}
+	res, ok := st.Get(id)
+	if !ok {
+		return nil, false
+	}
+	c.insert(id, res) // takes ownership of res; returns a copy below
+	return res.Clone(), true
+}
+
+// Put stores a copy of a completed result under its scenario ID and,
+// when a store is attached, persists it.
+func (c *Cache) Put(id string, res *campaign.Result) {
+	c.mu.Lock()
+	st := c.store
+	c.mu.Unlock()
+	c.insert(id, res.Clone())
+	if st != nil {
+		if err := st.Put(id, res); err != nil {
+			c.storeErrs.Add(1)
+		}
+	}
+}
+
+// insert adds an entry the cache owns outright (already copied or
+// freshly restored from disk) and applies the LRU bound.
+func (c *Cache) insert(id string, res *campaign.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[id]; ok {
+		el.Value.(*entry).res = res
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.m[id] = c.lru.PushFront(&entry{id: id, res: res})
+	c.evictLocked()
+}
+
+func (c *Cache) evictLocked() {
+	if c.limit <= 0 {
+		return
+	}
+	for c.lru.Len() > c.limit {
+		el := c.lru.Back()
+		c.lru.Remove(el)
+		delete(c.m, el.Value.(*entry).id)
+	}
+}
+
+// Len returns the number of in-memory entries.
 func (c *Cache) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return len(c.m)
 }
 
-// GetOrRun returns the cached result for cfg's scenario hash, running
-// the campaign on a miss. Concurrent misses on the same key may both
-// run; determinism makes the duplicate work harmless and the stored
-// results identical.
+// runCampaign indirects campaign.Run so tests can count executions.
+var runCampaign = campaign.Run
+
+// GetOrRun returns the result for cfg's scenario hash, running the
+// campaign on a miss. Concurrent misses on the same key are
+// de-duplicated: exactly one caller simulates, the rest wait and share
+// the outcome. Every caller gets an independent copy.
 func (c *Cache) GetOrRun(cfg campaign.Config) (*campaign.Result, error) {
+	res, _, err := c.getOrRun(cfg)
+	return res, err
+}
+
+// getOrRun is GetOrRun plus a hit report: cached is true when the
+// result was served — from memory, disk, or another caller's completed
+// flight — without this call simulating. The sweep executor uses it so
+// its misses join the same de-duplication as every other cache user.
+func (c *Cache) getOrRun(cfg campaign.Config) (res *campaign.Result, cached bool, err error) {
 	id := ScenarioID(cfg)
-	if res, ok := c.Get(id); ok {
-		return res, nil
+	for {
+		if res, ok := c.Get(id); ok {
+			return res, true, nil
+		}
+		c.mu.Lock()
+		if f, ok := c.inflight[id]; ok {
+			// Someone is already simulating this scenario: wait, then
+			// loop back to Get — the cache is warm on their success.
+			// (In the pathological case where the entry was already
+			// evicted again, the loop simply elects a new leader.)
+			c.mu.Unlock()
+			<-f.done
+			if f.err != nil {
+				return nil, false, f.err
+			}
+			continue
+		}
+		f := &flight{done: make(chan struct{})}
+		c.inflight[id] = f
+		c.mu.Unlock()
+		// Deferred so a panic while simulating still releases the key:
+		// waiters wake (f.err nil → they loop and elect a new leader)
+		// instead of blocking on a permanently wedged flight. The leader
+		// returns below without iterating, so this registers once.
+		defer func() {
+			c.mu.Lock()
+			delete(c.inflight, id)
+			c.mu.Unlock()
+			close(f.done)
+		}()
+
+		// Leader: re-check the cache (a racing Put may have landed
+		// between our miss and claiming the flight), then simulate.
+		res, ok := c.Get(id)
+		if !ok {
+			res, err = runCampaign(cfg)
+			if err == nil {
+				c.Put(id, res)
+			}
+			f.err = err
+		}
+		return res, ok, err
 	}
-	res, err := campaign.Run(cfg)
-	if err != nil {
-		return nil, err
-	}
-	c.Put(id, res)
-	return res, nil
 }

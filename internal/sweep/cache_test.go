@@ -1,0 +1,293 @@
+package sweep
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// countRuns redirects GetOrRun/executor campaign execution through a
+// counter for the duration of a test.
+func countRuns(t *testing.T) *atomic.Int64 {
+	t.Helper()
+	var n atomic.Int64
+	orig := runCampaign
+	runCampaign = func(cfg campaign.Config) (*campaign.Result, error) {
+		n.Add(1)
+		return orig(cfg)
+	}
+	t.Cleanup(func() { runCampaign = orig })
+	return &n
+}
+
+// TestCacheHitIsImmuneToCallerMutation is the regression test for the
+// shared-pointer bug: Get used to return the cached *campaign.Result
+// itself, so any caller mutation silently corrupted every later hit.
+func TestCacheHitIsImmuneToCallerMutation(t *testing.T) {
+	cache := NewCache()
+	first, err := cache.GetOrRun(campaign.Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMeasurements := first.TotalMeasurements
+	wantSnap := first.MobileAll.Snapshot()
+	wantMedian := first.Samples[first.Reports[0].Cell].Median()
+
+	// Trash a hit every way a consumer plausibly could, including the
+	// subtle one: Quantile sorts the sample's backing slice in place.
+	hit, ok := cache.Get(ScenarioID(campaign.Config{Seed: 3}))
+	if !ok {
+		t.Fatal("expected a cache hit")
+	}
+	hit.TotalMeasurements = 0
+	hit.MobileAll = first.Wired
+	hit.Reports[0] = campaign.CellReport{}
+	for _, s := range hit.Samples {
+		s.Add(-1e6)
+		s.Quantile(0.5)
+	}
+
+	again, ok := cache.Get(ScenarioID(campaign.Config{Seed: 3}))
+	if !ok {
+		t.Fatal("expected a cache hit after mutation")
+	}
+	if again.TotalMeasurements != wantMeasurements ||
+		again.MobileAll.Snapshot() != wantSnap ||
+		again.Samples[again.Reports[0].Cell].Median() != wantMedian {
+		t.Fatal("mutating one hit corrupted the cache for the next Get")
+	}
+}
+
+// TestGetOrRunSingleflight proves concurrent misses on one scenario
+// hash run the campaign exactly once.
+func TestGetOrRunSingleflight(t *testing.T) {
+	runs := countRuns(t)
+	cache := NewCache()
+	cfg := campaign.Config{Seed: 17}
+
+	const callers = 8
+	results := make([]*campaign.Result, callers)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			res, err := cache.GetOrRun(cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("%d concurrent misses ran the campaign %d times, want 1", callers, got)
+	}
+	for i := 1; i < callers; i++ {
+		if results[i] == nil || results[i] == results[0] {
+			t.Fatal("every caller must get its own independent copy")
+		}
+		if results[i].MobileAll.Snapshot() != results[0].MobileAll.Snapshot() {
+			t.Fatal("callers received diverging results")
+		}
+	}
+}
+
+func TestGetOrRunSingleflightSharesError(t *testing.T) {
+	runs := countRuns(t)
+	cache := NewCache()
+	// An off-grid target cell fails campaign setup deterministically.
+	cfg := campaign.Config{Seed: 1, TargetCells: []string{"Z9"}}
+
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = cache.GetOrRun(cfg)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("caller %d: expected the shared failure", i)
+		}
+	}
+	// Failures are not cached: a later call retries.
+	if _, err := cache.GetOrRun(cfg); err == nil {
+		t.Fatal("failure must not be cached as success")
+	}
+	if runs.Load() < 2 {
+		t.Fatal("a failed flight should be retriable")
+	}
+}
+
+// TestGetOrRunReleasesFlightOnPanic: a panic while simulating must not
+// wedge the scenario key — waiters wake and a later call re-runs.
+func TestGetOrRunReleasesFlightOnPanic(t *testing.T) {
+	orig := runCampaign
+	t.Cleanup(func() { runCampaign = orig })
+	first := true
+	runCampaign = func(cfg campaign.Config) (*campaign.Result, error) {
+		if first {
+			first = false
+			panic("injected simulator failure")
+		}
+		return orig(cfg)
+	}
+
+	cache := NewCache()
+	cfg := campaign.Config{Seed: 23}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected the injected panic to propagate")
+			}
+		}()
+		cache.GetOrRun(cfg)
+	}()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := cache.GetOrRun(cfg)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("GetOrRun deadlocked on a key whose leader panicked")
+	}
+}
+
+func TestCacheLimitEvictsLRU(t *testing.T) {
+	cache := NewCache()
+	cache.SetLimit(2)
+	ids := make([]string, 3)
+	for i, seed := range []uint64{1, 2, 3} {
+		cfg := campaign.Config{Seed: seed}
+		ids[i] = ScenarioID(cfg)
+		if _, err := cache.GetOrRun(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cache.Len() != 2 {
+		t.Fatalf("bounded cache holds %d entries, want 2", cache.Len())
+	}
+	if _, ok := cache.Get(ids[0]); ok {
+		t.Fatal("least-recently-used entry should have been evicted")
+	}
+	for _, id := range ids[1:] {
+		if _, ok := cache.Get(id); !ok {
+			t.Fatalf("recent entry %s was evicted", id)
+		}
+	}
+	// Touching an entry protects it from the next eviction.
+	cache.Get(ids[1])
+	if _, err := cache.GetOrRun(campaign.Config{Seed: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.Get(ids[1]); !ok {
+		t.Fatal("recently touched entry was evicted instead of the LRU one")
+	}
+}
+
+// fakeStore is an in-memory BackingStore for layering tests.
+type fakeStore struct {
+	mu     sync.Mutex
+	m      map[string]campaign.ResultState
+	gets   atomic.Int64
+	puts   atomic.Int64
+	failed bool
+}
+
+func newFakeStore() *fakeStore { return &fakeStore{m: make(map[string]campaign.ResultState)} }
+
+func (f *fakeStore) Get(id string) (*campaign.Result, bool) {
+	f.gets.Add(1)
+	f.mu.Lock()
+	st, ok := f.m[id]
+	f.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	res, err := st.Restore()
+	if err != nil {
+		return nil, false
+	}
+	return res, true
+}
+
+func (f *fakeStore) Put(id string, res *campaign.Result) error {
+	f.puts.Add(1)
+	if f.failed {
+		return errors.New("disk full")
+	}
+	f.mu.Lock()
+	f.m[id] = res.State(false)
+	f.mu.Unlock()
+	return nil
+}
+
+func TestPersistentCacheReadsThroughAndWritesThrough(t *testing.T) {
+	st := newFakeStore()
+	warm := NewPersistentCache(st)
+	cfg := campaign.Config{Seed: 6}
+	orig, err := warm.GetOrRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.puts.Load() != 1 {
+		t.Fatalf("Put reached the store %d times, want 1", st.puts.Load())
+	}
+
+	// A fresh cache over the same store — the process-restart shape —
+	// serves the scenario from disk without re-running.
+	runs := countRuns(t)
+	cold := NewPersistentCache(st)
+	res, ok := cold.Get(ScenarioID(cfg))
+	if !ok {
+		t.Fatal("read-through miss: scenario not served from the store")
+	}
+	if runs.Load() != 0 {
+		t.Fatal("disk hit must not re-run the campaign")
+	}
+	if res.MobileAll.Snapshot() != orig.MobileAll.Snapshot() {
+		t.Fatal("disk round-trip changed the result")
+	}
+	// The disk hit is now memoized: the next Get stays off disk.
+	before := st.gets.Load()
+	if _, ok := cold.Get(ScenarioID(cfg)); !ok {
+		t.Fatal("memoized disk hit lost")
+	}
+	if st.gets.Load() != before {
+		t.Fatal("second Get should be served from memory, not disk")
+	}
+}
+
+func TestPersistentCacheSurvivesStoreFailure(t *testing.T) {
+	st := newFakeStore()
+	st.failed = true
+	cache := NewPersistentCache(st)
+	if _, err := cache.GetOrRun(campaign.Config{Seed: 8}); err != nil {
+		t.Fatalf("a failing store must not fail the run: %v", err)
+	}
+	if cache.StoreErrors() != 1 {
+		t.Fatalf("StoreErrors = %d, want 1", cache.StoreErrors())
+	}
+	if _, ok := cache.Get(ScenarioID(campaign.Config{Seed: 8})); !ok {
+		t.Fatal("result must stay cached in memory despite the store failure")
+	}
+}

@@ -85,24 +85,26 @@ func Run(g Grid, opt Options) (*Result, error) {
 					continue
 				}
 				sc := scenarios[i]
-				var res *campaign.Result
-				cached := false
+				var (
+					res    *campaign.Result
+					cached bool
+					err    error
+				)
 				if opt.Cache != nil {
-					res, cached = opt.Cache.Get(sc.ID)
+					// Through the cache's singleflight, so a scenario
+					// this sweep misses while another sweep or an
+					// experiment driver is already simulating it is
+					// waited for, not simulated twice.
+					res, cached, err = opt.Cache.getOrRun(sc.Config)
+				} else {
+					res, err = runCampaign(sc.Config)
 				}
-				if res == nil {
-					r, err := campaign.Run(sc.Config)
-					if err != nil {
-						errOnce.Do(func() {
-							runErr = fmt.Errorf("sweep: scenario %d (%s): %w", sc.Index, sc.ID, err)
-							stop.Store(true)
-						})
-						continue
-					}
-					res = r
-					if opt.Cache != nil {
-						opt.Cache.Put(sc.ID, res)
-					}
+				if err != nil {
+					errOnce.Do(func() {
+						runErr = fmt.Errorf("sweep: scenario %d (%s): %w", sc.Index, sc.ID, err)
+						stop.Store(true)
+					})
+					continue
 				}
 				runs[i] = ScenarioRun{Scenario: sc, Cached: cached, Result: res}
 			}

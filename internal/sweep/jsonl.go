@@ -54,6 +54,18 @@ func RecordOf(r ScenarioRun) Record {
 			Reported: rep.Reported,
 		})
 	}
+	// Slices must marshal as [] — never null — so records are
+	// byte-comparable regardless of how they were built. For results
+	// produced by campaign.Run these are provably non-nil (Canonical
+	// fills TargetCells, Run requires a reported cell), so this guards
+	// the other producers: hand-built results in tests and any future
+	// synthetic/restored source that skips Run.
+	if rec.TargetCells == nil {
+		rec.TargetCells = []string{}
+	}
+	if rec.Cells == nil {
+		rec.Cells = []CellAggregate{}
+	}
 	return rec
 }
 

@@ -1,0 +1,269 @@
+// Package store persists completed sweep scenarios to disk, keyed by
+// scenario content hash, so sweeps resume warm across process restarts.
+// It layers under sweep.Cache (read-through on miss, write-through on
+// insert) and is deliberately boring about durability and aggressively
+// tolerant about corruption:
+//
+//   - one versioned JSON record per scenario under records/<id>.json,
+//     written atomically (temp file + rename), so a crash never leaves a
+//     half-written record under its final name;
+//   - an append-only index.jsonl that makes opens one sequential read
+//     instead of a directory walk; ids are appended before their
+//     records commit, so the index can only over-state (a phantom entry
+//     degrades to one miss), never hide a committed record. A lost or
+//     unreadable index falls back to rescanning records/;
+//   - any unreadable, unparsable, wrong-version or mismatched record is
+//     skipped and treated as a cache miss — corruption re-simulates one
+//     scenario, it never fails a sweep.
+//
+// Records capture campaign.ResultState, which serializes every summary
+// losslessly, so a result served from disk is indistinguishable — to
+// the byte, in JSONL exports and aggregate tables — from the freshly
+// simulated one. In compact mode records hold only per-cell moments
+// (stats snapshots' backing state), not raw samples, shrinking the
+// on-disk footprint of large grids by orders of magnitude.
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// FormatVersion is bumped whenever the record encoding changes
+// incompatibly. Records carrying any other version are skipped on read
+// (a miss, re-simulated and rewritten), which makes format migration
+// automatic: old records age out as scenarios re-run.
+const FormatVersion = 1
+
+const (
+	recordsDir = "records"
+	indexName  = "index.jsonl"
+
+	// staleTempAge is how old a put-*.tmp must be before Open treats it
+	// as a crash orphan rather than another process's in-flight write.
+	staleTempAge = time.Hour
+)
+
+// Options configures a store.
+type Options struct {
+	// Compact stores summary-only records: per-cell moments instead of
+	// every raw sample. Full and compact records coexist in one
+	// directory; reading either works regardless of the current mode.
+	Compact bool
+}
+
+// record is the on-disk envelope around a result state.
+type record struct {
+	V      int                  `json:"v"`
+	ID     string               `json:"id"`
+	Result campaign.ResultState `json:"result"`
+}
+
+// indexEntry is one line of index.jsonl.
+type indexEntry struct {
+	V  int    `json:"v"`
+	ID string `json:"id"`
+}
+
+// Store is a disk-backed, content-addressed scenario result store. All
+// methods are safe for concurrent use.
+type Store struct {
+	dir     string
+	compact bool
+
+	mu    sync.Mutex
+	known map[string]bool // ids believed present on disk
+	index *os.File        // append handle for index.jsonl
+}
+
+// Open creates (or reopens) a store rooted at dir. Existing records are
+// discovered from the index and a directory rescan; nothing is decoded
+// until Get, so opening a million-record store stays cheap.
+func Open(dir string, opt Options) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, recordsDir), 0o755); err != nil {
+		return nil, fmt.Errorf("store: create %s: %w", dir, err)
+	}
+	s := &Store{dir: dir, compact: opt.Compact, known: make(map[string]bool)}
+
+	// Sweep temp files orphaned by a crash mid-Put, each up to a full
+	// serialized result. Only temps older than a generous threshold are
+	// removed: another process sharing this directory may be mid-Put
+	// right now, and unlinking its temp would fail its rename. A live
+	// Put lasts milliseconds, so an hour-old temp is always a corpse.
+	if stale, err := filepath.Glob(filepath.Join(dir, "put-*.tmp")); err == nil {
+		for _, f := range stale {
+			if fi, err := os.Stat(f); err == nil && time.Since(fi.ModTime()) > staleTempAge {
+				os.Remove(f)
+			}
+		}
+	}
+
+	// The index is what keeps opens cheap: one sequential file read
+	// instead of a directory walk. Put appends an id before committing
+	// its record, so the index can only over-state — a phantom entry
+	// degrades to one miss via Get and is re-simulated — never hide a
+	// committed record. Corrupt lines are skipped. A missing,
+	// unreadable, or empty index falls back to rescanning records/, and
+	// the rescan result is written back so the rebuilt index serves the
+	// next Open by itself.
+	if data, err := os.ReadFile(filepath.Join(dir, indexName)); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			var e indexEntry
+			if json.Unmarshal([]byte(line), &e) == nil && e.V == FormatVersion && e.ID != "" {
+				s.known[e.ID] = true
+			}
+		}
+	}
+	rebuilt := false
+	if len(s.known) == 0 {
+		entries, err := os.ReadDir(filepath.Join(dir, recordsDir))
+		if err != nil {
+			return nil, fmt.Errorf("store: scan %s: %w", dir, err)
+		}
+		for _, e := range entries {
+			if id, ok := strings.CutSuffix(e.Name(), ".json"); ok && !e.IsDir() {
+				s.known[id] = true
+			}
+		}
+		rebuilt = len(s.known) > 0
+	}
+
+	idx, err := os.OpenFile(filepath.Join(dir, indexName),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open index: %w", err)
+	}
+	s.index = idx
+	if rebuilt {
+		// Best-effort: if the write-back fails the next Open just
+		// rescans again.
+		var buf strings.Builder
+		for id := range s.known {
+			line, _ := json.Marshal(indexEntry{V: FormatVersion, ID: id})
+			buf.Write(line)
+			buf.WriteByte('\n')
+		}
+		idx.WriteString(buf.String())
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Len returns the number of records believed present. It can
+// over-count: index entries whose record is missing, corrupt, or from
+// another format version stay counted until a Get touches them and
+// forgets the slot.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.known)
+}
+
+// Compact reports whether new records are written summary-only.
+func (s *Store) Compact() bool { return s.compact }
+
+// recordPath returns the final path for a scenario id, refusing ids
+// that could escape the records directory.
+func (s *Store) recordPath(id string) (string, error) {
+	if id == "" || strings.ContainsAny(id, "/\\.") {
+		return "", fmt.Errorf("store: invalid scenario id %q", id)
+	}
+	return filepath.Join(s.dir, recordsDir, id+".json"), nil
+}
+
+// Get loads and restores the record for a scenario id. Every failure
+// mode — absent, unreadable, corrupt, wrong version, id mismatch,
+// unrestorable — is a miss; the bad record is forgotten so the slot is
+// rewritten after the scenario re-runs.
+func (s *Store) Get(id string) (*campaign.Result, bool) {
+	s.mu.Lock()
+	present := s.known[id]
+	s.mu.Unlock()
+	if !present {
+		return nil, false
+	}
+	path, err := s.recordPath(id)
+	if err != nil {
+		return nil, false
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		s.forget(id)
+		return nil, false
+	}
+	var rec record
+	if json.Unmarshal(data, &rec) != nil || rec.V != FormatVersion || rec.ID != id {
+		s.forget(id)
+		return nil, false
+	}
+	res, err := rec.Result.Restore()
+	if err != nil {
+		s.forget(id)
+		return nil, false
+	}
+	return res, true
+}
+
+func (s *Store) forget(id string) {
+	s.mu.Lock()
+	delete(s.known, id)
+	s.mu.Unlock()
+}
+
+// Put persists a completed result under its scenario id: marshal, write
+// to a temp file in the store root, append the index line, then rename
+// into records/. The rename is the commit point; readers either see the
+// whole record or none of it. The index append comes first so a crash
+// between the two leaves a phantom index entry (one harmless miss at
+// Get), never a committed record the next Open can't see.
+func (s *Store) Put(id string, res *campaign.Result) error {
+	path, err := s.recordPath(id)
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(record{V: FormatVersion, ID: id, Result: res.State(s.compact)})
+	if err != nil {
+		return fmt.Errorf("store: encode %s: %w", id, err)
+	}
+	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: temp for %s: %w", id, err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: write %s: %w", id, fmt.Errorf("%v / %v", werr, cerr))
+	}
+
+	s.mu.Lock()
+	if !s.known[id] {
+		// A failed append is tolerated: the record still commits below
+		// and serves this process; the next Open just re-simulates it.
+		line, _ := json.Marshal(indexEntry{V: FormatVersion, ID: id})
+		s.index.Write(append(line, '\n'))
+	}
+	s.mu.Unlock()
+
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: commit %s: %w", id, err)
+	}
+	s.mu.Lock()
+	s.known[id] = true
+	s.mu.Unlock()
+	return nil
+}
+
+// Close releases the index handle. Records are always durable before
+// Put returns; Close exists for tidiness, not correctness.
+func (s *Store) Close() error { return s.index.Close() }

@@ -1,0 +1,313 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+func testResult(t *testing.T, seed uint64) *campaign.Result {
+	t.Helper()
+	res, err := campaign.Run(campaign.Config{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func open(t *testing.T, dir string, opt Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestStorePutGetAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	res := testResult(t, 5)
+
+	s := open(t, dir, Options{})
+	if err := s.Put("abc123", res); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	got, ok := s.Get("abc123")
+	if !ok {
+		t.Fatal("stored record must be readable")
+	}
+	if got.MobileAll != res.MobileAll || got.Wired != res.Wired {
+		t.Fatal("round-trip changed the summaries")
+	}
+
+	// Reopen — the restart path — and read again.
+	re := open(t, dir, Options{})
+	if re.Len() != 1 {
+		t.Fatalf("reopened Len = %d, want 1", re.Len())
+	}
+	again, ok := re.Get("abc123")
+	if !ok {
+		t.Fatal("record lost across reopen")
+	}
+	if again.MobileAll != res.MobileAll || again.TotalMeasurements != res.TotalMeasurements {
+		t.Fatal("reopened round-trip changed the result")
+	}
+	if _, ok := re.Get("missing"); ok {
+		t.Fatal("absent id must miss")
+	}
+}
+
+func TestStoreSurvivesIndexLoss(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	if err := s.Put("deadbeef", testResult(t, 5)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := os.Remove(filepath.Join(dir, "index.jsonl")); err != nil {
+		t.Fatal(err)
+	}
+	re := open(t, dir, Options{})
+	if _, ok := re.Get("deadbeef"); !ok {
+		t.Fatal("record rescan must recover entries after index loss")
+	}
+	re.Close()
+	// The rescan writes the index back, so the next Open — which trusts
+	// a readable index — still sees every record.
+	re2 := open(t, dir, Options{})
+	if _, ok := re2.Get("deadbeef"); !ok {
+		t.Fatal("rebuilt index hides committed records on the second reopen")
+	}
+	// An index truncated to zero bytes must also trigger the rescan.
+	re2.Close()
+	if err := os.Truncate(filepath.Join(dir, "index.jsonl"), 0); err != nil {
+		t.Fatal(err)
+	}
+	re3 := open(t, dir, Options{})
+	if _, ok := re3.Get("deadbeef"); !ok {
+		t.Fatal("empty index must fall back to the records rescan")
+	}
+}
+
+func TestStoreToleratesGarbledIndex(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	if err := s.Put("cafe01", testResult(t, 5)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	idx := filepath.Join(dir, "index.jsonl")
+	if err := os.WriteFile(idx, []byte("{\"v\":1,\"id\":\"cafe01\"}\nnot json at all\n\x00\x01\x02\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re := open(t, dir, Options{})
+	if _, ok := re.Get("cafe01"); !ok {
+		t.Fatal("valid record must survive a partially garbled index")
+	}
+}
+
+func TestStoreSkipsCorruptRecords(t *testing.T) {
+	dir := t.TempDir()
+	res := testResult(t, 5)
+	s := open(t, dir, Options{})
+	for _, id := range []string{"truncated", "garbled", "wrongversion", "mismatch", "intact"} {
+		if err := s.Put(id, res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec := func(id string) string { return filepath.Join(dir, "records", id+".json") }
+
+	// Truncate one record mid-byte.
+	data, err := os.ReadFile(rec("truncated"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(rec("truncated"), data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Garble another outright.
+	if err := os.WriteFile(rec("garbled"), []byte("\x7fELF not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite one under a future format version.
+	var future map[string]any
+	if err := json.Unmarshal(data, &future); err != nil {
+		t.Fatal(err)
+	}
+	future["v"] = FormatVersion + 1
+	fdata, _ := json.Marshal(future)
+	if err := os.WriteFile(rec("wrongversion"), fdata, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Copy a valid record under the wrong id (content-address violation).
+	intact, err := os.ReadFile(rec("intact"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(rec("mismatch"), intact, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re := open(t, dir, Options{})
+	for _, id := range []string{"truncated", "garbled", "wrongversion", "mismatch"} {
+		if _, ok := re.Get(id); ok {
+			t.Fatalf("corrupt record %q must read as a miss", id)
+		}
+	}
+	if _, ok := re.Get("intact"); !ok {
+		t.Fatal("intact record must still be served")
+	}
+	// A miss on corruption forgets the slot so a re-run rewrites it.
+	if err := re.Put("garbled", res); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := re.Get("garbled"); !ok {
+		t.Fatal("rewritten record must be served again")
+	}
+}
+
+func TestStoreCompactRecordsHoldNoRawSamples(t *testing.T) {
+	dir := t.TempDir()
+	res := testResult(t, 5)
+	s := open(t, dir, Options{Compact: true})
+	if err := s.Put("c0ffee", res); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "records", "c0ffee.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(data, []byte(`"samples"`)) {
+		t.Fatal("compact record contains raw samples")
+	}
+	full := open(t, t.TempDir(), Options{})
+	if err := full.Put("c0ffee", res); err != nil {
+		t.Fatal(err)
+	}
+	fdata, err := os.ReadFile(filepath.Join(full.Dir(), "records", "c0ffee.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(fdata, []byte(`"samples"`)) {
+		t.Fatal("full record should contain raw samples")
+	}
+	if len(data) >= len(fdata)/10 {
+		t.Fatalf("compact record is %d bytes vs %d full — expected >10x shrink",
+			len(data), len(fdata))
+	}
+	// A compact record restores with its moments intact.
+	got, ok := s.Get("c0ffee")
+	if !ok {
+		t.Fatal("compact record must restore")
+	}
+	if got.MobileAll != res.MobileAll {
+		t.Fatal("compact restore changed the headline summary")
+	}
+}
+
+func TestStoreRejectsPathEscapingIDs(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	res := testResult(t, 5)
+	for _, id := range []string{"", "../evil", "a/b", `a\b`, "dot.dot"} {
+		if err := s.Put(id, res); err == nil {
+			t.Fatalf("id %q must be rejected", id)
+		}
+		if _, ok := s.Get(id); ok {
+			t.Fatalf("id %q must miss", id)
+		}
+	}
+}
+
+func TestStoreLeavesNoTempDebris(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	if err := s.Put("aa11", testResult(t, 5)); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("temp file %s left behind after Put", e.Name())
+		}
+	}
+}
+
+func TestStoreSweepsOrphanedTempFilesAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	if err := s.Put("aa11", testResult(t, 5)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// A crash mid-Put leaves a temp file behind; reopening must sweep
+	// old ones but leave fresh ones alone — a process sharing the
+	// directory may be mid-Put right now.
+	orphan := filepath.Join(dir, "put-orphan123.tmp")
+	if err := os.WriteFile(orphan, []byte("half a record"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	past := time.Now().Add(-2 * staleTempAge)
+	if err := os.Chtimes(orphan, past, past); err != nil {
+		t.Fatal(err)
+	}
+	fresh := filepath.Join(dir, "put-inflight456.tmp")
+	if err := os.WriteFile(fresh, []byte("another writer"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re := open(t, dir, Options{})
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatal("stale orphaned temp file survived Open")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatal("fresh temp file (possible live writer) must not be swept")
+	}
+	if _, ok := re.Get("aa11"); !ok {
+		t.Fatal("sweeping temps must not touch committed records")
+	}
+}
+
+func TestStorePhantomIndexEntryDegradesToMiss(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	if err := s.Put("aa11", testResult(t, 5)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Simulate a crash between the index append and the record commit:
+	// the index lists an id with no record behind it.
+	idx, err := os.OpenFile(filepath.Join(dir, "index.jsonl"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.WriteString(`{"v":1,"id":"phantom"}` + "\n"); err != nil {
+		t.Fatal(err)
+	}
+	idx.Close()
+	re := open(t, dir, Options{})
+	if _, ok := re.Get("phantom"); ok {
+		t.Fatal("phantom index entry must read as a miss")
+	}
+	if _, ok := re.Get("aa11"); !ok {
+		t.Fatal("real record must still be served")
+	}
+	// The miss forgot the phantom; a Put rewrites it for real.
+	if err := re.Put("phantom", testResult(t, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := re.Get("phantom"); !ok {
+		t.Fatal("rewritten phantom must be served")
+	}
+}

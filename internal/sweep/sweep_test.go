@@ -158,8 +158,14 @@ func TestCacheSkipsCompletedScenarios(t *testing.T) {
 		t.Fatalf("second run hits/misses = %d/%d, want 2/0", second.CacheHits, second.CacheMisses)
 	}
 	for i := range first.Scenarios {
-		if first.Scenarios[i].Result != second.Scenarios[i].Result {
-			t.Fatal("cached run should reuse the completed result object")
+		f, s := first.Scenarios[i].Result, second.Scenarios[i].Result
+		if f == s {
+			t.Fatal("cache must hand out defensive copies, not the stored pointer")
+		}
+		if f.MobileAll.Snapshot() != s.MobileAll.Snapshot() ||
+			f.Wired.Snapshot() != s.Wired.Snapshot() ||
+			f.TotalMeasurements != s.TotalMeasurements {
+			t.Fatal("cached result differs from the original run")
 		}
 	}
 	if cache.Len() != 2 {
@@ -177,15 +183,17 @@ func TestCacheGetOrRunKeyedByFullConfig(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if base != again {
+	// A hit is an independent copy carrying identical statistics.
+	if base == again {
+		t.Fatal("cache hit must be a defensive copy")
+	}
+	if base.MobileAll.Snapshot() != again.MobileAll.Snapshot() ||
+		base.TotalMeasurements != again.TotalMeasurements {
 		t.Fatal("same config must hit the cache")
 	}
 	edge, err := cache.GetOrRun(campaign.Config{Seed: 5, EdgeUPF: true})
 	if err != nil {
 		t.Fatal(err)
-	}
-	if edge == base {
-		t.Fatal("differing configs with one seed must not conflate")
 	}
 	if edge.MobileAll.Mean() == base.MobileAll.Mean() {
 		t.Fatal("edge-UPF campaign should measure a different mobile mean")

@@ -66,6 +66,22 @@ func RunSweep(g SweepGrid, opt SweepOptions) (*SweepResult, error) {
 	return sweep.Run(g, opt)
 }
 
+// UseDiskCache persists the shared result cache to dir: campaigns
+// completed by sweeps or experiment drivers — in this process or any
+// earlier one pointed at the same directory — are served from disk
+// instead of re-simulated. Compact mode stores summary-only records.
+func UseDiskCache(dir string, compact bool) error {
+	return experiments.UseDiskCache(dir, compact)
+}
+
+// CacheStoreErrors reports how many disk-cache writes have failed since
+// UseDiskCache. Persistence is best-effort — a full disk never fails a
+// run — so callers that promised durability should check this on exit
+// and warn.
+func CacheStoreErrors() int64 {
+	return sweep.Shared.StoreErrors()
+}
+
 // Artifact is a reproduced paper artefact (table or figure) with its
 // paper-vs-measured comparison rows.
 type Artifact = experiments.Artifact
