@@ -7,6 +7,9 @@
 //	sixgsim -list            # list experiment ids
 //	sixgsim -seed 7 -exp gap # change the seed
 //	sixgsim -checks          # print only the paper-vs-measured rows
+//	sixgsim -cache-dir .c    # reuse campaigns across runs (full records)
+//	sixgsim -cache-dir .c -compact   # summary-only records; quantile
+//	                                 # drivers (tails) re-simulate per run
 package main
 
 import (
@@ -20,17 +23,22 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment id to run (default: all)")
-		seed   = flag.Uint64("seed", 42, "simulation seed")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		checks = flag.Bool("checks", false, "print only paper-vs-measured rows")
-		outDir = flag.String("out", "", "also write each artefact to <dir>/<id>.txt")
-		cache  = flag.String("cache-dir", "", "persist completed campaigns to this directory and reuse them across runs")
+		exp     = flag.String("exp", "", "experiment id to run (default: all)")
+		seed    = flag.Uint64("seed", 42, "simulation seed")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		checks  = flag.Bool("checks", false, "print only paper-vs-measured rows")
+		outDir  = flag.String("out", "", "also write each artefact to <dir>/<id>.txt")
+		cache   = flag.String("cache-dir", "", "persist completed campaigns to this directory and reuse them across runs")
+		compact = flag.Bool("compact", false, "with -cache-dir: store summary-only records; drivers deriving quantiles from raw samples re-simulate their campaign each run")
 	)
 	flag.Parse()
 
+	if *compact && *cache == "" {
+		fmt.Fprintln(os.Stderr, "sixgsim: -compact requires -cache-dir")
+		os.Exit(1)
+	}
 	if *cache != "" {
-		if err := sixgedge.UseDiskCache(*cache, false); err != nil {
+		if err := sixgedge.UseDiskCache(*cache, *compact); err != nil {
 			fmt.Fprintln(os.Stderr, "sixgsim:", err)
 			os.Exit(1)
 		}

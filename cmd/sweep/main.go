@@ -13,6 +13,7 @@
 //	sweep -cells "B2,E2;A3,C4" -nodes 3,5   # probe-set and fleet axes
 //	sweep -reps 4 -cache-dir .sweepcache    # persist results; re-runs resume warm
 //	sweep -reps 4 -cache-dir .sweepcache -compact   # summary-only records on disk
+//	sweep -cache-dir .sweepcache -compact-store     # rewrite live records, drop dead bytes
 package main
 
 import (
@@ -30,21 +31,45 @@ import (
 
 func main() {
 	var (
-		seeds    = flag.String("seeds", "", "comma-separated explicit seeds (overrides -reps/-base-seed)")
-		reps     = flag.Int("reps", 1, "replications derived from -base-seed when -seeds is empty")
-		baseSeed = flag.Uint64("base-seed", 42, "root seed for derived replications")
-		profiles = flag.String("profiles", "", "comma-separated profile names (default 5G-public); known: "+profileNames())
-		peering  = flag.String("peering", "off", "local-peering axis: off, on or both")
-		edgeUPF  = flag.String("edge-upf", "off", "edge-UPF axis: off, on or both")
-		nodes    = flag.String("nodes", "", "comma-separated mobile-node counts (default 3)")
-		cells    = flag.String("cells", "", "semicolon-separated target-cell sets, cells comma-separated")
-		workers  = flag.Int("workers", 0, "concurrent scenarios (0 = GOMAXPROCS)")
-		out      = flag.String("out", "", "JSONL output file (\"-\" for stdout, empty to skip)")
-		deltas   = flag.Bool("deltas", false, "print per-cell recommendation deltas")
-		cacheDir = flag.String("cache-dir", "", "persist the result cache to this directory; re-runs over completed scenarios resume warm")
-		compact  = flag.Bool("compact", false, "with -cache-dir: store summary-only records (per-cell moments, no raw samples)")
+		seeds        = flag.String("seeds", "", "comma-separated explicit seeds (overrides -reps/-base-seed)")
+		reps         = flag.Int("reps", 1, "replications derived from -base-seed when -seeds is empty")
+		baseSeed     = flag.Uint64("base-seed", 42, "root seed for derived replications")
+		profiles     = flag.String("profiles", "", "comma-separated profile names (default 5G-public); known: "+profileNames())
+		peering      = flag.String("peering", "off", "local-peering axis: off, on or both")
+		edgeUPF      = flag.String("edge-upf", "off", "edge-UPF axis: off, on or both")
+		nodes        = flag.String("nodes", "", "comma-separated mobile-node counts (default 3)")
+		cells        = flag.String("cells", "", "semicolon-separated target-cell sets, cells comma-separated")
+		workers      = flag.Int("workers", 0, "concurrent scenarios (0 = GOMAXPROCS)")
+		out          = flag.String("out", "", "JSONL output file (\"-\" for stdout, empty to skip)")
+		deltas       = flag.Bool("deltas", false, "print per-cell recommendation deltas")
+		cacheDir     = flag.String("cache-dir", "", "persist the result cache to this directory; re-runs over completed scenarios resume warm")
+		compact      = flag.Bool("compact", false, "with -cache-dir: store summary-only records (per-cell moments, no raw samples)")
+		compactStore = flag.Bool("compact-store", false, "with -cache-dir: compact the on-disk store (drop superseded and corrupt entries, rewrite live records into fresh segments) and exit")
 	)
 	flag.Parse()
+
+	if *compactStore {
+		if *cacheDir == "" {
+			fatal(fmt.Errorf("-compact-store requires -cache-dir"))
+		}
+		st, err := store.Open(*cacheDir, store.Options{Compact: *compact})
+		if err != nil {
+			fatal(err)
+		}
+		defer st.Close()
+		stats, err := st.Compact()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("compacted %s: %d live records into %d segments (%d before), %d -> %d bytes",
+			st.Dir(), stats.Live, stats.SegmentsAfter, stats.SegmentsBefore,
+			stats.BytesBefore, stats.BytesAfter)
+		if stats.Dropped > 0 {
+			fmt.Printf("; %d corrupt entries dropped", stats.Dropped)
+		}
+		fmt.Println()
+		return
+	}
 
 	grid, err := buildGrid(*seeds, *reps, *baseSeed, *profiles, *peering, *edgeUPF, *nodes, *cells)
 	if err != nil {
@@ -77,7 +102,7 @@ func main() {
 		len(res.Scenarios), len(res.Variants), res.CacheHits, res.CacheMisses)
 	if st != nil {
 		mode := "full"
-		if st.Compact() {
+		if st.CompactMode() {
 			mode = "compact"
 		}
 		fmt.Fprintf(report, "cache-dir: %s holds %d records (%s)", st.Dir(), st.Len(), mode)

@@ -104,12 +104,22 @@ func campaignFor(seed uint64) (*campaign.Result, error) {
 	return sweep.Shared.GetOrRun(campaign.Config{Seed: seed})
 }
 
+// campaignRaw is campaignFor for drivers that derive quantiles, CDFs or
+// histograms from raw per-cell samples. A summary-only cache hit — a
+// compact disk record — is treated as a miss and the campaign
+// re-simulates, so such drivers never compute tails over silently
+// absent samples.
+func campaignRaw(seed uint64) (*campaign.Result, error) {
+	return sweep.Shared.GetOrRunFull(campaign.Config{Seed: seed})
+}
+
 // UseDiskCache layers a persistent result store under the shared
 // campaign cache, so artefact regeneration re-uses scenarios completed
 // in earlier processes (and sweeps run with the same cache directory).
 // Compact mode stores summary-only records; artefacts that only need
-// moments are unaffected, but drivers needing raw sample quantiles
-// should use the full mode.
+// moments are unaffected, while drivers needing raw-sample quantiles
+// (the tails driver) re-simulate their campaign once per process
+// instead of reading zeros off a compact record.
 func UseDiskCache(dir string, compact bool) error {
 	st, err := store.Open(dir, store.Options{Compact: compact})
 	if err != nil {

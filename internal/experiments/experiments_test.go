@@ -3,6 +3,10 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/sweep"
+	"repro/internal/sweep/store"
 )
 
 const testSeed = 42
@@ -14,7 +18,7 @@ func TestRegistryComplete(t *testing.T) {
 		"requirements", "gap", "scalability", "capacity", "protocols",
 		"peering", "upf", "cpf", "argame",
 		"fedlearn", "energy", "resilience",
-		"slices", "ric",
+		"slices", "ric", "tails",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -123,6 +127,51 @@ func TestCampaignCacheReuse(t *testing.T) {
 	}
 	if c.TotalMeasurements != b.TotalMeasurements {
 		t.Fatal("mutating a returned result leaked into the cache")
+	}
+}
+
+// TestTailsReSimulatesOverCompactCache is the regression test for the
+// raw-samples gap: with a compact (summary-only) record already on disk
+// for its scenario, the quantile-deriving tails driver must re-simulate
+// and report real tails — not hand back zero quantiles off the compact
+// hit, which is exactly what happened before NeedRawSamples existed.
+func TestTailsReSimulatesOverCompactCache(t *testing.T) {
+	// A seed no other test shares, so the process-wide cache cannot
+	// already hold a full in-memory result for it.
+	const seed = 987654321
+	cfg := campaign.Config{Seed: seed}
+	res, err := campaign.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(t.TempDir(), store.Options{Compact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Put(sweep.ScenarioID(cfg), res); err != nil {
+		t.Fatal(err)
+	}
+	sweep.Shared.AttachStore(st)
+	defer sweep.Shared.AttachStore(nil)
+
+	// Sanity: the compact record really is what a moment consumer gets.
+	probe, ok := sweep.Shared.Get(sweep.ScenarioID(cfg))
+	if !ok || !probe.SummaryOnly {
+		t.Fatalf("compact record not served as summary-only (ok=%t)", ok)
+	}
+
+	art, err := Tails(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range art.Checks {
+		if !c.InBand {
+			t.Errorf("tails over a compact cache is out of band: %s", c)
+		}
+	}
+	if strings.Contains(art.Text, "summary-only: true") {
+		t.Fatal("tails accepted the summary-only record instead of re-simulating")
 	}
 }
 

@@ -117,12 +117,31 @@ func (c *Cache) StoreErrors() int64 { return c.storeErrs.Load() }
 // Get returns an independent copy of the cached result for a scenario
 // ID, consulting the backing store on a memory miss.
 func (c *Cache) Get(id string) (*campaign.Result, bool) {
+	return c.get(id, false)
+}
+
+// GetFull is Get restricted to results carrying raw per-cell samples: a
+// summary-only entry (restored from a compact disk record) is reported
+// as a miss instead of served, so callers deriving quantiles, CDFs or
+// histograms never compute them over silently absent data.
+func (c *Cache) GetFull(id string) (*campaign.Result, bool) {
+	return c.get(id, true)
+}
+
+func (c *Cache) get(id string, needRaw bool) (*campaign.Result, bool) {
 	c.mu.Lock()
 	el, ok := c.m[id]
 	var cached *campaign.Result
 	if ok {
-		c.lru.MoveToFront(el)
-		cached = el.Value.(*entry).res
+		res := el.Value.(*entry).res
+		if needRaw && res.SummaryOnly {
+			// A compact entry cannot serve a raw-samples caller; fall
+			// through to the store, which may hold a full record.
+			ok = false
+		} else {
+			c.lru.MoveToFront(el)
+			cached = res
+		}
 	}
 	st := c.store
 	c.mu.Unlock()
@@ -137,6 +156,12 @@ func (c *Cache) Get(id string) (*campaign.Result, bool) {
 	}
 	res, ok := st.Get(id)
 	if !ok {
+		return nil, false
+	}
+	if needRaw && res.SummaryOnly {
+		// Don't insert: memoizing the compact record would evict
+		// nothing useful and the caller is about to re-simulate a full
+		// result that will land in this slot anyway.
 		return nil, false
 	}
 	c.insert(id, res) // takes ownership of res; returns a copy below
@@ -197,7 +222,20 @@ var runCampaign = campaign.Run
 // de-duplicated: exactly one caller simulates, the rest wait and share
 // the outcome. Every caller gets an independent copy.
 func (c *Cache) GetOrRun(cfg campaign.Config) (*campaign.Result, error) {
-	res, _, err := c.getOrRun(cfg)
+	res, _, err := c.getOrRun(cfg, false)
+	return res, err
+}
+
+// GetOrRunFull is GetOrRun for callers that derive quantiles, CDFs or
+// histograms from raw per-cell samples: a hit whose result is
+// summary-only (a compact disk record) is treated as a miss and the
+// scenario re-simulates, instead of handing the caller a result whose
+// quantiles silently read as zero. The fresh full result replaces the
+// compact entry in memory; a compact-mode backing store still persists
+// it summary-only, so over a compact store such callers re-simulate
+// once per process rather than once per call.
+func (c *Cache) GetOrRunFull(cfg campaign.Config) (*campaign.Result, error) {
+	res, _, err := c.getOrRun(cfg, true)
 	return res, err
 }
 
@@ -205,10 +243,11 @@ func (c *Cache) GetOrRun(cfg campaign.Config) (*campaign.Result, error) {
 // result was served — from memory, disk, or another caller's completed
 // flight — without this call simulating. The sweep executor uses it so
 // its misses join the same de-duplication as every other cache user.
-func (c *Cache) getOrRun(cfg campaign.Config) (res *campaign.Result, cached bool, err error) {
+// With needRaw set, summary-only entries never count as hits.
+func (c *Cache) getOrRun(cfg campaign.Config, needRaw bool) (res *campaign.Result, cached bool, err error) {
 	id := ScenarioID(cfg)
 	for {
-		if res, ok := c.Get(id); ok {
+		if res, ok := c.get(id, needRaw); ok {
 			return res, true, nil
 		}
 		c.mu.Lock()
@@ -240,7 +279,7 @@ func (c *Cache) getOrRun(cfg campaign.Config) (res *campaign.Result, cached bool
 
 		// Leader: re-check the cache (a racing Put may have landed
 		// between our miss and claiming the flight), then simulate.
-		res, ok := c.Get(id)
+		res, ok := c.get(id, needRaw)
 		if !ok {
 			res, err = runCampaign(cfg)
 			if err == nil {

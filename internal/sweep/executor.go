@@ -19,6 +19,13 @@ type Options struct {
 	// drivers, a fresh NewCache for an isolated sweep, or nil to force
 	// every scenario to run.
 	Cache *Cache
+	// NeedRawSamples forces every scenario result to carry raw per-cell
+	// samples: a summary-only cache hit (a compact disk record) is
+	// treated as a miss and re-simulated. Set it when downstream
+	// consumers derive quantiles, CDFs or histograms from the sweep;
+	// the default JSONL export and variant aggregates need only
+	// moments, which every record mode preserves.
+	NeedRawSamples bool
 }
 
 // ScenarioRun is one executed scenario.
@@ -95,7 +102,7 @@ func Run(g Grid, opt Options) (*Result, error) {
 					// this sweep misses while another sweep or an
 					// experiment driver is already simulating it is
 					// waited for, not simulated twice.
-					res, cached, err = opt.Cache.getOrRun(sc.Config)
+					res, cached, err = opt.Cache.getOrRun(sc.Config, opt.NeedRawSamples)
 				} else {
 					res, err = runCampaign(sc.Config)
 				}

@@ -83,12 +83,44 @@ func TestSweepResumesFromDiskAcrossRestart(t *testing.T) {
 	}
 }
 
+// findSegmentOf locates the pack segment holding a scenario's record,
+// via the fixed envelope prefix, so tests can damage precise files
+// without reaching into store internals.
+func findSegmentOf(t *testing.T, dir, id string) string {
+	t.Helper()
+	needle := []byte(`{"v":1,"id":"` + id + `"`)
+	var found string
+	err := filepath.WalkDir(filepath.Join(dir, "segments"), func(p string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		if bytes.Contains(data, needle) {
+			found = p
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found == "" {
+		t.Fatalf("no segment holds scenario %s", id)
+	}
+	return found
+}
+
 // TestSweepHealsCorruptedCacheRecords injects corruption into a warm
 // cache directory and asserts the sweep quietly re-simulates only the
 // damaged scenario — corruption costs time, never correctness.
 func TestSweepHealsCorruptedCacheRecords(t *testing.T) {
 	dir := t.TempDir()
-	st, err := store.Open(dir, store.Options{})
+	// SegmentBytes 1 rotates after every record, so each scenario gets
+	// its own segment file and damage stays surgical.
+	opt := store.Options{SegmentBytes: 1}
+	st, err := store.Open(dir, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +136,7 @@ func TestSweepHealsCorruptedCacheRecords(t *testing.T) {
 
 	// Truncate one record and garble another: two scenarios damaged.
 	victims := []string{first.Scenarios[0].ID, first.Scenarios[2].ID}
-	trunc := filepath.Join(dir, "records", victims[0]+".json")
+	trunc := findSegmentOf(t, dir, victims[0])
 	data, err := os.ReadFile(trunc)
 	if err != nil {
 		t.Fatal(err)
@@ -112,13 +144,13 @@ func TestSweepHealsCorruptedCacheRecords(t *testing.T) {
 	if err := os.WriteFile(trunc, data[:len(data)/3], 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, "records", victims[1]+".json"),
+	if err := os.WriteFile(findSegmentOf(t, dir, victims[1]),
 		[]byte("no longer json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 
 	runs := countRuns(t)
-	st2, err := store.Open(dir, store.Options{})
+	st2, err := store.Open(dir, opt)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,19 +2,62 @@
 // scenario content hash, so sweeps resume warm across process restarts.
 // It layers under sweep.Cache (read-through on miss, write-through on
 // insert) and is deliberately boring about durability and aggressively
-// tolerant about corruption:
+// tolerant about corruption.
 //
-//   - one versioned JSON record per scenario under records/<id>.json,
-//     written atomically (temp file + rename), so a crash never leaves a
-//     half-written record under its final name;
-//   - an append-only index.jsonl that makes opens one sequential read
-//     instead of a directory walk; ids are appended before their
-//     records commit, so the index can only over-state (a phantom entry
-//     degrades to one miss), never hide a committed record. A lost or
-//     unreadable index falls back to rescanning records/;
-//   - any unreadable, unparsable, wrong-version or mismatched record is
-//     skipped and treated as a cache miss — corruption re-simulates one
-//     scenario, it never fails a sweep.
+// # Layout
+//
+// Records pack into append-only segments instead of one file per
+// scenario — at millions of records a flat directory collapses under
+// filesystem pressure, while a few thousand multi-megabyte segments do
+// not:
+//
+//	<dir>/
+//	  segments/<shard>/seg-NNNN.jsonl   append-only pack segments
+//	  index.jsonl                       sidecar: id -> byte location
+//
+// The shard is the first two hex characters of the scenario hash (256-way
+// fan-out keeps per-directory entry counts flat; ids that do not start
+// with two hex characters shard through a hash of the id instead). Each
+// shard appends to its highest-numbered segment and rotates to a fresh
+// one once the tail exceeds Options.SegmentBytes. A record is one JSON
+// line: the versioned envelope around a campaign.ResultState.
+//
+// The sidecar index maps ids to (shard, segment, offset, length), so
+// opens are one sequential read and Gets are one ReadAt — no record is
+// decoded until asked for. The segment append is the commit point and
+// the index line follows it, so the index can only under-state a record
+// whose Put never returned; it never claims a record the segments don't
+// hold. A lost, empty, or unreadable index falls back to a full segment
+// scan (in sorted shard/segment order, so rebuilds are deterministic
+// across platforms) and is written back for the next open.
+//
+// Crash tolerance: a Put interrupted mid-append leaves a partial final
+// line in a tail segment. Partial lines are never acknowledged (Put
+// writes line+\n in one call and returns after it succeeds), parse as
+// garbage during scans, and are sealed off with a newline at the next
+// open so later appends stay line-aligned. Any unreadable, unparsable,
+// wrong-version or mismatched record reads as a cache miss — corruption
+// re-simulates one scenario, it never fails a sweep.
+//
+// Superseded records (an id re-Put after corruption healing) and crash
+// garbage accumulate as dead bytes until Compact, which rewrites live
+// records into fresh segments and drops everything else. Compaction is
+// explicit (cmd/sweep -compact-store); nothing runs in the background.
+//
+// Stores created by the v1 layout (one records/<id>.json per scenario)
+// migrate transparently: Open folds every readable v1 record into
+// segments and removes the records/ directory, so existing -cache-dir
+// directories keep working with no tooling.
+//
+// Sharing a directory: a Store is safe for any number of goroutines,
+// but the append-only layout assumes one writing process per directory.
+// Concurrent writers never corrupt served results — every read
+// re-validates the envelope's version and id, so interleaved appends
+// degrade to cache misses (stranded records that re-simulate), not to
+// wrong data — but they can waste work; and Compact must never run
+// while another process (or another Store instance in this process)
+// writes the same directory, since it deletes the segment files the
+// other instance's index points at.
 //
 // Records capture campaign.ResultState, which serializes every summary
 // losslessly, so a result served from disk is indistinguishable — to
@@ -25,10 +68,16 @@
 package store
 
 import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -39,12 +88,28 @@ import (
 // FormatVersion is bumped whenever the record encoding changes
 // incompatibly. Records carrying any other version are skipped on read
 // (a miss, re-simulated and rewritten), which makes format migration
-// automatic: old records age out as scenarios re-run.
+// automatic: old records age out as scenarios re-run. The segmented
+// layout kept the v1 record envelope byte-for-byte — only the packing
+// around it changed — so v1 records migrate instead of aging out.
 const FormatVersion = 1
 
+// indexVersion versions the sidecar entries, which carry byte locations
+// the v1 index lacked. v1 index lines are skipped on load; when nothing
+// loads, the segment scan rebuilds the index from the ground truth.
+const indexVersion = 2
+
+// DefaultSegmentBytes is the rotation threshold: a shard's tail segment
+// that grows past this many bytes is retired and the next append opens
+// a fresh one. At the default, a million compact records pack into a
+// few hundred segments per shard-free directory walk.
+const DefaultSegmentBytes = 4 << 20
+
 const (
-	recordsDir = "records"
-	indexName  = "index.jsonl"
+	segmentsDir  = "segments"
+	recordsDirV1 = "records"
+	indexName    = "index.jsonl"
+	segPrefix    = "seg-"
+	segSuffix    = ".jsonl"
 
 	// staleTempAge is how old a put-*.tmp must be before Open treats it
 	// as a crash orphan rather than another process's in-flight write.
@@ -57,46 +122,86 @@ type Options struct {
 	// every raw sample. Full and compact records coexist in one
 	// directory; reading either works regardless of the current mode.
 	Compact bool
+	// SegmentBytes overrides the segment rotation threshold
+	// (DefaultSegmentBytes when zero). Tests use tiny values to force
+	// rotation; production has no reason to change it.
+	SegmentBytes int64
 }
 
-// record is the on-disk envelope around a result state.
+// record is the on-disk envelope around a result state: one JSON line
+// per record inside a segment.
 type record struct {
 	V      int                  `json:"v"`
 	ID     string               `json:"id"`
 	Result campaign.ResultState `json:"result"`
 }
 
-// indexEntry is one line of index.jsonl.
+// indexEntry is one line of index.jsonl: where an id's newest record
+// lives. Later lines for the same id supersede earlier ones, so the
+// index doubles as an append log.
 type indexEntry struct {
-	V  int    `json:"v"`
-	ID string `json:"id"`
+	V     int    `json:"v"`
+	ID    string `json:"id"`
+	Shard string `json:"shard"`
+	Seg   int    `json:"seg"`
+	Off   int64  `json:"off"`
+	Len   int64  `json:"len"`
 }
 
-// Store is a disk-backed, content-addressed scenario result store. All
-// methods are safe for concurrent use.
-type Store struct {
-	dir     string
-	compact bool
+// location is where an id's live record starts and how long it is
+// (excluding the trailing newline).
+type location struct {
+	shard string
+	seg   int
+	off   int64
+	n     int64
+}
 
-	mu    sync.Mutex
-	known map[string]bool // ids believed present on disk
-	index *os.File        // append handle for index.jsonl
+// shardState tracks one shard's append position.
+type shardState struct {
+	tailSeg int      // highest segment number; -1 when the shard is empty
+	tail    *os.File // lazily opened append handle for the tail segment
+}
+
+// Store is a disk-backed, content-addressed scenario result store over
+// sharded append-only segments. All methods are safe for concurrent
+// use.
+type Store struct {
+	dir      string
+	compact  bool
+	segBytes int64
+
+	mu     sync.Mutex
+	loc    map[string]location    // id -> live record location
+	shards map[string]*shardState // shard -> append state
+	index  *os.File               // append handle for index.jsonl
 }
 
 // Open creates (or reopens) a store rooted at dir. Existing records are
-// discovered from the index and a directory rescan; nothing is decoded
-// until Get, so opening a million-record store stays cheap.
+// discovered from the sidecar index (one sequential read) or, when that
+// is missing or empty, a full segment scan; a v1 one-file-per-record
+// layout found under records/ is folded into segments first. Nothing is
+// decoded until Get, so opening a million-record store stays cheap.
 func Open(dir string, opt Options) (*Store, error) {
-	if err := os.MkdirAll(filepath.Join(dir, recordsDir), 0o755); err != nil {
+	if err := os.MkdirAll(filepath.Join(dir, segmentsDir), 0o755); err != nil {
 		return nil, fmt.Errorf("store: create %s: %w", dir, err)
 	}
-	s := &Store{dir: dir, compact: opt.Compact, known: make(map[string]bool)}
+	segBytes := opt.SegmentBytes
+	if segBytes <= 0 {
+		segBytes = DefaultSegmentBytes
+	}
+	s := &Store{
+		dir:      dir,
+		compact:  opt.Compact,
+		segBytes: segBytes,
+		loc:      make(map[string]location),
+		shards:   make(map[string]*shardState),
+	}
 
-	// Sweep temp files orphaned by a crash mid-Put, each up to a full
-	// serialized result. Only temps older than a generous threshold are
-	// removed: another process sharing this directory may be mid-Put
-	// right now, and unlinking its temp would fail its rename. A live
-	// Put lasts milliseconds, so an hour-old temp is always a corpse.
+	// Sweep temp files orphaned by a crash mid-migration or
+	// mid-compaction. Only temps older than a generous threshold are
+	// removed: another process sharing this directory may be mid-write
+	// right now, and unlinking its temp would fail its rename.
 	if stale, err := filepath.Glob(filepath.Join(dir, "put-*.tmp")); err == nil {
 		for _, f := range stale {
 			if fi, err := os.Stat(f); err == nil && time.Since(fi.ModTime()) > staleTempAge {
@@ -105,165 +210,687 @@ func Open(dir string, opt Options) (*Store, error) {
 		}
 	}
 
-	// The index is what keeps opens cheap: one sequential file read
-	// instead of a directory walk. Put appends an id before committing
-	// its record, so the index can only over-state — a phantom entry
-	// degrades to one miss via Get and is re-simulated — never hide a
-	// committed record. Corrupt lines are skipped. A missing,
-	// unreadable, or empty index falls back to rescanning records/, and
-	// the rescan result is written back so the rebuilt index serves the
-	// next Open by itself.
-	if data, err := os.ReadFile(filepath.Join(dir, indexName)); err == nil {
-		for _, line := range strings.Split(string(data), "\n") {
-			var e indexEntry
-			if json.Unmarshal([]byte(line), &e) == nil && e.V == FormatVersion && e.ID != "" {
-				s.known[e.ID] = true
-			}
-		}
+	if err := s.scanShards(); err != nil {
+		return nil, err
 	}
+	s.loadIndex()
 	rebuilt := false
-	if len(s.known) == 0 {
-		entries, err := os.ReadDir(filepath.Join(dir, recordsDir))
-		if err != nil {
-			return nil, fmt.Errorf("store: scan %s: %w", dir, err)
+	if len(s.loc) == 0 && len(s.shards) > 0 {
+		if err := s.rebuild(); err != nil {
+			return nil, err
 		}
-		for _, e := range entries {
-			if id, ok := strings.CutSuffix(e.Name(), ".json"); ok && !e.IsDir() {
-				s.known[id] = true
-			}
-		}
-		rebuilt = len(s.known) > 0
+		rebuilt = len(s.loc) > 0
 	}
-
-	idx, err := os.OpenFile(filepath.Join(dir, indexName),
-		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	migrated, err := s.migrateV1()
 	if err != nil {
-		return nil, fmt.Errorf("store: open index: %w", err)
+		// Migration appends through the shard tails; close any handles
+		// it opened before abandoning the store.
+		s.closeTailsLocked()
+		return nil, err
 	}
-	s.index = idx
-	if rebuilt {
+	if rebuilt || migrated {
 		// Best-effort: if the write-back fails the next Open just
-		// rescans again.
-		var buf strings.Builder
-		for id := range s.known {
-			line, _ := json.Marshal(indexEntry{V: FormatVersion, ID: id})
-			buf.Write(line)
-			buf.WriteByte('\n')
+		// rescans (or re-migrates the leftovers) again.
+		s.rewriteIndexLocked()
+	}
+	if s.index == nil {
+		idx, err := os.OpenFile(filepath.Join(dir, indexName),
+			os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			s.closeTailsLocked()
+			return nil, fmt.Errorf("store: open index: %w", err)
 		}
-		idx.WriteString(buf.String())
+		s.index = idx
 	}
 	return s, nil
+}
+
+// shardOf maps an id to its shard directory: the id's own first two hex
+// characters when it is a content hash (the normal case), otherwise two
+// hex characters of the id's hash so arbitrary ids still fan out
+// uniformly.
+func shardOf(id string) string {
+	if len(id) >= 2 && isHexLower(id[0]) && isHexLower(id[1]) {
+		return id[:2]
+	}
+	sum := sha256.Sum256([]byte(id))
+	return hex.EncodeToString(sum[:1])
+}
+
+func isHexLower(c byte) bool {
+	return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')
+}
+
+func segName(n int) string { return fmt.Sprintf("%s%04d%s", segPrefix, n, segSuffix) }
+
+// parseSegName extracts the segment number, rejecting anything that is
+// not a segment file.
+func parseSegName(name string) (int, bool) {
+	num, ok := strings.CutPrefix(name, segPrefix)
+	if !ok {
+		return 0, false
+	}
+	num, ok = strings.CutSuffix(num, segSuffix)
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(num)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+func (s *Store) shardDir(shard string) string {
+	return filepath.Join(s.dir, segmentsDir, shard)
+}
+
+func (s *Store) segPath(shard string, seg int) string {
+	return filepath.Join(s.shardDir(shard), segName(seg))
+}
+
+// scanShards discovers the shard directories and each one's tail
+// segment, sealing tails that end mid-line (a crash between a Put's
+// write and its return): appending a newline turns the partial record
+// into one garbage line — skipped by every reader — instead of letting
+// the next append glue two records together.
+func (s *Store) scanShards() error {
+	root := filepath.Join(s.dir, segmentsDir)
+	shards, err := os.ReadDir(root)
+	if err != nil {
+		return fmt.Errorf("store: scan %s: %w", root, err)
+	}
+	for _, sh := range shards {
+		if !sh.IsDir() {
+			continue
+		}
+		segs, err := os.ReadDir(filepath.Join(root, sh.Name()))
+		if err != nil {
+			continue
+		}
+		tail := -1
+		for _, e := range segs {
+			if n, ok := parseSegName(e.Name()); ok && !e.IsDir() && n > tail {
+				tail = n
+			}
+		}
+		if tail < 0 {
+			continue
+		}
+		if err := sealTail(filepath.Join(root, sh.Name(), segName(tail))); err != nil {
+			return err
+		}
+		s.shards[sh.Name()] = &shardState{tailSeg: tail}
+	}
+	return nil
+}
+
+// sealTail appends a newline to a segment that does not end with one.
+func sealTail(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: seal %s: %w", path, err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil || fi.Size() == 0 {
+		return err
+	}
+	last := make([]byte, 1)
+	if _, err := f.ReadAt(last, fi.Size()-1); err != nil {
+		return fmt.Errorf("store: seal %s: %w", path, err)
+	}
+	if last[0] != '\n' {
+		if _, err := f.WriteAt([]byte{'\n'}, fi.Size()); err != nil {
+			return fmt.Errorf("store: seal %s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// loadIndex reads the sidecar. Corrupt, v1, or implausible lines are
+// skipped; later lines supersede earlier ones, matching append order.
+func (s *Store) loadIndex() {
+	data, err := os.ReadFile(filepath.Join(s.dir, indexName))
+	if err != nil {
+		return
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		var e indexEntry
+		if json.Unmarshal([]byte(line), &e) != nil || e.V != indexVersion {
+			continue
+		}
+		if e.ID == "" || e.Shard == "" || e.Seg < 0 || e.Off < 0 || e.Len <= 0 {
+			continue
+		}
+		s.loc[e.ID] = location{shard: e.Shard, seg: e.Seg, off: e.Off, n: e.Len}
+	}
+}
+
+// rebuild reconstructs the location map from the segments themselves —
+// the ground truth — when the sidecar is lost or useless. Shards and
+// segments are walked in explicitly sorted order so two rebuilds of one
+// directory produce identical indexes on every platform; within a
+// segment, append order does the same. The last occurrence of an id
+// wins, mirroring append semantics.
+func (s *Store) rebuild() error {
+	shards := make([]string, 0, len(s.shards))
+	for sh := range s.shards {
+		shards = append(shards, sh)
+	}
+	sort.Strings(shards)
+	for _, sh := range shards {
+		segs, err := os.ReadDir(s.shardDir(sh))
+		if err != nil {
+			continue
+		}
+		nums := make([]int, 0, len(segs))
+		for _, e := range segs {
+			if n, ok := parseSegName(e.Name()); ok && !e.IsDir() {
+				nums = append(nums, n)
+			}
+		}
+		sort.Ints(nums)
+		for _, n := range nums {
+			if err := s.scanSegment(sh, n); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// scanSegment folds one segment's parseable lines into the location
+// map. Garbage lines (crash debris, bit rot) are skipped — their bytes
+// stay dead until compaction.
+func (s *Store) scanSegment(shard string, seg int) error {
+	f, err := os.Open(s.segPath(shard, seg))
+	if err != nil {
+		return fmt.Errorf("store: scan segment: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	var off int64
+	for {
+		line, err := r.ReadBytes('\n')
+		if len(line) > 0 {
+			n := int64(len(line))
+			payload := line
+			if payload[len(payload)-1] == '\n' {
+				payload = payload[:len(payload)-1]
+			}
+			var rec record
+			if json.Unmarshal(payload, &rec) == nil && rec.V == FormatVersion &&
+				validID(rec.ID) == nil && shardOf(rec.ID) == shard {
+				s.loc[rec.ID] = location{shard: shard, seg: seg, off: off, n: int64(len(payload))}
+			}
+			off += n
+		}
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("store: scan segment: %w", err)
+		}
+	}
+}
+
+// migrateV1 folds a v1 one-file-per-record layout (records/<id>.json)
+// into segments and removes it. Files are visited in sorted order so
+// migration is deterministic; unreadable or mismatched v1 records —
+// which already read as misses in v1 — are dropped rather than carried
+// over. Interrupted migrations resume safely: already-migrated records
+// are recovered by the segment scan, the leftovers re-migrate on the
+// next open.
+func (s *Store) migrateV1() (bool, error) {
+	recDir := filepath.Join(s.dir, recordsDirV1)
+	entries, err := os.ReadDir(recDir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, fmt.Errorf("store: scan v1 %s: %w", recDir, err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if id, ok := strings.CutSuffix(e.Name(), ".json"); ok && !e.IsDir() && id != "" {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	migrated := false
+	for _, name := range names {
+		path := filepath.Join(recDir, name)
+		id := strings.TrimSuffix(name, ".json")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		var rec record
+		if json.Unmarshal(data, &rec) != nil || rec.V != FormatVersion ||
+			rec.ID != id || validID(id) != nil {
+			os.Remove(path)
+			continue
+		}
+		// Re-marshal rather than trusting the file to be newline-free:
+		// the result is the same canonical single line Put writes.
+		line, err := json.Marshal(rec)
+		if err != nil {
+			os.Remove(path)
+			continue
+		}
+		l, err := s.appendLocked(id, line)
+		if err != nil {
+			return migrated, fmt.Errorf("store: migrate %s: %w", id, err)
+		}
+		s.loc[id] = l
+		os.Remove(path)
+		migrated = true
+	}
+	// Succeeds only once every record file is gone; stray files keep
+	// the directory (and are retried or ignored next open).
+	os.Remove(recDir)
+	return migrated, nil
+}
+
+// rewriteIndexLocked atomically replaces the sidecar with one sorted
+// line per live record (temp + rename), then reopens the append handle
+// on the new file. Sorted output makes two rewrites of the same state
+// byte-identical.
+func (s *Store) rewriteIndexLocked() error {
+	ids := make([]string, 0, len(s.loc))
+	for id := range s.loc {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var buf strings.Builder
+	for _, id := range ids {
+		l := s.loc[id]
+		line, _ := json.Marshal(indexEntry{
+			V: indexVersion, ID: id, Shard: l.shard, Seg: l.seg, Off: l.off, Len: l.n,
+		})
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	tmp, err := os.CreateTemp(s.dir, "put-index-*.tmp")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.WriteString(buf.String())
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: rewrite index: %v / %v", werr, cerr)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, indexName)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: rewrite index: %w", err)
+	}
+	if s.index != nil {
+		s.index.Close()
+		s.index = nil
+	}
+	idx, err := os.OpenFile(filepath.Join(s.dir, indexName),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: reopen index: %w", err)
+	}
+	s.index = idx
+	return nil
 }
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
 
 // Len returns the number of records believed present. It can
-// over-count: index entries whose record is missing, corrupt, or from
-// another format version stay counted until a Get touches them and
-// forgets the slot.
+// over-count: index entries whose record is unreadable or from another
+// format version stay counted until a Get touches them and forgets the
+// slot.
 func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.known)
+	return len(s.loc)
 }
 
-// Compact reports whether new records are written summary-only.
-func (s *Store) Compact() bool { return s.compact }
+// CompactMode reports whether new records are written summary-only.
+func (s *Store) CompactMode() bool { return s.compact }
 
-// recordPath returns the final path for a scenario id, refusing ids
-// that could escape the records directory.
-func (s *Store) recordPath(id string) (string, error) {
+// validID refuses ids that could escape the segments directory or
+// collide with segment bookkeeping.
+func validID(id string) error {
 	if id == "" || strings.ContainsAny(id, "/\\.") {
-		return "", fmt.Errorf("store: invalid scenario id %q", id)
+		return fmt.Errorf("store: invalid scenario id %q", id)
 	}
-	return filepath.Join(s.dir, recordsDir, id+".json"), nil
+	return nil
 }
 
-// Get loads and restores the record for a scenario id. Every failure
-// mode — absent, unreadable, corrupt, wrong version, id mismatch,
-// unrestorable — is a miss; the bad record is forgotten so the slot is
-// rewritten after the scenario re-runs.
+// readAtLocation reads a record's exact byte range out of its segment.
+// The range is validated against the file's real size before anything
+// is allocated, so a corrupt index line advertising an absurd length
+// degrades to a miss like every other corruption — it never drives an
+// allocation the process can't survive.
+func readAtLocation(path string, l location) ([]byte, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil || l.off+l.n > fi.Size() {
+		return nil, false
+	}
+	buf := make([]byte, l.n)
+	if _, err := f.ReadAt(buf, l.off); err != nil {
+		return nil, false
+	}
+	return buf, true
+}
+
+// Get loads and restores the record for a scenario id: one ReadAt at
+// the indexed location. Every failure mode — absent, unreadable,
+// corrupt, wrong version, id mismatch, unrestorable — is a miss; the
+// bad slot is forgotten so the record is rewritten after the scenario
+// re-runs.
 func (s *Store) Get(id string) (*campaign.Result, bool) {
 	s.mu.Lock()
-	present := s.known[id]
+	l, ok := s.loc[id]
 	s.mu.Unlock()
-	if !present {
+	if !ok {
 		return nil, false
 	}
-	path, err := s.recordPath(id)
-	if err != nil {
-		return nil, false
-	}
-	data, err := os.ReadFile(path)
-	if err != nil {
-		s.forget(id)
+	buf, ok := readAtLocation(s.segPath(l.shard, l.seg), l)
+	if !ok {
+		s.forgetIf(id, l)
 		return nil, false
 	}
 	var rec record
-	if json.Unmarshal(data, &rec) != nil || rec.V != FormatVersion || rec.ID != id {
-		s.forget(id)
+	if json.Unmarshal(buf, &rec) != nil || rec.V != FormatVersion || rec.ID != id {
+		s.forgetIf(id, l)
 		return nil, false
 	}
 	res, err := rec.Result.Restore()
 	if err != nil {
-		s.forget(id)
+		s.forgetIf(id, l)
 		return nil, false
 	}
 	return res, true
 }
 
-func (s *Store) forget(id string) {
+// forgetIf drops an id's slot only if it still points at the location
+// the failed read used — a concurrent Put or compaction may have moved
+// the record somewhere healthy in the meantime.
+func (s *Store) forgetIf(id string, l location) {
 	s.mu.Lock()
-	delete(s.known, id)
+	if s.loc[id] == l {
+		delete(s.loc, id)
+	}
 	s.mu.Unlock()
 }
 
-// Put persists a completed result under its scenario id: marshal, write
-// to a temp file in the store root, append the index line, then rename
-// into records/. The rename is the commit point; readers either see the
-// whole record or none of it. The index append comes first so a crash
-// between the two leaves a phantom index entry (one harmless miss at
-// Get), never a committed record the next Open can't see.
+// Put persists a completed result under its scenario id: marshal to one
+// line, append it to the id's shard tail segment, then append the index
+// line. The segment append is the commit point — Put returns only after
+// the whole line is down, and readers locate records by exact byte
+// range, so a torn write is never served. A crash between the two
+// appends loses only an unacknowledged record: it re-simulates once and
+// its dead bytes vanish at the next compaction.
 func (s *Store) Put(id string, res *campaign.Result) error {
-	path, err := s.recordPath(id)
-	if err != nil {
+	if err := validID(id); err != nil {
 		return err
 	}
-	data, err := json.Marshal(record{V: FormatVersion, ID: id, Result: res.State(s.compact)})
+	line, err := json.Marshal(record{V: FormatVersion, ID: id, Result: res.State(s.compact)})
 	if err != nil {
 		return fmt.Errorf("store: encode %s: %w", id, err)
 	}
-	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
-	if err != nil {
-		return fmt.Errorf("store: temp for %s: %w", id, err)
-	}
-	_, werr := tmp.Write(data)
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("store: write %s: %w", id, fmt.Errorf("%v / %v", werr, cerr))
-	}
-
 	s.mu.Lock()
-	if !s.known[id] {
-		// A failed append is tolerated: the record still commits below
-		// and serves this process; the next Open just re-simulates it.
-		line, _ := json.Marshal(indexEntry{V: FormatVersion, ID: id})
-		s.index.Write(append(line, '\n'))
-	}
-	s.mu.Unlock()
-
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	defer s.mu.Unlock()
+	l, err := s.appendLocked(id, line)
+	if err != nil {
 		return fmt.Errorf("store: commit %s: %w", id, err)
 	}
-	s.mu.Lock()
-	s.known[id] = true
-	s.mu.Unlock()
+	if s.index != nil {
+		// A failed append is tolerated: the record is committed and
+		// serves this process; the next Open misses it and re-simulates.
+		ie, _ := json.Marshal(indexEntry{
+			V: indexVersion, ID: id, Shard: l.shard, Seg: l.seg, Off: l.off, Len: l.n,
+		})
+		s.index.Write(append(ie, '\n'))
+	}
+	s.loc[id] = l
 	return nil
 }
 
-// Close releases the index handle. Records are always durable before
-// Put returns; Close exists for tidiness, not correctness.
-func (s *Store) Close() error { return s.index.Close() }
+// appendLocked writes one record line to the id's shard tail segment
+// and returns where it landed, rotating the tail once it outgrows the
+// threshold. The write offset comes from a stat, not a running counter,
+// so foreign bytes (another process, crash debris sealed at open) never
+// skew locations.
+func (s *Store) appendLocked(id string, line []byte) (location, error) {
+	shard := shardOf(id)
+	ss := s.shards[shard]
+	if ss == nil {
+		ss = &shardState{tailSeg: -1}
+		s.shards[shard] = ss
+	}
+	if ss.tail == nil {
+		if ss.tailSeg < 0 {
+			if err := os.MkdirAll(s.shardDir(shard), 0o755); err != nil {
+				return location{}, err
+			}
+			ss.tailSeg = 0
+		}
+		f, err := os.OpenFile(s.segPath(shard, ss.tailSeg),
+			os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return location{}, err
+		}
+		ss.tail = f
+	}
+	fi, err := ss.tail.Stat()
+	if err != nil {
+		return location{}, err
+	}
+	off := fi.Size()
+	if _, err := ss.tail.Write(append(line, '\n')); err != nil {
+		// A partial line may be down. Trim it so the next append starts
+		// clean; if even that fails, seal it with a newline so it reads
+		// as one garbage line instead of corrupting a neighbour.
+		if ss.tail.Truncate(off) != nil {
+			ss.tail.Write([]byte{'\n'})
+		}
+		return location{}, err
+	}
+	l := location{shard: shard, seg: ss.tailSeg, off: off, n: int64(len(line))}
+	if off+int64(len(line))+1 >= s.segBytes {
+		ss.tail.Close()
+		ss.tail = nil
+		ss.tailSeg++
+	}
+	return l, nil
+}
+
+// CompactStats reports what a Compact pass did.
+type CompactStats struct {
+	// Live records were carried into fresh segments.
+	Live int
+	// Dropped records were indexed but unreadable or unparsable (bit
+	// rot); superseded and crash-garbage bytes are dropped silently.
+	Dropped int
+	// Segment file and byte counts before and after.
+	SegmentsBefore, SegmentsAfter int
+	BytesBefore, BytesAfter       int64
+}
+
+// Compact rewrites every live record into fresh segments and deletes
+// the old ones, dropping superseded versions, crash garbage, and
+// corrupt entries. It blocks Put/Get for the duration — compaction is
+// an explicit maintenance pass (cmd/sweep -compact-store), not a
+// background thread — and requires exclusive ownership of the
+// directory: no other process or Store instance may be writing it (see
+// the package comment). Crash-safe ordering: new segments are written
+// and renamed in, the index is rewritten to point at them, and only
+// then are old segments deleted — an interruption leaves duplicates
+// (the newer copy wins on any rescan), never a lost record.
+func (s *Store) Compact() (CompactStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var stats CompactStats
+
+	// Group live ids by shard, in (seg, off) order so compacted
+	// segments preserve append order deterministically.
+	byShard := make(map[string][]string)
+	for id, l := range s.loc {
+		byShard[l.shard] = append(byShard[l.shard], id)
+	}
+	shards := make([]string, 0, len(s.shards))
+	for sh := range s.shards {
+		shards = append(shards, sh)
+	}
+	sort.Strings(shards)
+
+	newLoc := make(map[string]location, len(s.loc))
+	var oldSegs []string
+	for _, shard := range shards {
+		ss := s.shards[shard]
+		ids := byShard[shard]
+		sort.Slice(ids, func(i, j int) bool {
+			a, b := s.loc[ids[i]], s.loc[ids[j]]
+			if a.seg != b.seg {
+				return a.seg < b.seg
+			}
+			return a.off < b.off
+		})
+
+		// Account for and remember every existing segment.
+		segEntries, err := os.ReadDir(s.shardDir(shard))
+		if err != nil {
+			return stats, fmt.Errorf("store: compact %s: %w", shard, err)
+		}
+		for _, e := range segEntries {
+			if _, ok := parseSegName(e.Name()); !ok || e.IsDir() {
+				continue
+			}
+			stats.SegmentsBefore++
+			if fi, err := e.Info(); err == nil {
+				stats.BytesBefore += fi.Size()
+			}
+			oldSegs = append(oldSegs, filepath.Join(s.shardDir(shard), e.Name()))
+		}
+		if ss.tail != nil {
+			ss.tail.Close()
+			ss.tail = nil
+		}
+
+		// Read live records back and pack them into fresh segments
+		// numbered after the current tail, flushing at the rotation
+		// threshold so memory stays bounded at one segment regardless
+		// of how large a shard has grown.
+		type liveRec struct {
+			id   string
+			line []byte
+		}
+		seg := ss.tailSeg + 1
+		var pending []liveRec
+		var pendingBytes int64
+		flush := func() error {
+			if len(pending) == 0 {
+				return nil
+			}
+			tmp, err := os.CreateTemp(s.dir, "put-compact-*.tmp")
+			if err != nil {
+				return err
+			}
+			var off int64
+			for _, r := range pending {
+				if _, err := tmp.Write(append(r.line, '\n')); err != nil {
+					tmp.Close()
+					os.Remove(tmp.Name())
+					return err
+				}
+				newLoc[r.id] = location{shard: shard, seg: seg, off: off, n: int64(len(r.line))}
+				off += int64(len(r.line)) + 1
+			}
+			if err := tmp.Close(); err != nil {
+				os.Remove(tmp.Name())
+				return err
+			}
+			if err := os.Rename(tmp.Name(), s.segPath(shard, seg)); err != nil {
+				os.Remove(tmp.Name())
+				return err
+			}
+			stats.SegmentsAfter++
+			stats.BytesAfter += off
+			ss.tailSeg = seg
+			seg++
+			pending = pending[:0]
+			pendingBytes = 0
+			return nil
+		}
+		carried := 0
+		for _, id := range ids {
+			l := s.loc[id]
+			buf, ok := readAtLocation(s.segPath(l.shard, l.seg), l)
+			var rec record
+			if !ok || json.Unmarshal(buf, &rec) != nil ||
+				rec.V != FormatVersion || rec.ID != id {
+				stats.Dropped++
+				continue
+			}
+			pending = append(pending, liveRec{id: id, line: buf})
+			pendingBytes += int64(len(buf)) + 1
+			carried++
+			if pendingBytes >= s.segBytes {
+				if err := flush(); err != nil {
+					return stats, fmt.Errorf("store: compact %s: %w", shard, err)
+				}
+			}
+		}
+		if err := flush(); err != nil {
+			return stats, fmt.Errorf("store: compact %s: %w", shard, err)
+		}
+		stats.Live += carried
+		if carried == 0 {
+			delete(s.shards, shard)
+		}
+	}
+
+	// Point the index at the new segments before deleting the old ones:
+	// a crash in between leaves superseded duplicates, never a hole.
+	s.loc = newLoc
+	if err := s.rewriteIndexLocked(); err != nil {
+		return stats, err
+	}
+	for _, p := range oldSegs {
+		os.Remove(p)
+	}
+	// Drop now-empty shard directories; best-effort.
+	for _, shard := range shards {
+		if _, ok := s.shards[shard]; !ok {
+			os.Remove(s.shardDir(shard))
+		}
+	}
+	return stats, nil
+}
+
+// Close releases the index and tail handles. Records are always durable
+// before Put returns; Close exists for tidiness, not correctness.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closeTailsLocked()
+	if s.index == nil {
+		return nil
+	}
+	err := s.index.Close()
+	s.index = nil
+	return err
+}
+
+func (s *Store) closeTailsLocked() {
+	for _, ss := range s.shards {
+		if ss.tail != nil {
+			ss.tail.Close()
+			ss.tail = nil
+		}
+	}
+}

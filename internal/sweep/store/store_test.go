@@ -2,7 +2,7 @@ package store
 
 import (
 	"bytes"
-	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -116,63 +116,122 @@ func TestStoreToleratesGarbledIndex(t *testing.T) {
 	}
 }
 
+// findRecordLine locates the segment file holding an id's record and
+// the byte offset where its line starts, via the fixed envelope prefix.
+// Tests use it to inject corruption at precise spots without reaching
+// into store internals.
+func findRecordLine(t *testing.T, dir, id string) (path string, off int64) {
+	t.Helper()
+	needle := []byte(`{"v":1,"id":"` + id + `"`)
+	var found string
+	var foundOff int64 = -1
+	err := filepath.WalkDir(filepath.Join(dir, segmentsDir), func(p string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(p, segSuffix) {
+			return err
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		if i := bytes.Index(data, needle); i >= 0 {
+			found, foundOff = p, int64(i)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if foundOff < 0 {
+		t.Fatalf("no segment holds record %q", id)
+	}
+	return found, foundOff
+}
+
 func TestStoreSkipsCorruptRecords(t *testing.T) {
 	dir := t.TempDir()
 	res := testResult(t, 5)
-	s := open(t, dir, Options{})
-	for _, id := range []string{"truncated", "garbled", "wrongversion", "mismatch", "intact"} {
+	// SegmentBytes 1 rotates after every append: each record lands in
+	// its own segment, so corruption can be injected per record.
+	opt := Options{SegmentBytes: 1}
+	s := open(t, dir, opt)
+	for _, id := range []string{"aa-truncated", "bb-garbled", "cc-intact"} {
 		if err := s.Put(id, res); err != nil {
 			t.Fatal(err)
 		}
 	}
-	rec := func(id string) string { return filepath.Join(dir, "records", id+".json") }
+	s.Close()
 
-	// Truncate one record mid-byte.
-	data, err := os.ReadFile(rec("truncated"))
+	// Truncate one record mid-line (bit rot / lost tail).
+	p, _ := findRecordLine(t, dir, "aa-truncated")
+	data, err := os.ReadFile(p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(rec("truncated"), data[:len(data)/2], 0o644); err != nil {
+	if err := os.WriteFile(p, data[:len(data)/2], 0o644); err != nil {
 		t.Fatal(err)
 	}
-	// Garble another outright.
-	if err := os.WriteFile(rec("garbled"), []byte("\x7fELF not json"), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	// Rewrite one under a future format version.
-	var future map[string]any
-	if err := json.Unmarshal(data, &future); err != nil {
-		t.Fatal(err)
-	}
-	future["v"] = FormatVersion + 1
-	fdata, _ := json.Marshal(future)
-	if err := os.WriteFile(rec("wrongversion"), fdata, 0o644); err != nil {
-		t.Fatal(err)
-	}
-	// Copy a valid record under the wrong id (content-address violation).
-	intact, err := os.ReadFile(rec("intact"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile(rec("mismatch"), intact, 0o644); err != nil {
+	// Garble another's whole segment outright.
+	p2, _ := findRecordLine(t, dir, "bb-garbled")
+	if err := os.WriteFile(p2, []byte("\x7fELF not json\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 
-	re := open(t, dir, Options{})
-	for _, id := range []string{"truncated", "garbled", "wrongversion", "mismatch"} {
+	re := open(t, dir, opt)
+	for _, id := range []string{"aa-truncated", "bb-garbled"} {
 		if _, ok := re.Get(id); ok {
 			t.Fatalf("corrupt record %q must read as a miss", id)
 		}
 	}
-	if _, ok := re.Get("intact"); !ok {
+	if _, ok := re.Get("cc-intact"); !ok {
 		t.Fatal("intact record must still be served")
 	}
 	// A miss on corruption forgets the slot so a re-run rewrites it.
-	if err := re.Put("garbled", res); err != nil {
+	if err := re.Put("bb-garbled", res); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := re.Get("garbled"); !ok {
+	if _, ok := re.Get("bb-garbled"); !ok {
 		t.Fatal("rewritten record must be served again")
+	}
+}
+
+// TestStoreRebuildSkipsWrongVersionAndMismatchedLines drives the rescan
+// path over hand-crafted segment content: future-version lines and
+// lines whose id does not shard where they sit must not be indexed.
+func TestStoreRebuildSkipsWrongVersionAndMismatchedLines(t *testing.T) {
+	dir := t.TempDir()
+	res := testResult(t, 5)
+	s := open(t, dir, Options{})
+	if err := s.Put("ab1234", res); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Append a future-version line and a line belonging to another
+	// shard to ab1234's segment, then force a rescan by dropping the
+	// index.
+	p, _ := findRecordLine(t, dir, "ab1234")
+	f, err := os.OpenFile(p, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	future := fmt.Sprintf(`{"v":%d,"id":"abfuture","result":{}}`, FormatVersion+1)
+	if _, err := f.WriteString(future + "\n" + `{"v":1,"id":"ff9999","result":{}}` + "\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := os.Remove(filepath.Join(dir, indexName)); err != nil {
+		t.Fatal(err)
+	}
+
+	re := open(t, dir, Options{})
+	if _, ok := re.Get("abfuture"); ok {
+		t.Fatal("future-version line must not be indexed")
+	}
+	if _, ok := re.Get("ff9999"); ok {
+		t.Fatal("line sharded under the wrong prefix must not be indexed")
+	}
+	if _, ok := re.Get("ab1234"); !ok {
+		t.Fatal("valid record must survive the rescan")
 	}
 }
 
@@ -183,10 +242,12 @@ func TestStoreCompactRecordsHoldNoRawSamples(t *testing.T) {
 	if err := s.Put("c0ffee", res); err != nil {
 		t.Fatal(err)
 	}
-	data, err := os.ReadFile(filepath.Join(dir, "records", "c0ffee.json"))
+	p, off := findRecordLine(t, dir, "c0ffee")
+	raw, err := os.ReadFile(p)
 	if err != nil {
 		t.Fatal(err)
 	}
+	data := raw[off:]
 	if bytes.Contains(data, []byte(`"samples"`)) {
 		t.Fatal("compact record contains raw samples")
 	}
@@ -194,10 +255,12 @@ func TestStoreCompactRecordsHoldNoRawSamples(t *testing.T) {
 	if err := full.Put("c0ffee", res); err != nil {
 		t.Fatal(err)
 	}
-	fdata, err := os.ReadFile(filepath.Join(full.Dir(), "records", "c0ffee.json"))
+	fp, foff := findRecordLine(t, full.Dir(), "c0ffee")
+	fraw, err := os.ReadFile(fp)
 	if err != nil {
 		t.Fatal(err)
 	}
+	fdata := fraw[foff:]
 	if !bytes.Contains(fdata, []byte(`"samples"`)) {
 		t.Fatal("full record should contain raw samples")
 	}
@@ -286,28 +349,36 @@ func TestStorePhantomIndexEntryDegradesToMiss(t *testing.T) {
 		t.Fatal(err)
 	}
 	s.Close()
-	// Simulate a crash between the index append and the record commit:
-	// the index lists an id with no record behind it.
+	// Simulate index entries that outlived their bytes: one pointing
+	// past the end of a real segment, one pointing into a segment that
+	// does not exist.
 	idx, err := os.OpenFile(filepath.Join(dir, "index.jsonl"), os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := idx.WriteString(`{"v":1,"id":"phantom"}` + "\n"); err != nil {
+	// The third line advertises a multi-exabyte record: the length must
+	// be rejected against the real file size, never allocated.
+	phantoms := `{"v":2,"id":"aaphantom","shard":"aa","seg":0,"off":1048576,"len":64}` + "\n" +
+		`{"v":2,"id":"ee77","shard":"ee","seg":3,"off":0,"len":64}` + "\n" +
+		`{"v":2,"id":"aahuge","shard":"aa","seg":0,"off":0,"len":4611686018427387904}` + "\n"
+	if _, err := idx.WriteString(phantoms); err != nil {
 		t.Fatal(err)
 	}
 	idx.Close()
 	re := open(t, dir, Options{})
-	if _, ok := re.Get("phantom"); ok {
-		t.Fatal("phantom index entry must read as a miss")
+	for _, id := range []string{"aaphantom", "ee77", "aahuge"} {
+		if _, ok := re.Get(id); ok {
+			t.Fatalf("phantom index entry %q must read as a miss", id)
+		}
 	}
 	if _, ok := re.Get("aa11"); !ok {
 		t.Fatal("real record must still be served")
 	}
 	// The miss forgot the phantom; a Put rewrites it for real.
-	if err := re.Put("phantom", testResult(t, 5)); err != nil {
+	if err := re.Put("aaphantom", testResult(t, 5)); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := re.Get("phantom"); !ok {
+	if _, ok := re.Get("aaphantom"); !ok {
 		t.Fatal("rewritten phantom must be served")
 	}
 }

@@ -30,6 +30,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/recommend"
 	"repro/internal/sweep"
+	"repro/internal/sweep/store"
 )
 
 // CampaignConfig parameterizes the measurement campaign. The zero value
@@ -69,9 +70,34 @@ func RunSweep(g SweepGrid, opt SweepOptions) (*SweepResult, error) {
 // UseDiskCache persists the shared result cache to dir: campaigns
 // completed by sweeps or experiment drivers — in this process or any
 // earlier one pointed at the same directory — are served from disk
-// instead of re-simulated. Compact mode stores summary-only records.
+// instead of re-simulated. Records pack into sharded append-only
+// segments; a directory written by the older one-file-per-record layout
+// migrates in place on first open. Compact mode stores summary-only
+// records; drivers that derive quantiles from raw samples detect a
+// compact hit and re-simulate instead of reading zeros.
 func UseDiskCache(dir string, compact bool) error {
 	return experiments.UseDiskCache(dir, compact)
+}
+
+// SweepStoreStats reports what a CompactSweepStore pass did.
+type SweepStoreStats = store.CompactStats
+
+// CompactSweepStore rewrites the live records of an on-disk sweep cache
+// into fresh segments, dropping superseded entries, crash garbage and
+// corrupt records. Compaction is an explicit maintenance pass (also
+// available as cmd/sweep -compact-store); the store never compacts in
+// the background. It requires exclusive ownership of the directory:
+// run it when no sweep or sixgsim process — including this one, via
+// UseDiskCache — has the directory attached, since compaction deletes
+// the segment files other instances' indexes point at (they would
+// degrade to re-simulating, not corrupt, but the cache value is lost).
+func CompactSweepStore(dir string) (SweepStoreStats, error) {
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		return SweepStoreStats{}, err
+	}
+	defer st.Close()
+	return st.Compact()
 }
 
 // CacheStoreErrors reports how many disk-cache writes have failed since
