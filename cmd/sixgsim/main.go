@@ -33,9 +33,12 @@ func main() {
 	)
 	flag.Parse()
 
+	// Usage error, not a runtime failure: -compact without a cache
+	// directory would otherwise silently change nothing.
 	if *compact && *cache == "" {
-		fmt.Fprintln(os.Stderr, "sixgsim: -compact requires -cache-dir")
-		os.Exit(1)
+		fmt.Fprintln(os.Stderr, "sixgsim: -compact requires -cache-dir (record mode is a property of the on-disk store)")
+		fmt.Fprintln(os.Stderr, "run with -h for usage")
+		os.Exit(2)
 	}
 	if *cache != "" {
 		if err := sixgedge.UseDiskCache(*cache, *compact); err != nil {

@@ -11,6 +11,9 @@
 //	sweep -reps 4 -base-seed 42 -peering both -edge-upf both -workers 8
 //	sweep -profiles 5G-public,6G-target -out grid.jsonl
 //	sweep -cells "B2,E2;A3,C4" -nodes 3,5   # probe-set and fleet axes
+//	sweep -wired-rounds 3,5,10              # wired-baseline-depth axis
+//	sweep -slicing none,latency,resilience  # probe placement via slicing strategies
+//	sweep -ar-deployments none,5G-edge-upf  # AR-session campaigns per deployment
 //	sweep -reps 4 -cache-dir .sweepcache    # persist results; re-runs resume warm
 //	sweep -reps 4 -cache-dir .sweepcache -compact   # summary-only records on disk
 //	sweep -cache-dir .sweepcache -compact-store     # rewrite live records, drop dead bytes
@@ -24,7 +27,9 @@ import (
 	"strings"
 
 	sixgedge "repro"
+	"repro/internal/argame"
 	"repro/internal/ran"
+	"repro/internal/slicing"
 	"repro/internal/sweep"
 	"repro/internal/sweep/store"
 )
@@ -39,6 +44,9 @@ func main() {
 		edgeUPF      = flag.String("edge-upf", "off", "edge-UPF axis: off, on or both")
 		nodes        = flag.String("nodes", "", "comma-separated mobile-node counts (default 3)")
 		cells        = flag.String("cells", "", "semicolon-separated target-cell sets, cells comma-separated")
+		wiredRounds  = flag.String("wired-rounds", "", "comma-separated wired-baseline round counts (default 5)")
+		slicingAxis  = flag.String("slicing", "", "comma-separated probe-placement strategies (none, "+strategyNames()+"); non-none strategies place the probes via slicing.Place")
+		arDeploys    = flag.String("ar-deployments", "", "comma-separated AR-session deployments (none, "+deployNames()+"); non-none deployments run the campaign in AR mode")
 		workers      = flag.Int("workers", 0, "concurrent scenarios (0 = GOMAXPROCS)")
 		out          = flag.String("out", "", "JSONL output file (\"-\" for stdout, empty to skip)")
 		deltas       = flag.Bool("deltas", false, "print per-cell recommendation deltas")
@@ -48,10 +56,17 @@ func main() {
 	)
 	flag.Parse()
 
+	// Reject invalid flag combinations up front, before any grid
+	// building or store opening: a silently ignored -compact or
+	// -compact-store would leave the user believing the store was
+	// compacted (or its records slimmed) when nothing happened.
+	if err := validateFlags(*cacheDir, *compact, *compactStore); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		fmt.Fprintln(os.Stderr, "run with -h for usage")
+		os.Exit(2)
+	}
+
 	if *compactStore {
-		if *cacheDir == "" {
-			fatal(fmt.Errorf("-compact-store requires -cache-dir"))
-		}
 		st, err := store.Open(*cacheDir, store.Options{Compact: *compact})
 		if err != nil {
 			fatal(err)
@@ -71,7 +86,8 @@ func main() {
 		return
 	}
 
-	grid, err := buildGrid(*seeds, *reps, *baseSeed, *profiles, *peering, *edgeUPF, *nodes, *cells)
+	grid, err := buildGrid(*seeds, *reps, *baseSeed, *profiles, *peering, *edgeUPF, *nodes,
+		*cells, *wiredRounds, *slicingAxis, *arDeploys)
 	if err != nil {
 		fatal(err)
 	}
@@ -84,8 +100,6 @@ func main() {
 		}
 		defer st.Close()
 		cache = sweep.NewPersistentCache(st)
-	} else if *compact {
-		fatal(fmt.Errorf("-compact requires -cache-dir"))
 	}
 	res, err := sixgedge.RunSweep(grid, sixgedge.SweepOptions{Workers: *workers, Cache: cache})
 	if err != nil {
@@ -112,12 +126,35 @@ func main() {
 		fmt.Fprintln(report)
 	}
 	fmt.Fprintln(report)
-	fmt.Fprintf(report, "%-16s %-14s %-7s %-5s %5s %5s %9s %9s %7s\n",
-		"variant", "profile", "peering", "edge", "nodes", "reps", "mobile-ms", "wired-ms", "factor")
+	// The mode column sizes to its longest value ("slicing=…+ar=…"
+	// composites overflow any fixed width).
+	modeOf := func(cfg sixgedge.CampaignConfig) string {
+		var modes []string
+		if cfg.Slicing != nil {
+			modes = append(modes, "slicing="+cfg.Slicing.Axis())
+		}
+		if cfg.ARGame != nil {
+			modes = append(modes, "ar="+cfg.ARGame.Deployment.String())
+		}
+		if len(modes) == 0 {
+			return "-"
+		}
+		return strings.Join(modes, "+")
+	}
+	modeW := len("mode")
 	for _, v := range res.Variants {
-		fmt.Fprintf(report, "%-16s %-14s %-7t %-5t %5d %5d %9.2f %9.2f %7.2f\n",
+		if l := len(modeOf(v.Config)); l > modeW {
+			modeW = l
+		}
+	}
+	fmt.Fprintf(report, "%-16s %-14s %-7s %-5s %5s %5s %5s %-*s %9s %9s %7s\n",
+		"variant", "profile", "peering", "edge", "nodes", "wired", "reps", modeW, "mode",
+		"mobile-ms", "wired-ms", "factor")
+	for _, v := range res.Variants {
+		fmt.Fprintf(report, "%-16s %-14s %-7t %-5t %5d %5d %5d %-*s %9.2f %9.2f %7.2f\n",
 			v.ID, v.Config.Profile.Name, v.Config.LocalPeering, v.Config.EdgeUPF,
-			v.Config.MobileNodes, len(v.Seeds), v.Mobile.Mean(), v.Wired.Mean(), v.Factor)
+			v.Config.MobileNodes, v.Config.WiredRounds, len(v.Seeds), modeW, modeOf(v.Config),
+			v.Mobile.Mean(), v.Wired.Mean(), v.Factor)
 	}
 
 	if ds := res.Deltas(); len(ds) > 0 {
@@ -154,8 +191,20 @@ func main() {
 	}
 }
 
+// validateFlags rejects flag combinations that ask for on-disk cache
+// behaviour without a cache directory to apply it to.
+func validateFlags(cacheDir string, compact, compactStore bool) error {
+	if compact && cacheDir == "" {
+		return fmt.Errorf("-compact requires -cache-dir (record mode is a property of the on-disk store)")
+	}
+	if compactStore && cacheDir == "" {
+		return fmt.Errorf("-compact-store requires -cache-dir (there is no store to compact)")
+	}
+	return nil
+}
+
 func buildGrid(seeds string, reps int, baseSeed uint64, profiles, peering, edgeUPF,
-	nodes, cells string) (sweep.Grid, error) {
+	nodes, cells, wiredRounds, slicingAxis, arDeploys string) (sweep.Grid, error) {
 	g := sweep.Grid{BaseSeed: baseSeed, Replications: reps}
 	if seeds != "" {
 		for _, s := range strings.Split(seeds, ",") {
@@ -200,6 +249,33 @@ func buildGrid(seeds string, reps int, baseSeed uint64, profiles, peering, edgeU
 			g.TargetCellSets = append(g.TargetCellSets, cs)
 		}
 	}
+	if wiredRounds != "" {
+		for _, s := range strings.Split(wiredRounds, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return g, fmt.Errorf("bad wired-rounds count %q: %v", s, err)
+			}
+			g.WiredRounds = append(g.WiredRounds, v)
+		}
+	}
+	if slicingAxis != "" {
+		for _, name := range strings.Split(slicingAxis, ",") {
+			s, ok := slicing.StrategyByName(strings.TrimSpace(name))
+			if !ok {
+				return g, fmt.Errorf("unknown slicing strategy %q (known: none, %s)", name, strategyNames())
+			}
+			g.SlicingStrategies = append(g.SlicingStrategies, s)
+		}
+	}
+	if arDeploys != "" {
+		for _, name := range strings.Split(arDeploys, ",") {
+			d, ok := argame.DeploymentByName(strings.TrimSpace(name))
+			if !ok {
+				return g, fmt.Errorf("unknown AR deployment %q (known: none, %s)", name, deployNames())
+			}
+			g.ARGameDeployments = append(g.ARGameDeployments, d)
+		}
+	}
 	return g, nil
 }
 
@@ -219,6 +295,22 @@ func profileNames() string {
 	names := make([]string, len(ran.Profiles))
 	for i, p := range ran.Profiles {
 		names[i] = p.Name
+	}
+	return strings.Join(names, ",")
+}
+
+func strategyNames() string {
+	names := make([]string, len(slicing.Strategies))
+	for i, s := range slicing.Strategies {
+		names[i] = s.String()
+	}
+	return strings.Join(names, ",")
+}
+
+func deployNames() string {
+	names := make([]string, len(argame.Deployments))
+	for i, d := range argame.Deployments {
+		names[i] = d.String()
 	}
 	return strings.Join(names, ",")
 }

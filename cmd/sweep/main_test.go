@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/argame"
+	"repro/internal/slicing"
+)
+
+func TestValidateFlagsRejectsCompactWithoutCacheDir(t *testing.T) {
+	cases := []struct {
+		name                  string
+		cacheDir              string
+		compact, compactStore bool
+		wantErr               string
+	}{
+		{"compact-no-dir", "", true, false, "-compact requires -cache-dir"},
+		{"compact-store-no-dir", "", false, true, "-compact-store requires -cache-dir"},
+		{"both-no-dir", "", true, true, "-compact requires -cache-dir"},
+		{"compact-with-dir", ".c", true, false, ""},
+		{"compact-store-with-dir", ".c", false, true, ""},
+		{"plain", "", false, false, ""},
+	}
+	for _, c := range cases {
+		err := validateFlags(c.cacheDir, c.compact, c.compactStore)
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: got %v, want error containing %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func TestBuildGridParsesNewAxes(t *testing.T) {
+	g, err := buildGrid("", 1, 42, "", "off", "off", "", "",
+		"3, 5", "none, latency ,resilience", "none,5G-edge-upf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.WiredRounds) != 2 || g.WiredRounds[0] != 3 || g.WiredRounds[1] != 5 {
+		t.Fatalf("wired rounds parsed as %v", g.WiredRounds)
+	}
+	want := []slicing.Strategy{slicing.StrategyNone, slicing.StrategyLatency, slicing.StrategyResilience}
+	if len(g.SlicingStrategies) != len(want) {
+		t.Fatalf("slicing strategies parsed as %v", g.SlicingStrategies)
+	}
+	for i, s := range want {
+		if g.SlicingStrategies[i] != s {
+			t.Fatalf("slicing strategies parsed as %v, want %v", g.SlicingStrategies, want)
+		}
+	}
+	if len(g.ARGameDeployments) != 2 || g.ARGameDeployments[0] != argame.DeployNone ||
+		g.ARGameDeployments[1] != argame.DeployEdgeUPF {
+		t.Fatalf("AR deployments parsed as %v", g.ARGameDeployments)
+	}
+}
+
+func TestBuildGridRejectsUnknownAxisValues(t *testing.T) {
+	if _, err := buildGrid("", 1, 42, "", "off", "off", "", "", "three", "", ""); err == nil {
+		t.Fatal("bad wired-rounds must be rejected")
+	}
+	if _, err := buildGrid("", 1, 42, "", "off", "off", "", "", "", "quantum", ""); err == nil {
+		t.Fatal("unknown slicing strategy must be rejected")
+	}
+	if _, err := buildGrid("", 1, 42, "", "off", "off", "", "", "", "", "4G"); err == nil {
+		t.Fatal("unknown AR deployment must be rejected")
+	}
+}

@@ -46,6 +46,11 @@ const (
 	DeployEdgeUPF
 	// DeploySixG is the 6G target: edge UPF, SmartNIC datapath, 6G radio.
 	DeploySixG
+
+	// DeployNone is the explicit "no AR session" point: sweep axes use it
+	// to include a plain ping campaign next to AR-mode scenarios. Run and
+	// NewSampler reject it.
+	DeployNone Deployment = -1
 )
 
 var deployNames = map[Deployment]string{
@@ -53,6 +58,7 @@ var deployNames = map[Deployment]string{
 	DeployPeered:   "5G-local-peering",
 	DeployEdgeUPF:  "5G-edge-upf",
 	DeploySixG:     "6G-edge",
+	DeployNone:     "none",
 }
 
 func (d Deployment) String() string {
@@ -60,6 +66,17 @@ func (d Deployment) String() string {
 		return s
 	}
 	return fmt.Sprintf("Deployment(%d)", int(d))
+}
+
+// DeploymentByName resolves a deployment from its String form (including
+// "none" for DeployNone).
+func DeploymentByName(name string) (Deployment, bool) {
+	for d, n := range deployNames {
+		if n == name {
+			return d, true
+		}
+	}
+	return 0, false
 }
 
 // Deployments lists all scenarios in presentation order.
@@ -112,12 +129,20 @@ type session struct {
 	up        *corenet.UserPlane
 	upf       *corenet.UPF
 	prof      *ran.Profile
+	grid      *geo.Grid
+	density   *geo.DensityModel
 	condA     ran.Conditions
 	condB     ran.Conditions
 	pathA     corenet.SessionPath
 	pathB     corenet.SessionPath
 	offered   float64
 	extraProc time.Duration // trajectory service processing per event
+}
+
+// conditions resolves the radio conditions a player experiences in a
+// cell.
+func (s *session) conditions(c geo.CellID) ran.Conditions {
+	return ran.Conditions{Load: s.density.LoadFactor(c), SiteKm: geo.NearestSiteKm(s.grid, c)}
 }
 
 func newSession(cfg Config) (*session, error) {
@@ -137,12 +162,11 @@ func newSession(cfg Config) (*session, error) {
 	if err != nil {
 		return nil, err
 	}
-	cond := func(c geo.CellID) ran.Conditions {
-		return ran.Conditions{Load: density.LoadFactor(c), SiteKm: geo.NearestSiteKm(grid, c)}
-	}
 
-	s := &session{up: up, condA: cond(cellA), condB: cond(cellB), offered: 0.3,
+	s := &session{up: up, grid: grid, density: density, offered: 0.3,
 		extraProc: 2 * time.Millisecond}
+	s.condA = s.conditions(cellA)
+	s.condB = s.conditions(cellB)
 	switch cfg.Deployment {
 	case DeployBaseline, DeployPeered:
 		s.upf = up.Central
@@ -178,9 +202,53 @@ func newSession(cfg Config) (*session, error) {
 // result's downlink into player B's stream. Each radio leg contributes
 // half its round trip per direction.
 func (s *session) motionToPhoton(rng *des.RNG) time.Duration {
-	upLeg := s.up.SampleRTT(rng, s.prof, s.condA, s.pathA, s.offered) / 2
-	downLeg := s.up.SampleRTT(rng, s.prof, s.condB, s.pathB, s.offered) / 2
+	return s.m2p(rng, s.condA, s.condB)
+}
+
+// m2p is motionToPhoton with the player conditions chosen per call.
+func (s *session) m2p(rng *des.RNG, condA, condB ran.Conditions) time.Duration {
+	upLeg := s.up.SampleRTT(rng, s.prof, condA, s.pathA, s.offered) / 2
+	downLeg := s.up.SampleRTT(rng, s.prof, condB, s.pathB, s.offered) / 2
 	return upLeg + s.extraProc + downLeg
+}
+
+// Sampler exposes one deployment's motion-to-photon chain for arbitrary
+// player-A cells: the campaign's AR-session mode drags player A through
+// the sector grid while player B stays at the session's home cell, and
+// folds every sampled chain into the per-cell latency grid. The
+// infrastructure (topology, UPF, slice, service placement) is resolved
+// once at construction; per-cell radio conditions resolve lazily. A
+// Sampler is deterministic for a given deployment but not safe for
+// concurrent use — every campaign run owns its own.
+type Sampler struct {
+	s    *session
+	cond map[geo.CellID]ran.Conditions
+}
+
+// NewSampler resolves the session infrastructure for a deployment.
+func NewSampler(d Deployment) (*Sampler, error) {
+	if d == DeployNone {
+		return nil, fmt.Errorf("argame: sampler needs a concrete deployment, not %v", d)
+	}
+	s, err := newSession(Config{Deployment: d}.withDefaults())
+	if err != nil {
+		return nil, err
+	}
+	return &Sampler{s: s, cond: make(map[geo.CellID]ran.Conditions)}, nil
+}
+
+// M2P samples one motion-to-photon chain with player A in the given
+// cell. The cell must belong to the Klagenfurt sector grid.
+func (sp *Sampler) M2P(rng *des.RNG, cell geo.CellID) (time.Duration, error) {
+	cond, ok := sp.cond[cell]
+	if !ok {
+		if !sp.s.grid.Contains(cell) {
+			return 0, fmt.Errorf("argame: player cell %v outside the sector grid", cell)
+		}
+		cond = sp.s.conditions(cell)
+		sp.cond[cell] = cond
+	}
+	return sp.s.m2p(rng, cond, sp.s.condB), nil
 }
 
 // Run simulates one game session.

@@ -1,0 +1,71 @@
+package argame
+
+import (
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/geo"
+)
+
+func TestDeploymentByName(t *testing.T) {
+	for _, d := range append([]Deployment{DeployNone}, Deployments...) {
+		got, ok := DeploymentByName(d.String())
+		if !ok || got != d {
+			t.Fatalf("DeploymentByName(%q) = %v, %v", d.String(), got, ok)
+		}
+	}
+	if _, ok := DeploymentByName("4G-fallback"); ok {
+		t.Fatal("unknown deployment name should miss")
+	}
+}
+
+func TestSamplerDeterministicPerCell(t *testing.T) {
+	sample := func() []float64 {
+		sp, err := NewSampler(DeployEdgeUPF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := des.NewSimulator(7).Stream("m2p")
+		var out []float64
+		for _, cell := range []string{"C2", "E3", "B5"} {
+			c, err := geo.ParseCellID(cell)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 4; i++ {
+				d, err := sp.M2P(rng, c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d <= 0 {
+					t.Fatalf("non-positive motion-to-photon sample %v", d)
+				}
+				out = append(out, d.Seconds())
+			}
+		}
+		return out
+	}
+	a, b := sample(), sample()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sampler diverged at draw %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSamplerRejectsBadInput(t *testing.T) {
+	if _, err := NewSampler(DeployNone); err == nil {
+		t.Fatal("DeployNone must not build a sampler")
+	}
+	if _, err := NewSampler(Deployment(42)); err == nil {
+		t.Fatal("unknown deployment must not build a sampler")
+	}
+	sp, err := NewSampler(DeployBaseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := des.NewSimulator(1).Stream("m2p")
+	if _, err := sp.M2P(rng, geo.CellID{Col: 99, Row: 99}); err == nil {
+		t.Fatal("cell outside the sector grid must be rejected")
+	}
+}

@@ -13,12 +13,14 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/argame"
 	"repro/internal/corenet"
 	"repro/internal/des"
 	"repro/internal/geo"
 	"repro/internal/mobility"
 	"repro/internal/probe"
 	"repro/internal/ran"
+	"repro/internal/slicing"
 	"repro/internal/stats"
 	"repro/internal/topo"
 )
@@ -41,6 +43,15 @@ type Config struct {
 	TargetCells []string
 	// WiredRounds is the number of full probe-to-probe baseline sweeps.
 	WiredRounds int
+	// Slicing, when non-nil, derives the probe cells from a Section V-C
+	// hypervisor-placement strategy instead of TargetCells; setting both
+	// is an error. A placement with slicing.StrategyNone normalizes to
+	// nil (no slicing).
+	Slicing *SlicingPlacement
+	// ARGame, when non-nil, switches the campaign into the Section IV-A
+	// AR-session mode on the given deployment (see ARGameMode). A mode
+	// with argame.DeployNone normalizes to nil (plain ping campaign).
+	ARGame *ARGameMode
 }
 
 // Canonical returns the config with all defaults applied: the normal form
@@ -55,12 +66,25 @@ func (c Config) withDefaults() Config {
 	if c.Profile == nil {
 		c.Profile = ran.Profile5G
 	}
-	if len(c.TargetCells) == 0 {
+	if c.Slicing != nil {
+		if c.Slicing.Strategy == slicing.StrategyNone {
+			c.Slicing = nil
+		} else {
+			s := c.Slicing.withDefaults()
+			c.Slicing = &s
+		}
+	}
+	if len(c.TargetCells) == 0 && c.Slicing == nil {
 		// Eight probes spread over the populated sector (Figure 1).
+		// With slicing set, the probe cells come from the placement at
+		// run time instead, and TargetCells stays empty.
 		c.TargetCells = []string{"B2", "E2", "A3", "C4", "F3", "B5", "D5", "C6"}
 	}
 	if c.WiredRounds == 0 {
 		c.WiredRounds = 5
+	}
+	if c.ARGame != nil && c.ARGame.Deployment == argame.DeployNone {
+		c.ARGame = nil
 	}
 	return c
 }
@@ -131,7 +155,24 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.LocalPeering {
 		ce.EnableLocalPeering()
 	}
-	targets, err := AddSectorProbes(ce, grid, cfg.TargetCells)
+	targetCells := cfg.TargetCells
+	if cfg.Slicing != nil {
+		if len(cfg.TargetCells) > 0 {
+			return nil, fmt.Errorf("campaign: Slicing and TargetCells are mutually exclusive")
+		}
+		var err error
+		if targetCells, err = SlicingCells(grid, density, *cfg.Slicing); err != nil {
+			return nil, err
+		}
+	}
+	var arSampler *argame.Sampler
+	if cfg.ARGame != nil {
+		var err error
+		if arSampler, err = argame.NewSampler(cfg.ARGame.Deployment); err != nil {
+			return nil, err
+		}
+	}
+	targets, err := AddSectorProbes(ce, grid, targetCells)
 	if err != nil {
 		return nil, err
 	}
@@ -178,7 +219,16 @@ func Run(cfg Config) (*Result, error) {
 				targetIdx++
 				fireAt := at + time.Duration(k/len(targets))*mobility.RoundInterval
 				sim.ScheduleAt(fireAt, func() {
-					rtt, err := eng.MobileRTT(rng, cond[stop.Cell], upf, tgt.Host)
+					// AR mode samples the game's motion-to-photon chain
+					// from this cell; the plain campaign pings the wired
+					// probe. Both fold into the same per-cell grid.
+					var rtt time.Duration
+					var err error
+					if arSampler != nil {
+						rtt, err = arSampler.M2P(rng, stop.Cell)
+					} else {
+						rtt, err = eng.MobileRTT(rng, cond[stop.Cell], upf, tgt.Host)
+					}
 					if err != nil {
 						if pingErr == nil {
 							pingErr = err

@@ -1,0 +1,90 @@
+package campaign
+
+import (
+	"fmt"
+
+	"repro/internal/argame"
+	"repro/internal/geo"
+	"repro/internal/slicing"
+)
+
+// DefaultSlicingSites is the number of probe sites a slicing placement
+// selects when Sites is zero — the same count as the paper's hand-picked
+// eight sector probes, so placed and default campaigns stay comparable.
+const DefaultSlicingSites = 8
+
+// SlicingPlacement derives the campaign's wired probe sites from one of
+// the Section V-C hypervisor-placement heuristics instead of the paper's
+// hand-picked cell list: the traversal cells become candidate sites
+// (demand = population density), slicing.Place chooses Sites of them
+// under the strategy's objective, and the probes land in the chosen
+// cells. It is mutually exclusive with Config.TargetCells.
+type SlicingPlacement struct {
+	Strategy slicing.Strategy
+	// Sites is the number of probe sites to place (DefaultSlicingSites
+	// when zero).
+	Sites int
+}
+
+// ARGameMode switches the campaign into the Section IV-A AR-session
+// mode: instead of pinging wired probes, each mobile node hosts an AR
+// game session on the deployment's infrastructure, and the sampled
+// motion-to-photon chains fold into the per-cell latency grid. The
+// wired probe-to-probe baseline still runs, so the headline
+// mobile-vs-wired factor compares the AR chain against the same wired
+// floor.
+//
+// The deployment encodes the AR chain's radio profile, UPF anchoring
+// and peering (that is what Section IV-A compares), so the campaign's
+// own Profile and EdgeUPF fields do not affect an AR-mode result: two
+// AR configs differing only there simulate identically while keeping
+// distinct scenario IDs. Sweeps therefore score AR variants on the
+// deployment axis, not on edge_upf/local_peering deltas.
+type ARGameMode struct {
+	Deployment argame.Deployment
+}
+
+// SlicingCells resolves a placement to its probe cells, in row-major
+// cell order. Candidates are the density model's traversal cells with
+// demand equal to the cell's population density and planar kilometre
+// coordinates from the cell indices (cells are CellKm-sided squares).
+func SlicingCells(grid *geo.Grid, density *geo.DensityModel, p SlicingPlacement) ([]string, error) {
+	p = p.withDefaults()
+	cells := density.TraversalCells()
+	geo.SortCells(cells)
+	sites := make([]slicing.Site, len(cells))
+	for i, c := range cells {
+		sites[i] = slicing.Site{
+			Name:   c.String(),
+			X:      (float64(c.Col) + 0.5) * grid.CellKm,
+			Y:      (float64(c.Row-1) + 0.5) * grid.CellKm,
+			Demand: density.Cell(c),
+		}
+	}
+	if p.Sites > len(sites) {
+		return nil, fmt.Errorf("campaign: slicing placement wants %d sites, sector has %d candidate cells",
+			p.Sites, len(sites))
+	}
+	placed, err := slicing.Place(sites, p.Sites, p.Strategy)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: slicing placement: %w", err)
+	}
+	out := make([]string, len(placed.Hypervisors))
+	for i, idx := range placed.Hypervisors {
+		out[i] = sites[idx].Name
+	}
+	return out, nil
+}
+
+func (p SlicingPlacement) withDefaults() SlicingPlacement {
+	if p.Sites == 0 {
+		p.Sites = DefaultSlicingSites
+	}
+	return p
+}
+
+// Axis renders the placement as "strategy/sites" for scenario hashing
+// and display.
+func (p SlicingPlacement) Axis() string {
+	return fmt.Sprintf("%s/%d", p.Strategy, p.Sites)
+}

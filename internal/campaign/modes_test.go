@@ -1,0 +1,164 @@
+package campaign
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/argame"
+	"repro/internal/geo"
+	"repro/internal/slicing"
+)
+
+func TestSlicingCellsDeterministicAndInGrid(t *testing.T) {
+	grid := geo.NewKlagenfurtGrid()
+	density := geo.NewKlagenfurtDensity(grid)
+	placements := map[string][]string{}
+	for _, s := range slicing.Strategies {
+		p := SlicingPlacement{Strategy: s}
+		cells, err := SlicingCells(grid, density, p)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if len(cells) != DefaultSlicingSites {
+			t.Fatalf("%v placed %d cells, want %d", s, len(cells), DefaultSlicingSites)
+		}
+		seen := map[string]bool{}
+		for _, name := range cells {
+			c, err := geo.ParseCellID(name)
+			if err != nil || !grid.Contains(c) {
+				t.Fatalf("%v placed invalid cell %q", s, name)
+			}
+			if seen[name] {
+				t.Fatalf("%v placed cell %q twice", s, name)
+			}
+			seen[name] = true
+		}
+		again, err := SlicingCells(grid, density, p)
+		if err != nil || !reflect.DeepEqual(cells, again) {
+			t.Fatalf("%v placement is not deterministic: %v vs %v", s, cells, again)
+		}
+		placements[s.String()] = cells
+	}
+	if reflect.DeepEqual(placements["latency"], placements["resilience"]) {
+		t.Fatal("latency and resilience objectives chose identical sites")
+	}
+}
+
+func TestRunWithSlicingPlacement(t *testing.T) {
+	res, err := Run(Config{Seed: 5, Slicing: &SlicingPlacement{Strategy: slicing.StrategyLatency}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalMeasurements == 0 || res.Wired.N() == 0 {
+		t.Fatal("slicing-placed campaign measured nothing")
+	}
+	// The canonical config records the placement, not a cell list — the
+	// placement is the identity, the cells are derived.
+	cfg := res.Config.Canonical()
+	if cfg.Slicing == nil || cfg.Slicing.Sites != DefaultSlicingSites {
+		t.Fatalf("canonical config lost the placement: %+v", cfg.Slicing)
+	}
+	if len(cfg.TargetCells) != 0 {
+		t.Fatalf("slicing config must not canonicalize TargetCells, got %v", cfg.TargetCells)
+	}
+
+	base, err := Run(Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Wired.Mean() == res.Wired.Mean() {
+		t.Fatal("placed probes should move the wired baseline")
+	}
+}
+
+func TestRunRejectsSlicingWithTargetCells(t *testing.T) {
+	_, err := Run(Config{Seed: 1, TargetCells: []string{"B2", "C3"},
+		Slicing: &SlicingPlacement{Strategy: slicing.StrategyLatency}})
+	if err == nil {
+		t.Fatal("Slicing plus explicit TargetCells must be rejected")
+	}
+}
+
+func TestRunARGameMode(t *testing.T) {
+	ar, err := Run(Config{Seed: 5, ARGame: &ARGameMode{Deployment: argame.DeployEdgeUPF}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Run(Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.TotalMeasurements != plain.TotalMeasurements {
+		t.Fatalf("AR mode sampled %d measurements, plain campaign %d — the traversal schedule must match",
+			ar.TotalMeasurements, plain.TotalMeasurements)
+	}
+	// The edge-UPF AR chain (uplink half + 2 ms processing + downlink
+	// half on a URLLC slice) is a different latency process than pinging
+	// wired probes through the central UPF.
+	if ar.MobileAll.Mean() == plain.MobileAll.Mean() {
+		t.Fatal("AR-mode samples should differ from ping samples")
+	}
+	if ar.MobileAll.Mean() >= plain.MobileAll.Mean() {
+		t.Fatalf("edge-UPF AR chain (%.1f ms) should undercut central-UPF pings (%.1f ms)",
+			ar.MobileAll.Mean(), plain.MobileAll.Mean())
+	}
+	// Determinism: the same AR config reproduces the same bytes.
+	again, err := Run(Config{Seed: 5, ARGame: &ARGameMode{Deployment: argame.DeployEdgeUPF}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.MobileAll.State() != again.MobileAll.State() || ar.Wired.State() != again.Wired.State() {
+		t.Fatal("AR-mode campaign is not deterministic")
+	}
+}
+
+func TestModeConfigNormalization(t *testing.T) {
+	cfg := Config{
+		Seed:    1,
+		Slicing: &SlicingPlacement{Strategy: slicing.StrategyNone},
+		ARGame:  &ARGameMode{Deployment: argame.DeployNone},
+	}.Canonical()
+	if cfg.Slicing != nil || cfg.ARGame != nil {
+		t.Fatal("explicit-none modes must normalize to nil")
+	}
+	if len(cfg.TargetCells) != 8 {
+		t.Fatal("normalized config must regain the default probe cells")
+	}
+}
+
+func TestModeStateRoundTripAndClone(t *testing.T) {
+	cfg := Config{Seed: 9,
+		Slicing: &SlicingPlacement{Strategy: slicing.StrategyResilience, Sites: 4},
+		ARGame:  &ARGameMode{Deployment: argame.DeploySixG},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, compact := range []bool{false, true} {
+		restored, err := res.State(compact).Restore()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc := restored.Config
+		if rc.Slicing == nil || *rc.Slicing != *cfg.Slicing {
+			t.Fatalf("compact=%t: slicing did not round-trip: %+v", compact, rc.Slicing)
+		}
+		if rc.ARGame == nil || *rc.ARGame != *cfg.ARGame {
+			t.Fatalf("compact=%t: AR mode did not round-trip: %+v", compact, rc.ARGame)
+		}
+		if restored.MobileAll.State() != res.MobileAll.State() {
+			t.Fatalf("compact=%t: summaries did not round-trip", compact)
+		}
+	}
+
+	cp := res.Clone()
+	if cp.Config.Slicing == res.Config.Slicing || cp.Config.ARGame == res.Config.ARGame {
+		t.Fatal("Clone must deep-copy the mode pointers")
+	}
+	cp.Config.Slicing.Sites = 99
+	cp.Config.ARGame.Deployment = argame.DeployBaseline
+	if res.Config.Slicing.Sites == 99 || res.Config.ARGame.Deployment == argame.DeployBaseline {
+		t.Fatal("mutating a clone leaked into the original")
+	}
+}

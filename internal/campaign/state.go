@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/argame"
 	"repro/internal/geo"
 	"repro/internal/ran"
+	"repro/internal/slicing"
 	"repro/internal/stats"
 )
 
@@ -33,15 +35,26 @@ type ResultState struct {
 
 // ConfigState serializes a canonical Config. The radio profile is
 // stored by name and resolved through the ran registry on restore;
-// a config using an unregistered profile cannot round-trip.
+// a config using an unregistered profile cannot round-trip. Slicing and
+// ARGame serialize by name and omit when absent, so records written
+// before the fields existed — and records of configs not using them —
+// keep their exact bytes.
 type ConfigState struct {
-	Seed         uint64   `json:"seed"`
-	MobileNodes  int      `json:"mobile_nodes"`
-	Profile      string   `json:"profile"`
-	LocalPeering bool     `json:"local_peering"`
-	EdgeUPF      bool     `json:"edge_upf"`
-	TargetCells  []string `json:"target_cells"`
-	WiredRounds  int      `json:"wired_rounds"`
+	Seed         uint64        `json:"seed"`
+	MobileNodes  int           `json:"mobile_nodes"`
+	Profile      string        `json:"profile"`
+	LocalPeering bool          `json:"local_peering"`
+	EdgeUPF      bool          `json:"edge_upf"`
+	TargetCells  []string      `json:"target_cells"`
+	WiredRounds  int           `json:"wired_rounds"`
+	Slicing      *SlicingState `json:"slicing,omitempty"`
+	ARGame       string        `json:"ar_game,omitempty"`
+}
+
+// SlicingState serializes a SlicingPlacement by strategy name.
+type SlicingState struct {
+	Strategy string `json:"strategy"`
+	Sites    int    `json:"sites"`
 }
 
 // CellState is one traversed cell: the report row plus the cell's full
@@ -80,6 +93,15 @@ func (r *Result) State(compact bool) ResultState {
 		Cells:        make([]CellState, 0, len(r.Reports)),
 		Compact:      compact,
 	}
+	if cfg.Slicing != nil {
+		st.Config.Slicing = &SlicingState{
+			Strategy: cfg.Slicing.Strategy.String(),
+			Sites:    cfg.Slicing.Sites,
+		}
+	}
+	if cfg.ARGame != nil {
+		st.Config.ARGame = cfg.ARGame.Deployment.String()
+	}
 	for _, rep := range r.Reports {
 		cs := CellState{
 			Cell:     rep.Cell.String(),
@@ -110,6 +132,24 @@ func (st ResultState) Restore() (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("campaign: state references unknown profile %q", st.Config.Profile)
 	}
+	var slicingCfg *SlicingPlacement
+	if st.Config.Slicing != nil {
+		strategy, ok := slicing.StrategyByName(st.Config.Slicing.Strategy)
+		if !ok {
+			return nil, fmt.Errorf("campaign: state references unknown slicing strategy %q",
+				st.Config.Slicing.Strategy)
+		}
+		slicingCfg = &SlicingPlacement{Strategy: strategy, Sites: st.Config.Slicing.Sites}
+	}
+	var arCfg *ARGameMode
+	if st.Config.ARGame != "" {
+		deploy, ok := argame.DeploymentByName(st.Config.ARGame)
+		if !ok {
+			return nil, fmt.Errorf("campaign: state references unknown AR deployment %q",
+				st.Config.ARGame)
+		}
+		arCfg = &ARGameMode{Deployment: deploy}
+	}
 	grid := geo.NewKlagenfurtGrid()
 	density := geo.NewKlagenfurtDensity(grid)
 	res := &Result{
@@ -121,6 +161,8 @@ func (st ResultState) Restore() (*Result, error) {
 			EdgeUPF:      st.Config.EdgeUPF,
 			TargetCells:  append([]string{}, st.Config.TargetCells...),
 			WiredRounds:  st.Config.WiredRounds,
+			Slicing:      slicingCfg,
+			ARGame:       arCfg,
 		},
 		Grid:              grid,
 		Density:           density,
@@ -164,6 +206,14 @@ func (r *Result) Clone() *Result {
 	}
 	cp := *r
 	cp.Config.TargetCells = append([]string(nil), r.Config.TargetCells...)
+	if r.Config.Slicing != nil {
+		s := *r.Config.Slicing
+		cp.Config.Slicing = &s
+	}
+	if r.Config.ARGame != nil {
+		a := *r.Config.ARGame
+		cp.Config.ARGame = &a
+	}
 	cp.Samples = make(map[geo.CellID]*stats.Sample, len(r.Samples))
 	for c, s := range r.Samples {
 		cp.Samples[c] = s.Clone()

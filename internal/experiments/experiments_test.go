@@ -18,7 +18,7 @@ func TestRegistryComplete(t *testing.T) {
 		"requirements", "gap", "scalability", "capacity", "protocols",
 		"peering", "upf", "cpf", "argame",
 		"fedlearn", "energy", "resilience",
-		"slices", "ric", "tails",
+		"slices", "ric", "tails", "slicing-sweep",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

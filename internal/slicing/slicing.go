@@ -91,12 +91,22 @@ const (
 	// StrategyLoadBalance minimizes the maximum demand assigned to any
 	// hypervisor.
 	StrategyLoadBalance
+
+	// StrategyNone is the explicit "no placement" point: sweep axes use it
+	// to include an unsliced scenario next to placed ones. Place rejects
+	// it; callers translate it to "slicing disabled" before placing.
+	StrategyNone Strategy = -1
 )
+
+// Strategies lists the placement strategies Place accepts, in
+// presentation order. StrategyNone is deliberately absent.
+var Strategies = []Strategy{StrategyLatency, StrategyResilience, StrategyLoadBalance}
 
 var strategyNames = map[Strategy]string{
 	StrategyLatency:     "latency",
 	StrategyResilience:  "resilience",
 	StrategyLoadBalance: "load-balance",
+	StrategyNone:        "none",
 }
 
 func (s Strategy) String() string {
@@ -104,6 +114,17 @@ func (s Strategy) String() string {
 		return n
 	}
 	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// StrategyByName resolves a strategy from its String form (including
+// "none" for StrategyNone).
+func StrategyByName(name string) (Strategy, bool) {
+	for s, n := range strategyNames {
+		if n == name {
+			return s, true
+		}
+	}
+	return 0, false
 }
 
 // Placement is a chosen set of hypervisor sites with an assignment of

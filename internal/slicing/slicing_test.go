@@ -75,6 +75,21 @@ func TestPlaceValidation(t *testing.T) {
 	if _, err := Place(sites, len(sites)+1, StrategyLatency); err == nil {
 		t.Fatal("k>n should fail")
 	}
+	if _, err := Place(sites, 2, StrategyNone); err == nil {
+		t.Fatal("StrategyNone should not place")
+	}
+}
+
+func TestStrategyByName(t *testing.T) {
+	for _, s := range append([]Strategy{StrategyNone}, Strategies...) {
+		got, ok := StrategyByName(s.String())
+		if !ok || got != s {
+			t.Fatalf("StrategyByName(%q) = %v, %v", s.String(), got, ok)
+		}
+	}
+	if _, ok := StrategyByName("quantum"); ok {
+		t.Fatal("unknown strategy name should miss")
+	}
 }
 
 func TestLatencyStrategyBeatsResilienceOnDistance(t *testing.T) {

@@ -77,6 +77,12 @@ func aggregate(runs []ScenarioRun) []Variant {
 		// headline mean and the grid never disagree.
 		for _, rep := range group[0].Result.Reports {
 			sum := cellSum[rep.Cell]
+			if sum == nil {
+				// A report row whose cell has no merged samples (a
+				// hand-built or partially restored result): emit the cell
+				// as unreported with zero moments instead of panicking.
+				sum = &stats.Summary{}
+			}
 			agg := CellAggregate{Cell: rep.Cell.String(), N: sum.N()}
 			if sum.N() >= campaign.MinMeasurements {
 				agg.Reported = true
@@ -102,11 +108,12 @@ type CellDelta struct {
 	ReductionPct float64 `json:"reduction_pct"`
 }
 
-// VariantDelta scores one recommendation axis (edge UPF anchoring or
-// local peering) by pairing a variant that enables it against the
-// otherwise-identical variant that does not.
+// VariantDelta scores one recommendation axis (edge UPF anchoring,
+// local peering, or slicing-driven probe placement) by pairing a
+// variant that enables it against the otherwise-identical variant that
+// does not.
 type VariantDelta struct {
-	// Axis is "edge_upf" or "local_peering".
+	// Axis is "edge_upf", "local_peering" or "slicing".
 	Axis string `json:"axis"`
 	// Base and Alt are the paired variant IDs (flag off / flag on).
 	Base string `json:"base"`
@@ -119,30 +126,46 @@ type VariantDelta struct {
 }
 
 // Deltas computes cross-scenario comparisons: for every variant with
-// EdgeUPF (resp. LocalPeering) enabled whose flag-off twin is also in
-// the sweep, the per-cell and overall latency reduction. Order follows
-// the alt variant's grid order, edge-UPF axis first.
+// EdgeUPF (resp. LocalPeering, resp. a slicing placement) enabled whose
+// flag-off twin is also in the sweep, the per-cell and overall latency
+// reduction. For the slicing axis the twin is the same deployment with
+// the paper's hand-picked probes (Slicing nil, default TargetCells).
+// Order follows the alt variant's grid order, edge-UPF axis first.
 func (r *Result) Deltas() []VariantDelta {
 	byID := make(map[string]*Variant, len(r.Variants))
 	for i := range r.Variants {
 		byID[r.Variants[i].ID] = &r.Variants[i]
 	}
 	var out []VariantDelta
-	for _, axis := range []string{"edge_upf", "local_peering"} {
+	for _, axis := range []string{"edge_upf", "local_peering", "slicing"} {
 		for i := range r.Variants {
 			alt := &r.Variants[i]
 			baseCfg := alt.Config
 			switch axis {
 			case "edge_upf":
-				if !baseCfg.EdgeUPF {
+				if !baseCfg.EdgeUPF || baseCfg.ARGame != nil {
+					// In AR mode the deployment fixes the UPF anchoring
+					// of the motion-to-photon chain; the campaign's
+					// EdgeUPF flag does not touch it, so a delta row
+					// would report a meaningless ~0 "reduction".
 					continue
 				}
 				baseCfg.EdgeUPF = false
 			case "local_peering":
-				if !baseCfg.LocalPeering {
+				if !baseCfg.LocalPeering || baseCfg.ARGame != nil {
+					// Likewise: peering on the AR chain is a property of
+					// the deployment, not of the campaign flag.
 					continue
 				}
 				baseCfg.LocalPeering = false
+			case "slicing":
+				if baseCfg.Slicing == nil {
+					continue
+				}
+				// The canonical slicing config carries no TargetCells;
+				// clearing both yields the default-probes twin.
+				baseCfg.Slicing = nil
+				baseCfg.TargetCells = nil
 			}
 			base, ok := byID[VariantID(baseCfg)]
 			if !ok {

@@ -1,0 +1,331 @@
+package sweep
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/argame"
+	"repro/internal/campaign"
+	"repro/internal/slicing"
+	"repro/internal/sweep/store"
+)
+
+// TestScenarioIDGolden pins scenario and variant hashes that existed
+// before the WiredRounds / slicing / AR-game axes were added, against
+// literal values captured from that code. If any of these change, every
+// on-disk cache written by earlier versions stops serving hits — the
+// new axes must extend the hash by appending, gated on non-default,
+// never by reshaping the existing hash string.
+func TestScenarioIDGolden(t *testing.T) {
+	cases := []struct {
+		cfg         campaign.Config
+		id, variant string
+	}{
+		{campaign.Config{Seed: 42}, "1f1d0bff980cecfa", "6b055abac17ba9d3"},
+		{campaign.Config{Seed: 1, EdgeUPF: true}, "cd81fb8a8563bad5", "207952a389d8a970"},
+		{campaign.Config{Seed: 2, LocalPeering: true, MobileNodes: 5}, "54e0ec4da370698e", "b2cd32f73191f659"},
+		{campaign.Config{Seed: 7, WiredRounds: 9}, "5633b4f23e432d48", "f0a314cc40a116ce"},
+		{campaign.Config{Seed: 11, LocalPeering: true, EdgeUPF: true, WiredRounds: 2},
+			"37a0fbfb60c3bcb7", "2cb7e41ea3c71044"},
+	}
+	for _, c := range cases {
+		if got := ScenarioID(c.cfg); got != c.id {
+			t.Errorf("ScenarioID(%+v) = %s, want %s (pre-axes caches would stop hitting)",
+				c.cfg, got, c.id)
+		}
+		if got := VariantID(c.cfg); got != c.variant {
+			t.Errorf("VariantID(%+v) = %s, want %s", c.cfg, got, c.variant)
+		}
+	}
+
+	// The new fields at their defaults must be invisible to the hash:
+	// nil, explicit-none and absent all mint the identical ID.
+	base := campaign.Config{Seed: 42}
+	explicitNone := campaign.Config{Seed: 42,
+		Slicing: &campaign.SlicingPlacement{Strategy: slicing.StrategyNone},
+		ARGame:  &campaign.ARGameMode{Deployment: argame.DeployNone},
+	}
+	if ScenarioID(explicitNone) != ScenarioID(base) {
+		t.Error("explicit-none slicing/AR settings must hash like their absence")
+	}
+
+	// And non-default values must mint fresh, distinct IDs.
+	ids := map[string]string{ScenarioID(base): "base"}
+	for name, cfg := range map[string]campaign.Config{
+		"slicing-latency":    {Seed: 42, Slicing: &campaign.SlicingPlacement{Strategy: slicing.StrategyLatency}},
+		"slicing-resilience": {Seed: 42, Slicing: &campaign.SlicingPlacement{Strategy: slicing.StrategyResilience}},
+		"slicing-4-sites":    {Seed: 42, Slicing: &campaign.SlicingPlacement{Strategy: slicing.StrategyLatency, Sites: 4}},
+		"ar-baseline":        {Seed: 42, ARGame: &campaign.ARGameMode{Deployment: argame.DeployBaseline}},
+		"ar-edge":            {Seed: 42, ARGame: &campaign.ARGameMode{Deployment: argame.DeployEdgeUPF}},
+		"wired-7":            {Seed: 42, WiredRounds: 7},
+	} {
+		id := ScenarioID(cfg)
+		if prev, dup := ids[id]; dup {
+			t.Errorf("%s collides with %s (%s)", name, prev, id)
+		}
+		ids[id] = name
+	}
+}
+
+// TestGridNewAxesExpansion checks ordering, sizing and config
+// construction across the three new axes.
+func TestGridNewAxesExpansion(t *testing.T) {
+	g := Grid{
+		Seeds:             []uint64{1, 2},
+		WiredRounds:       []int{3, 5},
+		SlicingStrategies: []slicing.Strategy{slicing.StrategyNone, slicing.StrategyLatency},
+		ARGameDeployments: []argame.Deployment{argame.DeployNone, argame.DeployEdgeUPF},
+	}
+	if n, err := g.Size(); err != nil || n != 16 {
+		t.Fatalf("Size = %d, %v, want 16", n, err)
+	}
+	scs, err := g.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 16 {
+		t.Fatalf("expanded %d scenarios, want 16", len(scs))
+	}
+	// Seeds stay innermost: adjacent pairs share a variant.
+	if scs[0].Variant != scs[1].Variant || scs[1].Variant == scs[2].Variant {
+		t.Fatal("seed axis is no longer innermost")
+	}
+	var slicingCount, arCount int
+	for _, sc := range scs {
+		if sc.Config.Slicing != nil {
+			if sc.Config.Slicing.Strategy != slicing.StrategyLatency {
+				t.Fatalf("unexpected strategy %v", sc.Config.Slicing.Strategy)
+			}
+			slicingCount++
+		}
+		if sc.Config.ARGame != nil {
+			if sc.Config.ARGame.Deployment != argame.DeployEdgeUPF {
+				t.Fatalf("unexpected deployment %v", sc.Config.ARGame.Deployment)
+			}
+			arCount++
+		}
+	}
+	if slicingCount != 8 || arCount != 8 {
+		t.Fatalf("got %d slicing / %d AR scenarios, want 8/8", slicingCount, arCount)
+	}
+}
+
+// TestGridNewAxesRejectDuplicates: each new axis must trip the
+// duplicate-scenario guard, including the sneaky 0-vs-explicit-default
+// WiredRounds pair that only collides after canonicalization.
+func TestGridNewAxesRejectDuplicates(t *testing.T) {
+	for name, g := range map[string]Grid{
+		"wired-rounds-repeat":        {WiredRounds: []int{3, 3}},
+		"wired-rounds-zero-and-five": {WiredRounds: []int{0, 5}},
+		"slicing-repeat": {SlicingStrategies: []slicing.Strategy{
+			slicing.StrategyLatency, slicing.StrategyLatency}},
+		"ar-repeat": {ARGameDeployments: []argame.Deployment{
+			argame.DeployBaseline, argame.DeployBaseline}},
+	} {
+		if _, err := g.Scenarios(); err == nil {
+			t.Errorf("%s: duplicate axis values should be rejected", name)
+		} else if !strings.Contains(err.Error(), "identical") {
+			t.Errorf("%s: unexpected error %v", name, err)
+		}
+	}
+}
+
+// TestGridSizeOverflow: adversarial axis lengths whose product exceeds
+// int must error from Size (and Scenarios) instead of wrapping around.
+func TestGridSizeOverflow(t *testing.T) {
+	huge := make([]uint64, 1<<16)
+	for i := range huge {
+		huge[i] = uint64(i)
+	}
+	g := Grid{
+		Seeds:          huge,
+		MobileNodes:    make([]int, 1<<16),
+		WiredRounds:    make([]int, 1<<16),
+		TargetCellSets: make([][]string, 1<<16),
+	}
+	if _, err := g.Size(); err == nil {
+		t.Fatal("Size must detect multiplication overflow")
+	}
+	if _, err := g.Scenarios(); err == nil {
+		t.Fatal("Scenarios must refuse an overflowing grid")
+	}
+}
+
+// TestSweepNewAxesDeterministicAcrossWorkerCounts extends the core
+// determinism contract to the new axes: wired-round depths, a slicing
+// placement and an AR-mode campaign must export byte-identical JSONL at
+// any worker count.
+func TestSweepNewAxesDeterministicAcrossWorkerCounts(t *testing.T) {
+	grid := Grid{
+		Seeds:             []uint64{1},
+		WiredRounds:       []int{3, 5},
+		SlicingStrategies: []slicing.Strategy{slicing.StrategyNone, slicing.StrategyLatency},
+		ARGameDeployments: []argame.Deployment{argame.DeployNone, argame.DeployEdgeUPF},
+	}
+	var ref []byte
+	for _, workers := range []int{1, 4, 8} {
+		res, err := Run(grid, Options{Workers: workers, Cache: NewCache()})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		out, err := res.ExportJSONL()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ref == nil {
+			ref = out
+			// Sanity: the export must actually carry the new axes.
+			for _, want := range []string{`"wired_rounds":3`, `"slicing":"latency/8"`,
+				`"ar_deployment":"5G-edge-upf"`} {
+				if !bytes.Contains(out, []byte(want)) {
+					t.Fatalf("JSONL missing %s:\n%s", want, out)
+				}
+			}
+			continue
+		}
+		if !bytes.Equal(ref, out) {
+			t.Fatalf("JSONL bytes differ between workers=1 and workers=%d", workers)
+		}
+	}
+}
+
+// TestDeltasScoreSlicingAxis: a slicing variant pairs against the
+// default-probes twin.
+func TestDeltasScoreSlicingAxis(t *testing.T) {
+	res, err := Run(Grid{
+		Seeds: []uint64{1},
+		SlicingStrategies: []slicing.Strategy{
+			slicing.StrategyNone, slicing.StrategyLatency, slicing.StrategyResilience},
+	}, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slicingDeltas int
+	baseID := ""
+	for _, v := range res.Variants {
+		if v.Config.Slicing == nil {
+			baseID = v.ID
+		}
+	}
+	for _, d := range res.Deltas() {
+		if d.Axis != "slicing" {
+			continue
+		}
+		slicingDeltas++
+		if d.Base != baseID {
+			t.Fatalf("slicing delta pairs against %s, want the default-probes variant %s",
+				d.Base, baseID)
+		}
+		if len(d.Cells) == 0 {
+			t.Fatal("slicing delta has no per-cell rows")
+		}
+	}
+	if slicingDeltas != 2 {
+		t.Fatalf("got %d slicing deltas, want 2", slicingDeltas)
+	}
+}
+
+// TestDeltasSkipFlagAxesForARVariants: the AR deployment fixes the
+// motion-to-photon chain's UPF and peering, so AR variants must not be
+// paired on the edge_upf / local_peering axes — those rows would report
+// a meaningless ~0 reduction.
+func TestDeltasSkipFlagAxesForARVariants(t *testing.T) {
+	res, err := Run(Grid{
+		Seeds:             []uint64{1},
+		EdgeUPF:           []bool{false, true},
+		ARGameDeployments: []argame.Deployment{argame.DeployNone, argame.DeployEdgeUPF},
+	}, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := make(map[string]campaign.Config)
+	for _, v := range res.Variants {
+		byID[v.ID] = v.Config
+	}
+	edgeDeltas := 0
+	for _, d := range res.Deltas() {
+		if d.Axis != "edge_upf" {
+			continue
+		}
+		edgeDeltas++
+		if byID[d.Alt].ARGame != nil {
+			t.Fatalf("edge_upf delta emitted for AR-mode variant %s", d.Alt)
+		}
+	}
+	if edgeDeltas != 1 {
+		t.Fatalf("got %d edge_upf deltas, want 1 (the ping pair only)", edgeDeltas)
+	}
+}
+
+// TestNewAxesSweepOverOldCacheServesOldScenarios is the end-to-end
+// compatibility contract of the tentpole: a grid that adds the new axes
+// on top of a pre-axes cache directory (the checked-in v1 layout, built
+// two store generations ago) must serve every pre-existing scenario as
+// a hit and simulate only the genuinely new points.
+func TestNewAxesSweepOverOldCacheServesOldScenarios(t *testing.T) {
+	dir := t.TempDir()
+	copyTree(t, filepath.Join("testdata", "v1layout"), dir)
+	st, err := store.Open(dir, store.Options{Compact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	grid := v1Grid
+	grid.SlicingStrategies = []slicing.Strategy{slicing.StrategyNone, slicing.StrategyLatency}
+	grid.ARGameDeployments = []argame.Deployment{argame.DeployNone, argame.DeployEdgeUPF}
+	runs := countRuns(t)
+	res, err := Run(grid, Options{Workers: 4, Cache: NewPersistentCache(st)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := 0
+	size, _ := v1Grid.Size()
+	for _, r := range res.Scenarios {
+		if r.Config.Slicing == nil && r.Config.ARGame == nil {
+			old++
+			if !r.Cached {
+				t.Errorf("pre-axes scenario %s re-simulated against the old cache", r.ID)
+			}
+		}
+	}
+	if old != size {
+		t.Fatalf("mixed grid holds %d pre-axes scenarios, want %d", old, size)
+	}
+	if want := int64(len(res.Scenarios) - old); runs.Load() != want {
+		t.Fatalf("simulated %d scenarios, want exactly the %d new-axis points", runs.Load(), want)
+	}
+}
+
+// TestAggregateToleratesMissingCellSamples is the regression test for
+// the nil-map-entry panic: a report row whose cell never received
+// merged samples must aggregate as an unreported zero cell, not crash.
+func TestAggregateToleratesMissingCellSamples(t *testing.T) {
+	res, err := runCampaign(campaign.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop one reported cell's samples but keep its report row — the
+	// shape a hand-built or partially restored result can take.
+	victim := res.MaxMean.Cell
+	delete(res.Samples, victim)
+	runs := []ScenarioRun{{
+		Scenario: Scenario{ID: "x", Variant: "y", Config: res.Config},
+		Result:   res,
+	}}
+	variants := aggregate(runs) // must not panic
+	if len(variants) != 1 {
+		t.Fatalf("got %d variants, want 1", len(variants))
+	}
+	for _, c := range variants[0].Cells {
+		if c.Cell == victim.String() {
+			if c.Reported || c.N != 0 || c.MeanMs != 0 || c.StdMs != 0 {
+				t.Fatalf("sample-less cell must aggregate as unreported zero, got %+v", c)
+			}
+			return
+		}
+	}
+	t.Fatalf("cell %s missing from the aggregate", victim)
+}

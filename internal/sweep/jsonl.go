@@ -21,7 +21,13 @@ type Record struct {
 	EdgeUPF      bool            `json:"edge_upf"`
 	MobileNodes  int             `json:"mobile_nodes"`
 	TargetCells  []string        `json:"target_cells"`
-	Measurements int             `json:"measurements"`
+	WiredRounds  int             `json:"wired_rounds"`
+	// Slicing is the probe-placement strategy ("latency/8") and
+	// ARDeployment the AR-session deployment ("5G-edge-upf"); both are
+	// omitted for the plain campaign.
+	Slicing      string `json:"slicing,omitempty"`
+	ARDeployment string `json:"ar_deployment,omitempty"`
+	Measurements int    `json:"measurements"`
 	Mobile       stats.Snapshot  `json:"mobile"`
 	Wired        stats.Snapshot  `json:"wired"`
 	Factor       float64         `json:"mobile_vs_wired_factor"`
@@ -40,10 +46,17 @@ func RecordOf(r ScenarioRun) Record {
 		EdgeUPF:      cfg.EdgeUPF,
 		MobileNodes:  cfg.MobileNodes,
 		TargetCells:  cfg.TargetCells,
+		WiredRounds:  cfg.WiredRounds,
 		Measurements: r.Result.TotalMeasurements,
 		Mobile:       r.Result.MobileAll.Snapshot(),
 		Wired:        r.Result.Wired.Snapshot(),
 		Factor:       stats.FiniteOr0(r.Result.MobileVsWiredFactor()),
+	}
+	if cfg.Slicing != nil {
+		rec.Slicing = cfg.Slicing.Axis()
+	}
+	if cfg.ARGame != nil {
+		rec.ARDeployment = cfg.ARGame.Deployment.String()
 	}
 	for _, rep := range r.Result.Reports {
 		rec.Cells = append(rec.Cells, CellAggregate{

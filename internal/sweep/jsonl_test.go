@@ -44,6 +44,7 @@ func TestRecordGoldenBytes(t *testing.T) {
 		Scenario: "aaaa", Variant: "bbbb", Seed: 7, Profile: "5G-public",
 		MobileNodes: 3,
 		TargetCells: []string{"B2"},
+		WiredRounds: 5,
 		Cells:       []CellAggregate{{Cell: "B2", N: 12, MeanMs: 41.5, StdMs: 3.25, Reported: true}},
 	}
 	data, err := json.Marshal(rec)
@@ -52,11 +53,17 @@ func TestRecordGoldenBytes(t *testing.T) {
 	}
 	const golden = `{"scenario":"aaaa","variant":"bbbb","seed":7,"profile":"5G-public",` +
 		`"local_peering":false,"edge_upf":false,"mobile_nodes":3,"target_cells":["B2"],` +
+		`"wired_rounds":5,` +
 		`"measurements":0,"mobile":{"n":0,"mean":0,"std":0,"min":0,"max":0},` +
 		`"wired":{"n":0,"mean":0,"std":0,"min":0,"max":0},"mobile_vs_wired_factor":0,` +
 		`"cells":[{"cell":"B2","n":12,"mean_ms":41.5,"std_ms":3.25,"reported":true}]}`
 	if string(data) != golden {
 		t.Fatalf("record encoding drifted:\n got %s\nwant %s", data, golden)
+	}
+	// The new-axis fields must stay omitted for plain-campaign records,
+	// so pre-axis archives remain byte-comparable with fresh exports.
+	if bytes.Contains(data, []byte("slicing")) || bytes.Contains(data, []byte("ar_deployment")) {
+		t.Fatalf("default record must omit slicing/ar_deployment: %s", data)
 	}
 }
 

@@ -57,7 +57,10 @@
 // wrong data — but they can waste work; and Compact must never run
 // while another process (or another Store instance in this process)
 // writes the same directory, since it deletes the segment files the
-// other instance's index points at.
+// other instance's index points at. Within one Store instance, Compact
+// is safe under live traffic: it locks shard-at-a-time, so concurrent
+// Put/Get stall for at most one shard's rewrite instead of the whole
+// pass.
 //
 // Records capture campaign.ResultState, which serializes every summary
 // losslessly, so a result served from disk is indistinguishable — to
@@ -175,6 +178,12 @@ type Store struct {
 	loc    map[string]location    // id -> live record location
 	shards map[string]*shardState // shard -> append state
 	index  *os.File               // append handle for index.jsonl
+
+	// compactMu serializes Compact passes. Compact releases mu between
+	// shards so live Put/Get traffic interleaves with a long pass, but
+	// two concurrent passes over one directory would delete each other's
+	// fresh segments.
+	compactMu sync.Mutex
 }
 
 // Open creates (or reopens) a store rooted at dir. Existing records are
@@ -673,10 +682,13 @@ func (s *Store) appendLocked(id string, line []byte) (location, error) {
 		s.shards[shard] = ss
 	}
 	if ss.tail == nil {
+		// MkdirAll unconditionally: compaction may have removed a shard
+		// directory it emptied, while the shard state (and its advanced
+		// tail number) lives on.
+		if err := os.MkdirAll(s.shardDir(shard), 0o755); err != nil {
+			return location{}, err
+		}
 		if ss.tailSeg < 0 {
-			if err := os.MkdirAll(s.shardDir(shard), 0o755); err != nil {
-				return location{}, err
-			}
 			ss.tailSeg = 0
 		}
 		f, err := os.OpenFile(s.segPath(shard, ss.tailSeg),
@@ -723,153 +735,209 @@ type CompactStats struct {
 
 // Compact rewrites every live record into fresh segments and deletes
 // the old ones, dropping superseded versions, crash garbage, and
-// corrupt entries. It blocks Put/Get for the duration — compaction is
-// an explicit maintenance pass (cmd/sweep -compact-store), not a
-// background thread — and requires exclusive ownership of the
-// directory: no other process or Store instance may be writing it (see
-// the package comment). Crash-safe ordering: new segments are written
-// and renamed in, the index is rewritten to point at them, and only
-// then are old segments deleted — an interruption leaves duplicates
-// (the newer copy wins on any rescan), never a lost record.
+// corrupt entries. It is an explicit maintenance pass (cmd/sweep
+// -compact-store), not a background thread, and requires exclusive
+// ownership of the directory across processes: no other process or
+// other Store instance may be writing it (see the package comment).
+//
+// Within this Store instance, compaction locks shard-at-a-time: the
+// store mutex is released between shards, so concurrent Put/Get traffic
+// on a huge store stalls for at most one shard's rewrite instead of the
+// whole pass. Records Put mid-compaction land in segments numbered
+// after the shard's compaction output and are never deleted; a Get
+// racing the final old-segment deletion degrades to a cache miss
+// (re-simulate), never to wrong data. Crash-safe ordering is unchanged:
+// new segments are written and renamed in, the index is rewritten to
+// point at them, and only then are old segments deleted — an
+// interruption leaves duplicates (the newer copy wins on any rescan),
+// never a lost record.
 func (s *Store) Compact() (CompactStats, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
 	var stats CompactStats
 
-	// Group live ids by shard, in (seg, off) order so compacted
-	// segments preserve append order deterministically.
-	byShard := make(map[string][]string)
-	for id, l := range s.loc {
-		byShard[l.shard] = append(byShard[l.shard], id)
-	}
+	s.mu.Lock()
 	shards := make([]string, 0, len(s.shards))
 	for sh := range s.shards {
 		shards = append(shards, sh)
 	}
+	s.mu.Unlock()
 	sort.Strings(shards)
 
-	newLoc := make(map[string]location, len(s.loc))
 	var oldSegs []string
+	var emptied []string
 	for _, shard := range shards {
-		ss := s.shards[shard]
-		ids := byShard[shard]
-		sort.Slice(ids, func(i, j int) bool {
-			a, b := s.loc[ids[i]], s.loc[ids[j]]
-			if a.seg != b.seg {
-				return a.seg < b.seg
-			}
-			return a.off < b.off
-		})
-
-		// Account for and remember every existing segment.
-		segEntries, err := os.ReadDir(s.shardDir(shard))
+		segs, carried, err := s.compactShard(shard, &stats)
 		if err != nil {
-			return stats, fmt.Errorf("store: compact %s: %w", shard, err)
+			return stats, err
 		}
-		for _, e := range segEntries {
-			if _, ok := parseSegName(e.Name()); !ok || e.IsDir() {
-				continue
-			}
-			stats.SegmentsBefore++
-			if fi, err := e.Info(); err == nil {
-				stats.BytesBefore += fi.Size()
-			}
-			oldSegs = append(oldSegs, filepath.Join(s.shardDir(shard), e.Name()))
-		}
-		if ss.tail != nil {
-			ss.tail.Close()
-			ss.tail = nil
-		}
-
-		// Read live records back and pack them into fresh segments
-		// numbered after the current tail, flushing at the rotation
-		// threshold so memory stays bounded at one segment regardless
-		// of how large a shard has grown.
-		type liveRec struct {
-			id   string
-			line []byte
-		}
-		seg := ss.tailSeg + 1
-		var pending []liveRec
-		var pendingBytes int64
-		flush := func() error {
-			if len(pending) == 0 {
-				return nil
-			}
-			tmp, err := os.CreateTemp(s.dir, "put-compact-*.tmp")
-			if err != nil {
-				return err
-			}
-			var off int64
-			for _, r := range pending {
-				if _, err := tmp.Write(append(r.line, '\n')); err != nil {
-					tmp.Close()
-					os.Remove(tmp.Name())
-					return err
-				}
-				newLoc[r.id] = location{shard: shard, seg: seg, off: off, n: int64(len(r.line))}
-				off += int64(len(r.line)) + 1
-			}
-			if err := tmp.Close(); err != nil {
-				os.Remove(tmp.Name())
-				return err
-			}
-			if err := os.Rename(tmp.Name(), s.segPath(shard, seg)); err != nil {
-				os.Remove(tmp.Name())
-				return err
-			}
-			stats.SegmentsAfter++
-			stats.BytesAfter += off
-			ss.tailSeg = seg
-			seg++
-			pending = pending[:0]
-			pendingBytes = 0
-			return nil
-		}
-		carried := 0
-		for _, id := range ids {
-			l := s.loc[id]
-			buf, ok := readAtLocation(s.segPath(l.shard, l.seg), l)
-			var rec record
-			if !ok || json.Unmarshal(buf, &rec) != nil ||
-				rec.V != FormatVersion || rec.ID != id {
-				stats.Dropped++
-				continue
-			}
-			pending = append(pending, liveRec{id: id, line: buf})
-			pendingBytes += int64(len(buf)) + 1
-			carried++
-			if pendingBytes >= s.segBytes {
-				if err := flush(); err != nil {
-					return stats, fmt.Errorf("store: compact %s: %w", shard, err)
-				}
-			}
-		}
-		if err := flush(); err != nil {
-			return stats, fmt.Errorf("store: compact %s: %w", shard, err)
-		}
-		stats.Live += carried
+		oldSegs = append(oldSegs, segs...)
 		if carried == 0 {
-			delete(s.shards, shard)
+			emptied = append(emptied, shard)
 		}
 	}
 
 	// Point the index at the new segments before deleting the old ones:
 	// a crash in between leaves superseded duplicates, never a hole.
-	s.loc = newLoc
-	if err := s.rewriteIndexLocked(); err != nil {
+	s.mu.Lock()
+	err := s.rewriteIndexLocked()
+	s.mu.Unlock()
+	if err != nil {
 		return stats, err
 	}
 	for _, p := range oldSegs {
 		os.Remove(p)
 	}
-	// Drop now-empty shard directories; best-effort.
-	for _, shard := range shards {
-		if _, ok := s.shards[shard]; !ok {
-			os.Remove(s.shardDir(shard))
+	// Drop shard directories compaction emptied; best-effort — the
+	// removal fails harmlessly when a concurrent Put has already
+	// repopulated the directory (appendLocked re-creates it on demand).
+	// Under the store mutex so it cannot interleave with appendLocked's
+	// MkdirAll-then-OpenFile sequence: removing the directory in that
+	// window would fail the Put and silently drop a cache write.
+	s.mu.Lock()
+	for _, shard := range emptied {
+		os.Remove(s.shardDir(shard))
+	}
+	s.mu.Unlock()
+	return stats, nil
+}
+
+// compactShard rewrites one shard's live records into fresh segments
+// under the store mutex, returning the segment paths it superseded and
+// how many records it carried. Live locations move in s.loc as each new
+// segment lands, so Gets issued after the shard's turn read the fresh
+// copy.
+func (s *Store) compactShard(shard string, stats *CompactStats) (oldSegs []string, carried int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ss := s.shards[shard]
+	if ss == nil {
+		// Raced with a previous compaction's bookkeeping; nothing to do.
+		return nil, 0, nil
+	}
+
+	// Live ids of this shard, in (seg, off) order so compacted segments
+	// preserve append order deterministically.
+	var ids []string
+	for id, l := range s.loc {
+		if l.shard == shard {
+			ids = append(ids, id)
 		}
 	}
-	return stats, nil
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := s.loc[ids[i]], s.loc[ids[j]]
+		if a.seg != b.seg {
+			return a.seg < b.seg
+		}
+		return a.off < b.off
+	})
+
+	// Account for and remember every existing segment. A shard whose
+	// directory never materialized (a Put that failed before its first
+	// append) has nothing to compact.
+	segEntries, err := os.ReadDir(s.shardDir(shard))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("store: compact %s: %w", shard, err)
+	}
+	for _, e := range segEntries {
+		if _, ok := parseSegName(e.Name()); !ok || e.IsDir() {
+			continue
+		}
+		stats.SegmentsBefore++
+		if fi, err := e.Info(); err == nil {
+			stats.BytesBefore += fi.Size()
+		}
+		oldSegs = append(oldSegs, filepath.Join(s.shardDir(shard), e.Name()))
+	}
+	if ss.tail != nil {
+		ss.tail.Close()
+		ss.tail = nil
+	}
+
+	// Read live records back and pack them into fresh segments numbered
+	// after the current tail, flushing at the rotation threshold so
+	// memory stays bounded at one segment regardless of how large a
+	// shard has grown. Locations update only after a segment's rename —
+	// a failed flush leaves every location pointing at the old, intact
+	// copy.
+	type liveRec struct {
+		id   string
+		line []byte
+	}
+	seg := ss.tailSeg + 1
+	var pending []liveRec
+	var pendingBytes int64
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		tmp, err := os.CreateTemp(s.dir, "put-compact-*.tmp")
+		if err != nil {
+			return err
+		}
+		var off int64
+		for _, r := range pending {
+			if _, err := tmp.Write(append(r.line, '\n')); err != nil {
+				tmp.Close()
+				os.Remove(tmp.Name())
+				return err
+			}
+			off += int64(len(r.line)) + 1
+		}
+		if err := tmp.Close(); err != nil {
+			os.Remove(tmp.Name())
+			return err
+		}
+		if err := os.Rename(tmp.Name(), s.segPath(shard, seg)); err != nil {
+			os.Remove(tmp.Name())
+			return err
+		}
+		off = 0
+		for _, r := range pending {
+			s.loc[r.id] = location{shard: shard, seg: seg, off: off, n: int64(len(r.line))}
+			off += int64(len(r.line)) + 1
+		}
+		stats.SegmentsAfter++
+		stats.BytesAfter += off
+		ss.tailSeg = seg
+		seg++
+		pending = pending[:0]
+		pendingBytes = 0
+		return nil
+	}
+	for _, id := range ids {
+		l := s.loc[id]
+		buf, ok := readAtLocation(s.segPath(l.shard, l.seg), l)
+		var rec record
+		if !ok || json.Unmarshal(buf, &rec) != nil ||
+			rec.V != FormatVersion || rec.ID != id {
+			stats.Dropped++
+			delete(s.loc, id)
+			continue
+		}
+		pending = append(pending, liveRec{id: id, line: buf})
+		pendingBytes += int64(len(buf)) + 1
+		carried++
+		if pendingBytes >= s.segBytes {
+			if err := flush(); err != nil {
+				return nil, carried, fmt.Errorf("store: compact %s: %w", shard, err)
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, carried, fmt.Errorf("store: compact %s: %w", shard, err)
+	}
+	if carried == 0 {
+		// Nothing was flushed, so the tail still numbers a superseded
+		// segment about to be deleted; advance past it so a later Put
+		// never appends to a file the deletion sweep then removes.
+		ss.tailSeg = seg
+	}
+	stats.Live += carried
+	return oldSegs, carried, nil
 }
 
 // Close releases the index and tail handles. Records are always durable

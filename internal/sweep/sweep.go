@@ -16,11 +16,15 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"math"
+	"math/bits"
 	"strings"
 
+	"repro/internal/argame"
 	"repro/internal/campaign"
 	"repro/internal/des"
 	"repro/internal/ran"
+	"repro/internal/slicing"
 )
 
 // Grid enumerates the scenario axes. Every empty axis contributes a
@@ -52,6 +56,28 @@ type Grid struct {
 	// TargetCellSets is the probe-placement axis; a nil set means the
 	// paper's eight sector probes (default: {nil}).
 	TargetCellSets [][]string
+	// WiredRounds is the wired-baseline-depth axis; 0 means the campaign
+	// default of five probe-to-probe sweeps (default: {0}). Note 0 and
+	// the explicit default canonicalize to the same scenario, so listing
+	// both is a duplicate the expansion rejects.
+	WiredRounds []int
+	// SlicingStrategies is the probe-placement-strategy axis (Section
+	// V-C): each non-none strategy derives the probe cells through
+	// slicing.Place with campaign.DefaultSlicingSites sites, while
+	// slicing.StrategyNone keeps the paper's hand-picked probes
+	// (default: {StrategyNone}). Combining a strategy with an explicit
+	// TargetCellSets entry is rejected at campaign run time — the two
+	// both choose probe sites.
+	SlicingStrategies []slicing.Strategy
+	// ARGameDeployments is the AR-session axis (Section IV-A): each
+	// non-none deployment runs the campaign in AR mode, folding
+	// motion-to-photon samples into the per-cell grid, while
+	// argame.DeployNone keeps the plain ping campaign
+	// (default: {DeployNone}). A deployment encodes the AR chain's own
+	// radio/UPF/peering choices, so crossing this axis with Profiles or
+	// EdgeUPF yields AR scenarios that simulate identically under
+	// distinct IDs — spend those axes on ping scenarios instead.
+	ARGameDeployments []argame.Deployment
 }
 
 // Scenario is one fully resolved point of the grid.
@@ -82,24 +108,37 @@ func (g Grid) SeedAxis() []uint64 {
 	return seeds
 }
 
-// Size returns the number of scenarios the grid expands to.
-func (g Grid) Size() int {
-	n := len(g.SeedAxis())
+// Size returns the number of scenarios the grid expands to. It errors
+// when the product overflows int — an adversarial or typo'd grid must
+// fail here, before Scenarios allocates anything proportional to it.
+func (g Grid) Size() (int, error) {
+	n := uint64(len(g.SeedAxis()))
 	for _, l := range []int{len(g.Profiles), len(g.LocalPeering), len(g.EdgeUPF),
-		len(g.MobileNodes), len(g.TargetCellSets)} {
-		if l > 0 {
-			n *= l
+		len(g.MobileNodes), len(g.TargetCellSets), len(g.WiredRounds),
+		len(g.SlicingStrategies), len(g.ARGameDeployments)} {
+		if l == 0 {
+			continue
 		}
+		hi, lo := bits.Mul64(n, uint64(l))
+		if hi != 0 || lo > math.MaxInt {
+			return 0, fmt.Errorf("sweep: grid size overflows (more than %d scenarios)", math.MaxInt)
+		}
+		n = lo
 	}
-	return n
+	return int(n), nil
 }
 
 // Scenarios expands the grid in deterministic order: profiles, peering,
-// UPF placement, node counts, cell sets, then seeds innermost so the
-// replications of one variant are adjacent. It rejects grids whose axes
-// contain duplicates (two scenarios with one ID would make cache-hit
-// accounting and JSONL row counts ambiguous).
+// UPF placement, node counts, cell sets, wired rounds, slicing
+// strategies, AR deployments, then seeds innermost so the replications
+// of one variant are adjacent. It rejects grids whose axes contain
+// duplicates (two scenarios with one ID would make cache-hit accounting
+// and JSONL row counts ambiguous).
 func (g Grid) Scenarios() ([]Scenario, error) {
+	size, err := g.Size()
+	if err != nil {
+		return nil, err
+	}
 	seeds := g.SeedAxis()
 	profiles := g.Profiles
 	if len(profiles) == 0 {
@@ -121,36 +160,61 @@ func (g Grid) Scenarios() ([]Scenario, error) {
 	if len(cellSets) == 0 {
 		cellSets = [][]string{nil}
 	}
+	wired := g.WiredRounds
+	if len(wired) == 0 {
+		wired = []int{0}
+	}
+	slicings := g.SlicingStrategies
+	if len(slicings) == 0 {
+		slicings = []slicing.Strategy{slicing.StrategyNone}
+	}
+	arDeploys := g.ARGameDeployments
+	if len(arDeploys) == 0 {
+		arDeploys = []argame.Deployment{argame.DeployNone}
+	}
 
-	out := make([]Scenario, 0, g.Size())
-	seen := make(map[string]int, g.Size())
+	out := make([]Scenario, 0, size)
+	seen := make(map[string]int, size)
 	for _, p := range profiles {
 		for _, lp := range peering {
 			for _, eu := range edge {
 				for _, mn := range nodes {
 					for _, cells := range cellSets {
-						for _, seed := range seeds {
-							cfg := campaign.Config{
-								Seed:         seed,
-								MobileNodes:  mn,
-								Profile:      p,
-								LocalPeering: lp,
-								EdgeUPF:      eu,
-								TargetCells:  cells,
+						for _, wr := range wired {
+							for _, sl := range slicings {
+								for _, ar := range arDeploys {
+									for _, seed := range seeds {
+										cfg := campaign.Config{
+											Seed:         seed,
+											MobileNodes:  mn,
+											Profile:      p,
+											LocalPeering: lp,
+											EdgeUPF:      eu,
+											TargetCells:  cells,
+											WiredRounds:  wr,
+										}
+										if sl != slicing.StrategyNone {
+											cfg.Slicing = &campaign.SlicingPlacement{Strategy: sl}
+										}
+										if ar != argame.DeployNone {
+											cfg.ARGame = &campaign.ARGameMode{Deployment: ar}
+										}
+										sc := Scenario{
+											Index:   len(out),
+											ID:      ScenarioID(cfg),
+											Variant: VariantID(cfg),
+											Config:  cfg,
+										}
+										if prev, dup := seen[sc.ID]; dup {
+											return nil, fmt.Errorf(
+												"sweep: scenarios %d and %d are identical (%s); deduplicate the grid axes",
+												prev, sc.Index, sc.ID)
+										}
+										seen[sc.ID] = sc.Index
+										out = append(out, sc)
+									}
+								}
 							}
-							sc := Scenario{
-								Index:   len(out),
-								ID:      ScenarioID(cfg),
-								Variant: VariantID(cfg),
-								Config:  cfg,
-							}
-							if prev, dup := seen[sc.ID]; dup {
-								return nil, fmt.Errorf(
-									"sweep: scenarios %d and %d are identical (%s); deduplicate the grid axes",
-									prev, sc.Index, sc.ID)
-							}
-							seen[sc.ID] = sc.Index
-							out = append(out, sc)
 						}
 					}
 				}
@@ -173,7 +237,7 @@ func VariantID(cfg campaign.Config) string { return hashConfig(cfg, false) }
 // folds into scenario identity. A test asserts it against the struct via
 // reflection, so adding a Config field without extending the hash fails
 // loudly instead of silently conflating cache entries.
-const hashedConfigFields = 7
+const hashedConfigFields = 9
 
 func hashConfig(cfg campaign.Config, withSeed bool) string {
 	c := cfg.Canonical()
@@ -184,6 +248,16 @@ func hashConfig(cfg campaign.Config, withSeed bool) string {
 	fmt.Fprintf(&b, "nodes=%d;profile=%s;peering=%t;edgeupf=%t;wired=%d;cells=%s",
 		c.MobileNodes, c.Profile.Name, c.LocalPeering, c.EdgeUPF, c.WiredRounds,
 		strings.Join(c.TargetCells, ","))
+	// Later-generation axes append only when set, so every scenario ID
+	// minted before they existed is unchanged and old on-disk caches keep
+	// serving hits. Extend the hash the same way: append, gated on
+	// non-default. (TestScenarioIDGolden pins this compatibility.)
+	if c.Slicing != nil {
+		fmt.Fprintf(&b, ";slicing=%s", c.Slicing.Axis())
+	}
+	if c.ARGame != nil {
+		fmt.Fprintf(&b, ";argame=%s", c.ARGame.Deployment)
+	}
 	sum := sha256.Sum256([]byte(b.String()))
 	return hex.EncodeToString(sum[:8])
 }

@@ -33,8 +33,8 @@ func TestGridExpansionOrderAndSize(t *testing.T) {
 		EdgeUPF:      []bool{false, true},
 		LocalPeering: []bool{false, true},
 	}
-	if g.Size() != 24 {
-		t.Fatalf("Size = %d, want 24", g.Size())
+	if n, err := g.Size(); err != nil || n != 24 {
+		t.Fatalf("Size = %d, %v, want 24", n, err)
 	}
 	scs, err := g.Scenarios()
 	if err != nil {

@@ -29,6 +29,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/experiments"
 	"repro/internal/recommend"
+	"repro/internal/slicing"
 	"repro/internal/sweep"
 	"repro/internal/sweep/store"
 )
@@ -47,10 +48,36 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 }
 
 // SweepGrid enumerates scenario axes (seeds, radio profiles, peering,
-// UPF placement, node counts, target-cell sets); it expands to the
+// UPF placement, node counts, target-cell sets, wired-baseline rounds,
+// slicing placement strategies, AR-game deployments); it expands to the
 // cartesian product of campaign configs, each with a stable
 // content-hash scenario ID.
 type SweepGrid = sweep.Grid
+
+// SlicingPlacement derives a campaign's probe sites from a Section V-C
+// hypervisor-placement strategy (CampaignConfig.Slicing, or the sweep's
+// SlicingStrategies axis).
+type SlicingPlacement = campaign.SlicingPlacement
+
+// SlicingStrategy selects a placement objective; SlicingNone keeps the
+// paper's hand-picked probes.
+type SlicingStrategy = slicing.Strategy
+
+// Slicing placement strategies, re-exported for grid building.
+const (
+	SlicingNone        = slicing.StrategyNone
+	SlicingLatency     = slicing.StrategyLatency
+	SlicingResilience  = slicing.StrategyResilience
+	SlicingLoadBalance = slicing.StrategyLoadBalance
+)
+
+// ARGameMode switches a campaign into the Section IV-A AR-session mode
+// (CampaignConfig.ARGame, or the sweep's ARGameDeployments axis).
+type ARGameMode = campaign.ARGameMode
+
+// GameDeployNone is the "plain ping campaign" point of the sweep's
+// AR-deployment axis; the concrete deployments are in GameDeployments.
+const GameDeployNone = argame.DeployNone
 
 // SweepOptions bounds the worker pool and selects the result cache.
 type SweepOptions = sweep.Options
