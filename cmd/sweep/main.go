@@ -59,8 +59,9 @@ func main() {
 	// Reject invalid flag combinations up front, before any grid
 	// building or store opening: a silently ignored -compact or
 	// -compact-store would leave the user believing the store was
-	// compacted (or its records slimmed) when nothing happened.
-	if err := validateFlags(*cacheDir, *compact, *compactStore); err != nil {
+	// compacted (or its records slimmed) when nothing happened, and a
+	// negative -workers would silently run at GOMAXPROCS.
+	if err := validateFlags(*cacheDir, *compact, *compactStore, *workers, *reps); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		fmt.Fprintln(os.Stderr, "run with -h for usage")
 		os.Exit(2)
@@ -192,8 +193,15 @@ func main() {
 }
 
 // validateFlags rejects flag combinations that ask for on-disk cache
-// behaviour without a cache directory to apply it to.
-func validateFlags(cacheDir string, compact, compactStore bool) error {
+// behaviour without a cache directory to apply it to, and nonsensical
+// numeric values that would otherwise be silently reinterpreted.
+func validateFlags(cacheDir string, compact, compactStore bool, workers, reps int) error {
+	if workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (0 = GOMAXPROCS), got %d", workers)
+	}
+	if reps < 1 {
+		return fmt.Errorf("-reps must be >= 1, got %d", reps)
+	}
 	if compact && cacheDir == "" {
 		return fmt.Errorf("-compact requires -cache-dir (record mode is a property of the on-disk store)")
 	}

@@ -1,0 +1,129 @@
+// Command sweepd is the resident scenario-query service: it owns a
+// sweep cache directory and serves it over HTTP as a read-through,
+// simulate-on-demand API. Warm scenarios answer at store speed; misses
+// simulate on a bounded worker pool behind an explicit admission queue
+// and shed with 429 when the queue is full. Shutdown (SIGINT/SIGTERM)
+// is graceful: in-flight requests drain, the store flushes, then the
+// process exits.
+//
+// Usage:
+//
+//	sweepd -cache-dir .sweep-cache                    # serve on :8080
+//	sweepd -addr :9000 -sim-workers 8 -queue-depth 128
+//	sweepd -cache-dir .sweep-cache -compact           # summary-only records
+//	sweepd -cache-dir .sweep-cache -queue-depth -1    # read replica: hits only, misses shed
+//
+// Endpoints: POST /v1/scenario (axes JSON -> record), POST /v1/sweep
+// (grid JSON -> chunked JSONL, byte-identical to cmd/sweep -out),
+// POST /v1/deltas (grid JSON -> recommendation deltas), GET /healthz,
+// GET /statsz.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	sixgedge "repro"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		cacheDir     = flag.String("cache-dir", "", "serve (and persist to) the sweep store at this directory; empty serves a memory-only cache")
+		compact      = flag.Bool("compact", false, "with -cache-dir: store summary-only records (per-cell moments, no raw samples)")
+		simWorkers   = flag.Int("sim-workers", 0, "concurrent simulations across all requests (0 = GOMAXPROCS)")
+		queueDepth   = flag.Int("queue-depth", 0, "admission queue beyond running simulations (0 = default 64; -1 = store-only replica, every miss sheds 429)")
+		gridJobs     = flag.Int("grid-jobs", 0, "concurrent grid requests (/v1/sweep, /v1/deltas) (0 = default 16)")
+		maxGrid      = flag.Int("max-grid", 0, "reject grids expanding past this many scenarios (0 = default 65536)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight requests")
+	)
+	flag.Parse()
+
+	// Usage errors exit 2, before any store is opened or socket bound —
+	// the cmd/sweep convention: a silently clamped -sim-workers or a
+	// replica with nothing to serve would run while doing the wrong
+	// thing.
+	if err := validateFlags(*cacheDir, *compact, *simWorkers, *queueDepth, *gridJobs,
+		*maxGrid, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		fmt.Fprintln(os.Stderr, "run with -h for usage")
+		os.Exit(2)
+	}
+
+	srv, err := sixgedge.NewSweepServer(sixgedge.ServeOptions{
+		CacheDir:         *cacheDir,
+		Compact:          *compact,
+		SimWorkers:       *simWorkers,
+		QueueDepth:       *queueDepth,
+		MaxGridJobs:      *gridJobs,
+		MaxGridScenarios: *maxGrid,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	mode := "memory-only cache"
+	if *cacheDir != "" {
+		mode = fmt.Sprintf("cache-dir %s", *cacheDir)
+	}
+	fmt.Fprintf(os.Stderr, "sweepd: serving on %s (%s)\n", *addr, mode)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*addr) }()
+
+	select {
+	case err := <-errc:
+		srv.Close()
+		if err != nil {
+			fatal(err)
+		}
+	case <-ctx.Done():
+		stop()
+		fmt.Fprintln(os.Stderr, "sweepd: draining (signal received)")
+		dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(dctx); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "sweepd: drained, store flushed")
+	}
+}
+
+// validateFlags rejects nonsensical combinations up front.
+func validateFlags(cacheDir string, compact bool, simWorkers, queueDepth, gridJobs,
+	maxGrid int, drainTimeout time.Duration) error {
+	if simWorkers < 0 {
+		return fmt.Errorf("-sim-workers must be >= 0 (0 = GOMAXPROCS), got %d", simWorkers)
+	}
+	if queueDepth < -1 {
+		return fmt.Errorf("-queue-depth must be >= -1 (-1 = store-only replica), got %d", queueDepth)
+	}
+	if gridJobs < 0 {
+		return fmt.Errorf("-grid-jobs must be >= 0, got %d", gridJobs)
+	}
+	if maxGrid < 0 {
+		return fmt.Errorf("-max-grid must be >= 0, got %d", maxGrid)
+	}
+	if drainTimeout < 0 {
+		return fmt.Errorf("-drain-timeout must be >= 0, got %v", drainTimeout)
+	}
+	if compact && cacheDir == "" {
+		return fmt.Errorf("-compact requires -cache-dir (record mode is a property of the on-disk store)")
+	}
+	if queueDepth == -1 && cacheDir == "" {
+		return fmt.Errorf("-queue-depth -1 (store-only replica) requires -cache-dir (there is no store to serve)")
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweepd:", err)
+	os.Exit(1)
+}

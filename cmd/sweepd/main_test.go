@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestValidateFlagsRejectsNonsense(t *testing.T) {
+	ok := 30 * time.Second
+	cases := []struct {
+		name       string
+		cacheDir   string
+		compact    bool
+		simWorkers int
+		queueDepth int
+		gridJobs   int
+		maxGrid    int
+		drain      time.Duration
+		wantErr    string
+	}{
+		{"defaults", "", false, 0, 0, 0, 0, ok, ""},
+		{"full", ".c", true, 8, 128, 4, 1024, ok, ""},
+		{"replica", ".c", false, 0, -1, 0, 0, ok, ""},
+		{"negative-sim-workers", "", false, -2, 0, 0, 0, ok, "-sim-workers must be >= 0"},
+		{"queue-below-minus-one", "", false, 0, -2, 0, 0, ok, "-queue-depth must be >= -1"},
+		{"negative-grid-jobs", "", false, 0, 0, -1, 0, ok, "-grid-jobs must be >= 0"},
+		{"negative-max-grid", "", false, 0, 0, 0, -1, ok, "-max-grid must be >= 0"},
+		{"negative-drain", "", false, 0, 0, 0, 0, -time.Second, "-drain-timeout must be >= 0"},
+		{"compact-no-dir", "", true, 0, 0, 0, 0, ok, "-compact requires -cache-dir"},
+		{"replica-no-dir", "", false, 0, -1, 0, 0, ok, "-queue-depth -1 (store-only replica) requires -cache-dir"},
+	}
+	for _, c := range cases {
+		err := validateFlags(c.cacheDir, c.compact, c.simWorkers, c.queueDepth,
+			c.gridJobs, c.maxGrid, c.drain)
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: got %v, want error containing %q", c.name, err, c.wantErr)
+		}
+	}
+}

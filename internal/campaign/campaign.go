@@ -96,6 +96,11 @@ type CellReport struct {
 	MeanMs   float64 // 0.0 when not Reported, as in Figure 2
 	StdMs    float64
 	Reported bool
+	// GhostHits counts the cell's AR motion-to-photon samples that
+	// exceeded the 20 ms budget (argame.Deadline) — each one a frame a
+	// throw could resolve against a stale pose. Always zero for the
+	// plain ping campaign; the per-cell ghost-hit rate is GhostHits/N.
+	GhostHits int
 }
 
 // Result is a completed campaign.
@@ -166,11 +171,13 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	var arSampler *argame.Sampler
+	var ghostHits map[geo.CellID]int
 	if cfg.ARGame != nil {
 		var err error
 		if arSampler, err = argame.NewSampler(cfg.ARGame.Deployment); err != nil {
 			return nil, err
 		}
+		ghostHits = make(map[geo.CellID]int)
 	}
 	targets, err := AddSectorProbes(ce, grid, targetCells)
 	if err != nil {
@@ -226,6 +233,12 @@ func Run(cfg Config) (*Result, error) {
 					var err error
 					if arSampler != nil {
 						rtt, err = arSampler.M2P(rng, stop.Cell)
+						// A chain over the motion-to-photon budget is a
+						// ghost-hit risk (argame's throw rule, applied to
+						// every sampled frame).
+						if err == nil && rtt > argame.Deadline {
+							ghostHits[stop.Cell]++
+						}
 					} else {
 						rtt, err = eng.MobileRTT(rng, cond[stop.Cell], upf, tgt.Host)
 					}
@@ -285,7 +298,7 @@ func Run(cfg Config) (*Result, error) {
 	geo.SortCells(cells)
 	for _, c := range cells {
 		s := res.Samples[c]
-		rep := CellReport{Cell: c, N: s.N()}
+		rep := CellReport{Cell: c, N: s.N(), GhostHits: ghostHits[c]}
 		if s.N() >= MinMeasurements {
 			rep.Reported = true
 			rep.MeanMs = s.Mean()

@@ -1,0 +1,113 @@
+package campaign
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/argame"
+)
+
+// TestARGhostHitsCounted: the AR-session campaign counts per-cell
+// motion-to-photon samples over the 20 ms budget. The 5G baseline
+// deployment's chain blows the budget routinely, so ghost hits must
+// appear; every count is bounded by the cell's sample total; and the
+// plain ping campaign never counts any.
+func TestARGhostHitsCounted(t *testing.T) {
+	ar, err := Run(Config{Seed: 7, ARGame: &ARGameMode{Deployment: argame.DeployBaseline}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, rep := range ar.Reports {
+		if rep.GhostHits < 0 || rep.GhostHits > rep.N {
+			t.Fatalf("cell %v: %d ghost hits out of %d samples", rep.Cell, rep.GhostHits, rep.N)
+		}
+		total += rep.GhostHits
+	}
+	if total == 0 {
+		t.Fatal("baseline AR deployment should exhibit ghost hits")
+	}
+
+	ping, err := Run(Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range ping.Reports {
+		if rep.GhostHits != 0 {
+			t.Fatalf("ping campaign counted %d ghost hits in %v", rep.GhostHits, rep.Cell)
+		}
+	}
+}
+
+// TestGhostHitsSurviveStateRoundTrip: State→Restore preserves per-cell
+// ghost counts exactly, in both full and compact form.
+func TestGhostHitsSurviveStateRoundTrip(t *testing.T) {
+	res, err := Run(Config{Seed: 3, ARGame: &ARGameMode{Deployment: argame.DeployBaseline}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, compact := range []bool{false, true} {
+		st := res.State(compact)
+		if !st.ARGhosts {
+			t.Fatal("AR-mode state must carry the ghost-accounting marker")
+		}
+		back, err := st.Restore()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, rep := range res.Reports {
+			if back.Reports[i].GhostHits != rep.GhostHits {
+				t.Fatalf("compact=%t cell %v: restored %d ghost hits, want %d",
+					compact, rep.Cell, back.Reports[i].GhostHits, rep.GhostHits)
+			}
+		}
+	}
+}
+
+// TestPreGhostARRecordIsRejected: an AR record without the ARGhosts
+// marker (written before ghost accounting existed) cannot tell "zero
+// ghosts" from "never counted"; Restore must fail so the store degrades
+// it to a miss and the scenario re-simulates once. Ping records without
+// the marker restore as before.
+func TestPreGhostARRecordIsRejected(t *testing.T) {
+	res, err := Run(Config{Seed: 3, ARGame: &ARGameMode{Deployment: argame.DeployBaseline}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.State(true)
+	st.ARGhosts = false
+	if _, err := st.Restore(); err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Fatalf("pre-ghost AR record restored (err=%v), want rejection", err)
+	}
+
+	ping, err := Run(Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pst := ping.State(true)
+	if pst.ARGhosts {
+		t.Fatal("ping-campaign state must not set the AR ghost marker")
+	}
+	if _, err := pst.Restore(); err != nil {
+		t.Fatalf("ping record must keep restoring: %v", err)
+	}
+}
+
+// TestPingStateBytesUnchangedByGhostFields: the new state fields are
+// omitempty, so a ping-campaign record marshals without any ghost
+// artefact — pre-existing on-disk caches keep serving byte-identical
+// records.
+func TestPingStateBytesUnchangedByGhostFields(t *testing.T) {
+	res, err := Run(Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(res.State(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "ghost") {
+		t.Fatalf("ping-campaign state leaked ghost fields: %s", data)
+	}
+}

@@ -31,6 +31,16 @@ type ResultState struct {
 	// Restore surfaces it as Result.SummaryOnly so consumers can tell a
 	// compact record from missing data.
 	Compact bool `json:"compact,omitempty"`
+	// ARGhosts marks that per-cell ghost-hit counts were captured; it is
+	// set for every AR-mode result written since ghost accounting
+	// landed. An AR record without it predates the accounting and cannot
+	// distinguish "zero ghost hits" from "never counted", so Restore
+	// rejects it — the store treats that as a miss and the scenario
+	// re-simulates once, rewriting a complete record. Ping-campaign
+	// records are unaffected (their ghost counts are definitionally
+	// zero), so the field is append-only for every pre-existing
+	// non-AR record.
+	ARGhosts bool `json:"ar_ghosts,omitempty"`
 }
 
 // ConfigState serializes a canonical Config. The radio profile is
@@ -66,8 +76,11 @@ type CellState struct {
 	MeanMs   float64            `json:"mean_ms"`
 	StdMs    float64            `json:"std_ms"`
 	Reported bool               `json:"reported"`
-	Summary  stats.SummaryState `json:"summary"`
-	Samples  []float64          `json:"samples,omitempty"`
+	// GhostHits carries the AR-mode over-budget sample count; omitted
+	// when zero so ping-campaign records keep their exact bytes.
+	GhostHits int                `json:"ghost_hits,omitempty"`
+	Summary   stats.SummaryState `json:"summary"`
+	Samples   []float64          `json:"samples,omitempty"`
 }
 
 // State captures the result. With compact set, raw per-cell samples are
@@ -101,14 +114,16 @@ func (r *Result) State(compact bool) ResultState {
 	}
 	if cfg.ARGame != nil {
 		st.Config.ARGame = cfg.ARGame.Deployment.String()
+		st.ARGhosts = true
 	}
 	for _, rep := range r.Reports {
 		cs := CellState{
-			Cell:     rep.Cell.String(),
-			N:        rep.N,
-			MeanMs:   rep.MeanMs,
-			StdMs:    rep.StdMs,
-			Reported: rep.Reported,
+			Cell:      rep.Cell.String(),
+			N:         rep.N,
+			MeanMs:    rep.MeanMs,
+			StdMs:     rep.StdMs,
+			Reported:  rep.Reported,
+			GhostHits: rep.GhostHits,
 		}
 		if s := r.Samples[rep.Cell]; s != nil {
 			cs.Summary = s.State()
@@ -148,6 +163,14 @@ func (st ResultState) Restore() (*Result, error) {
 			return nil, fmt.Errorf("campaign: state references unknown AR deployment %q",
 				st.Config.ARGame)
 		}
+		if !st.ARGhosts {
+			// An AR record written before ghost-hit accounting: absent
+			// counts are indistinguishable from genuine zeros, so refuse
+			// to restore — the caller (the sweep store) degrades this to
+			// a cache miss and the scenario re-simulates once with full
+			// accounting.
+			return nil, fmt.Errorf("campaign: AR record predates ghost-hit accounting; re-simulate")
+		}
 		arCfg = &ARGameMode{Deployment: deploy}
 	}
 	grid := geo.NewKlagenfurtGrid()
@@ -182,11 +205,12 @@ func (st ResultState) Restore() (*Result, error) {
 		}
 		res.Samples[cell] = stats.RestoreSample(cs.Summary.Summary(), cs.Samples)
 		res.Reports = append(res.Reports, CellReport{
-			Cell:     cell,
-			N:        cs.N,
-			MeanMs:   cs.MeanMs,
-			StdMs:    cs.StdMs,
-			Reported: cs.Reported,
+			Cell:      cell,
+			N:         cs.N,
+			MeanMs:    cs.MeanMs,
+			StdMs:     cs.StdMs,
+			Reported:  cs.Reported,
+			GhostHits: cs.GhostHits,
 		})
 	}
 	if err := res.computeExtremes(); err != nil {

@@ -16,6 +16,13 @@ type CellAggregate struct {
 	MeanMs   float64 `json:"mean_ms"`
 	StdMs    float64 `json:"std_ms"`
 	Reported bool    `json:"reported"`
+	// GhostHits / GhostRate fold the AR-game ghost-hit accounting into
+	// the cell: how many of the cell's motion-to-photon samples blew the
+	// 20 ms budget, and that count over the cell's sample total. Both
+	// are zero for ping campaigns and omitted from JSONL, so every
+	// pre-existing record keeps its exact bytes.
+	GhostHits int     `json:"ghost_hits,omitempty"`
+	GhostRate float64 `json:"ghost_rate,omitempty"`
 }
 
 // Variant aggregates all replications (seeds) of one deployment point.
@@ -57,6 +64,7 @@ func aggregate(runs []ScenarioRun) []Variant {
 		group := byID[id]
 		v := Variant{ID: id, Config: group[0].Config.Canonical()}
 		cellSum := make(map[geo.CellID]*stats.Summary)
+		ghost := make(map[geo.CellID]int)
 		for _, r := range group {
 			v.Seeds = append(v.Seeds, r.Config.Canonical().Seed)
 			v.Wired.Merge(r.Result.Wired)
@@ -67,6 +75,9 @@ func aggregate(runs []ScenarioRun) []Variant {
 					cellSum[c] = sum
 				}
 				sum.Merge(s.Summary)
+			}
+			for _, rep := range r.Result.Reports {
+				ghost[rep.Cell] += rep.GhostHits
 			}
 		}
 		// All replications traverse the same density-derived cells, so
@@ -83,7 +94,10 @@ func aggregate(runs []ScenarioRun) []Variant {
 				// as unreported with zero moments instead of panicking.
 				sum = &stats.Summary{}
 			}
-			agg := CellAggregate{Cell: rep.Cell.String(), N: sum.N()}
+			agg := CellAggregate{Cell: rep.Cell.String(), N: sum.N(), GhostHits: ghost[rep.Cell]}
+			if agg.N > 0 {
+				agg.GhostRate = float64(agg.GhostHits) / float64(agg.N)
+			}
 			if sum.N() >= campaign.MinMeasurements {
 				agg.Reported = true
 				agg.MeanMs = sum.Mean()

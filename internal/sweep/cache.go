@@ -44,6 +44,7 @@ type Cache struct {
 	limit     int                      // ≤ 0 means unbounded
 	store     BackingStore
 	inflight  map[string]*flight
+	runner    func(campaign.Config) (*campaign.Result, error) // nil means campaign.Run
 	storeErrs atomic.Int64
 }
 
@@ -217,6 +218,16 @@ func (c *Cache) Len() int {
 // runCampaign indirects campaign.Run so tests can count executions.
 var runCampaign = campaign.Run
 
+// SetRunner replaces the function a cache miss uses to simulate the
+// scenario (campaign.Run when nil). Serving layers wrap it to bound
+// simulation concurrency and shed load under pressure: an error the
+// runner returns propagates to every caller waiting on that flight,
+// and nothing is cached. Set it before the cache sees traffic; it is
+// not synchronized against in-flight GetOrRun calls.
+func (c *Cache) SetRunner(run func(campaign.Config) (*campaign.Result, error)) {
+	c.runner = run
+}
+
 // GetOrRun returns the result for cfg's scenario hash, running the
 // campaign on a miss. Concurrent misses on the same key are
 // de-duplicated: exactly one caller simulates, the rest wait and share
@@ -237,6 +248,16 @@ func (c *Cache) GetOrRun(cfg campaign.Config) (*campaign.Result, error) {
 func (c *Cache) GetOrRunFull(cfg campaign.Config) (*campaign.Result, error) {
 	res, _, err := c.getOrRun(cfg, true)
 	return res, err
+}
+
+// GetOrRunReport is GetOrRun plus the hit report the sweep executor
+// uses internally: cached is true when the result was served — from
+// memory, disk, or another caller's completed flight — without this
+// call simulating. It is the request-level entry point for serving
+// layers that resolve one scenario at a time (no grid) and account
+// hits and misses per request.
+func (c *Cache) GetOrRunReport(cfg campaign.Config) (res *campaign.Result, cached bool, err error) {
+	return c.getOrRun(cfg, false)
 }
 
 // getOrRun is GetOrRun plus a hit report: cached is true when the
@@ -281,7 +302,11 @@ func (c *Cache) getOrRun(cfg campaign.Config, needRaw bool) (res *campaign.Resul
 		// between our miss and claiming the flight), then simulate.
 		res, ok := c.get(id, needRaw)
 		if !ok {
-			res, err = runCampaign(cfg)
+			run := c.runner
+			if run == nil {
+				run = runCampaign
+			}
+			res, err = run(cfg)
 			if err == nil {
 				c.Put(id, res)
 			}

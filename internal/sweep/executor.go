@@ -55,6 +55,22 @@ type Result struct {
 // interleaving; the output (scenario order, aggregates, JSONL bytes) is
 // byte-identical for any Workers value.
 func Run(g Grid, opt Options) (*Result, error) {
+	return RunEach(g, opt, nil)
+}
+
+// RunEach is Run with a streaming hook: emit (when non-nil) is invoked
+// once per scenario, in grid order, as soon as that scenario and all
+// its predecessors have completed — workers keep simulating ahead while
+// earlier scenarios stream out. It exists for serving layers that
+// stream JSONL over a connection: the emitted sequence is exactly the
+// final Result.Scenarios order, so a stream written record-by-record is
+// byte-identical to WriteJSONL on the returned Result.
+//
+// emit runs on the calling goroutine. An error it returns cancels the
+// sweep and is returned; a scenario failure stops emission after the
+// last cleanly completed prefix, so consumers always see a grid-order
+// prefix, never a gap.
+func RunEach(g Grid, opt Options, emit func(ScenarioRun) error) (*Result, error) {
 	scenarios, err := g.Scenarios()
 	if err != nil {
 		return nil, err
@@ -71,6 +87,15 @@ func Run(g Grid, opt Options) (*Result, error) {
 	}
 
 	runs := make([]ScenarioRun, len(scenarios))
+	// Completion signalling exists only for the streaming hook; the
+	// plain Run path skips the per-scenario channel allocations.
+	var done []chan struct{}
+	if emit != nil {
+		done = make([]chan struct{}, len(scenarios))
+		for i := range done {
+			done[i] = make(chan struct{})
+		}
+	}
 	idx := make(chan int, len(scenarios))
 	for i := range scenarios {
 		idx <- i
@@ -83,12 +108,24 @@ func Run(g Grid, opt Options) (*Result, error) {
 		errOnce sync.Once
 		runErr  error
 	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			runErr = err
+			stop.Store(true)
+		})
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				// done[i] closes whether the scenario ran, failed, or was
+				// skipped after a stop — the emitter below distinguishes
+				// by the nil-ness of runs[i].Result.
 				if stop.Load() {
+					if done != nil {
+						close(done[i])
+					}
 					continue
 				}
 				sc := scenarios[i]
@@ -107,15 +144,29 @@ func Run(g Grid, opt Options) (*Result, error) {
 					res, err = runCampaign(sc.Config)
 				}
 				if err != nil {
-					errOnce.Do(func() {
-						runErr = fmt.Errorf("sweep: scenario %d (%s): %w", sc.Index, sc.ID, err)
-						stop.Store(true)
-					})
-					continue
+					fail(fmt.Errorf("sweep: scenario %d (%s): %w", sc.Index, sc.ID, err))
+				} else {
+					runs[i] = ScenarioRun{Scenario: sc, Cached: cached, Result: res}
 				}
-				runs[i] = ScenarioRun{Scenario: sc, Cached: cached, Result: res}
+				if done != nil {
+					close(done[i])
+				}
 			}
 		}()
+	}
+	if emit != nil {
+		for i := range runs {
+			<-done[i]
+			if runs[i].Result == nil {
+				// Failed, or skipped after another scenario failed; the
+				// cause is (or will be) in runErr.
+				break
+			}
+			if err := emit(runs[i]); err != nil {
+				fail(fmt.Errorf("sweep: emit scenario %d (%s): %w", runs[i].Index, runs[i].ID, err))
+				break
+			}
+		}
 	}
 	wg.Wait()
 	if runErr != nil {

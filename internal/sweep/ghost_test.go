@@ -1,0 +1,88 @@
+package sweep
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/argame"
+)
+
+// TestGhostHitsFoldIntoRecordsAndAggregates: an AR-deployment sweep's
+// JSONL records and merged variant cells carry the ghost-hit counts and
+// rates; replications sum per cell; ping records stay ghost-free to the
+// byte.
+func TestGhostHitsFoldIntoRecordsAndAggregates(t *testing.T) {
+	g := Grid{
+		Seeds:             []uint64{11, 12},
+		ARGameDeployments: []argame.Deployment{argame.DeployNone, argame.DeployBaseline},
+	}
+	res, err := Run(g, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var arTotal int
+	for _, run := range res.Scenarios {
+		rec := RecordOf(run)
+		line, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run.Config.ARGame == nil {
+			if strings.Contains(string(line), "ghost") {
+				t.Fatalf("ping record %s leaked ghost fields", run.ID)
+			}
+			continue
+		}
+		if rec.GhostHits == 0 || rec.GhostRate == 0 {
+			t.Fatalf("AR record %s has no ghost accounting", run.ID)
+		}
+		want := float64(rec.GhostHits) / float64(rec.Measurements)
+		if rec.GhostRate != want {
+			t.Fatalf("record %s ghost rate %v, want %v", run.ID, rec.GhostRate, want)
+		}
+		cellSum := 0
+		for _, c := range rec.Cells {
+			if c.GhostHits > c.N {
+				t.Fatalf("record %s cell %s: %d ghost hits of %d samples", run.ID, c.Cell, c.GhostHits, c.N)
+			}
+			cellSum += c.GhostHits
+		}
+		if cellSum != rec.GhostHits {
+			t.Fatalf("record %s: cells sum to %d ghost hits, record says %d", run.ID, cellSum, rec.GhostHits)
+		}
+		arTotal += rec.GhostHits
+	}
+	if arTotal == 0 {
+		t.Fatal("baseline AR scenarios should exhibit ghost hits")
+	}
+
+	// The merged variant cell counts must equal the sum over its
+	// replications' per-cell counts.
+	for _, v := range res.Variants {
+		wantByCell := make(map[string]int)
+		runsOfVariant := 0
+		for _, run := range res.Scenarios {
+			if run.Variant != v.ID {
+				continue
+			}
+			runsOfVariant++
+			for _, rep := range run.Result.Reports {
+				wantByCell[rep.Cell.String()] += rep.GhostHits
+			}
+		}
+		if runsOfVariant != 2 {
+			t.Fatalf("variant %s has %d replications, want 2", v.ID, runsOfVariant)
+		}
+		for _, c := range v.Cells {
+			if c.GhostHits != wantByCell[c.Cell] {
+				t.Fatalf("variant %s cell %s: merged %d ghost hits, want %d",
+					v.ID, c.Cell, c.GhostHits, wantByCell[c.Cell])
+			}
+			if c.N > 0 && c.GhostRate != float64(c.GhostHits)/float64(c.N) {
+				t.Fatalf("variant %s cell %s: ghost rate %v inconsistent", v.ID, c.Cell, c.GhostRate)
+			}
+		}
+	}
+}

@@ -27,7 +27,13 @@ type Record struct {
 	// omitted for the plain campaign.
 	Slicing      string `json:"slicing,omitempty"`
 	ARDeployment string `json:"ar_deployment,omitempty"`
-	Measurements int    `json:"measurements"`
+	// GhostHits / GhostRate summarize the AR-game ghost-hit accounting
+	// over the whole scenario: motion-to-photon samples past the 20 ms
+	// budget, and that count over Measurements. Zero (and omitted) for
+	// ping campaigns, so pre-existing records keep their exact bytes.
+	GhostHits    int     `json:"ghost_hits,omitempty"`
+	GhostRate    float64 `json:"ghost_rate,omitempty"`
+	Measurements int     `json:"measurements"`
 	Mobile       stats.Snapshot  `json:"mobile"`
 	Wired        stats.Snapshot  `json:"wired"`
 	Factor       float64         `json:"mobile_vs_wired_factor"`
@@ -59,13 +65,22 @@ func RecordOf(r ScenarioRun) Record {
 		rec.ARDeployment = cfg.ARGame.Deployment.String()
 	}
 	for _, rep := range r.Result.Reports {
-		rec.Cells = append(rec.Cells, CellAggregate{
-			Cell:     rep.Cell.String(),
-			N:        rep.N,
-			MeanMs:   rep.MeanMs,
-			StdMs:    stats.FiniteOr0(rep.StdMs),
-			Reported: rep.Reported,
-		})
+		agg := CellAggregate{
+			Cell:      rep.Cell.String(),
+			N:         rep.N,
+			MeanMs:    rep.MeanMs,
+			StdMs:     stats.FiniteOr0(rep.StdMs),
+			Reported:  rep.Reported,
+			GhostHits: rep.GhostHits,
+		}
+		if rep.N > 0 {
+			agg.GhostRate = float64(rep.GhostHits) / float64(rep.N)
+		}
+		rec.GhostHits += rep.GhostHits
+		rec.Cells = append(rec.Cells, agg)
+	}
+	if rec.Measurements > 0 {
+		rec.GhostRate = float64(rec.GhostHits) / float64(rec.Measurements)
 	}
 	// Slices must marshal as [] — never null — so records are
 	// byte-comparable regardless of how they were built. For results

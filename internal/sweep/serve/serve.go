@@ -1,0 +1,589 @@
+// Package serve exposes the sweep cache/store as a resident HTTP
+// service: a read-through, simulate-on-demand scenario API. It is the
+// first subsystem on the serving side of the architecture — everything
+// below it (deterministic sweep engine, singleflight cache, segmented
+// store) already existed; this puts a long-lived process in front so
+// consumers query scenarios over the network instead of linking the Go
+// packages.
+//
+// # Endpoints
+//
+//	POST /v1/scenario   axes JSON (sweep.Axes) -> one JSONL record,
+//	                    served from the store or simulated on miss;
+//	                    X-Sweepd-Cache: hit|miss
+//	POST /v1/sweep      grid JSON (sweep.GridSpec) -> chunked JSONL
+//	                    stream in grid order, byte-identical to
+//	                    cmd/sweep -out for the same grid
+//	POST /v1/deltas     grid JSON -> recommendation deltas over the
+//	                    completed grid (edge UPF, peering, slicing)
+//	GET  /healthz       liveness + record count
+//	GET  /statsz        hit/miss/inflight/shed/latency counters
+//
+// # Backpressure
+//
+// Cache misses simulate on a bounded worker pool (Options.SimWorkers)
+// fed through an explicit admission queue (Options.QueueDepth). A miss
+// that finds the queue full is shed immediately with 429 and a
+// Retry-After hint — the server never stacks goroutines behind a
+// saturated simulator. QueueDepth < 0 is the store-only replica mode:
+// every miss sheds, hits keep serving, which turns a warm cache
+// directory into a pure read replica. Grid endpoints additionally
+// bound how many grid runs execute at once (Options.MaxGridJobs) and
+// reject oversized grids (Options.MaxGridScenarios) before expanding
+// them.
+//
+// Warm requests never touch the queue: a hit is a cache/store read and
+// serves at memory/disk speed regardless of simulation pressure.
+//
+// # Lifecycle
+//
+// Shutdown is graceful: the HTTP server drains in-flight requests
+// (including running simulations — every completed simulation is
+// already persisted by the write-through cache before its response is
+// sent), then Close releases the store. Nothing is lost by a drain
+// timeout: the store's commit point is the segment append inside Put.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/sweep"
+	"repro/internal/sweep/store"
+)
+
+// DefaultQueueDepth is the admission-queue slack beyond the running
+// simulations when Options.QueueDepth is zero.
+const DefaultQueueDepth = 64
+
+// DefaultMaxGridJobs bounds concurrently executing grid requests
+// (/v1/sweep, /v1/deltas) when Options.MaxGridJobs is zero.
+const DefaultMaxGridJobs = 16
+
+// DefaultMaxGridScenarios rejects grids that expand past this many
+// scenarios when Options.MaxGridScenarios is zero.
+const DefaultMaxGridScenarios = 1 << 16
+
+// maxBodyBytes bounds request bodies; axes and grid specs are tiny.
+const maxBodyBytes = 1 << 20
+
+// ErrShed reports that the simulation admission queue was full and the
+// miss was not simulated. Handlers map it to 429.
+var ErrShed = errors.New("serve: simulation admission queue full")
+
+// Options configures a Server. The zero value serves from a fresh
+// in-memory cache with GOMAXPROCS simulation workers.
+type Options struct {
+	// Cache serves and records scenario results. When nil, the server
+	// builds its own: layered over the CacheDir store when set,
+	// memory-only otherwise, LRU-bounded either way. The server owns
+	// the miss path of whatever cache it uses (it installs its
+	// admission-controlled runner via SetRunner).
+	Cache *sweep.Cache
+	// CacheDir, when Cache is nil and non-empty, opens the segmented
+	// sweep store at this directory; the server closes it on Close.
+	CacheDir string
+	// Compact stores summary-only records (meaningful with CacheDir).
+	Compact bool
+	// SimWorkers bounds concurrently running simulations across all
+	// requests (default GOMAXPROCS).
+	SimWorkers int
+	// QueueDepth is the admission queue beyond the running
+	// simulations: 0 means DefaultQueueDepth; negative is the
+	// store-only replica mode where every miss sheds with 429.
+	QueueDepth int
+	// MaxGridJobs bounds concurrently executing grid requests
+	// (default DefaultMaxGridJobs).
+	MaxGridJobs int
+	// MaxGridScenarios rejects larger grids with 413 before expansion
+	// (default DefaultMaxGridScenarios).
+	MaxGridScenarios int
+	// Runner simulates one scenario on an admitted miss (default
+	// campaign.Run). Tests stub it to count or block simulations.
+	Runner func(campaign.Config) (*campaign.Result, error)
+}
+
+// endpoint aggregates one route's request and latency counters.
+type endpoint struct {
+	requests  atomic.Int64
+	latencyUs atomic.Int64 // cumulative
+	maxUs     atomic.Int64
+}
+
+func (e *endpoint) observe(d time.Duration) {
+	us := d.Microseconds()
+	e.requests.Add(1)
+	e.latencyUs.Add(us)
+	for {
+		cur := e.maxUs.Load()
+		if us <= cur || e.maxUs.CompareAndSwap(cur, us) {
+			return
+		}
+	}
+}
+
+// EndpointStats is one route's counter snapshot.
+type EndpointStats struct {
+	Requests       int64 `json:"requests"`
+	LatencyUsTotal int64 `json:"latency_us_total"`
+	LatencyUsMax   int64 `json:"latency_us_max"`
+}
+
+func (e *endpoint) snapshot() EndpointStats {
+	return EndpointStats{
+		Requests:       e.requests.Load(),
+		LatencyUsTotal: e.latencyUs.Load(),
+		LatencyUsMax:   e.maxUs.Load(),
+	}
+}
+
+// Stats is the /statsz payload.
+type Stats struct {
+	UptimeS  float64       `json:"uptime_s"`
+	Scenario EndpointStats `json:"scenario"`
+	Sweep    EndpointStats `json:"sweep"`
+	Deltas   EndpointStats `json:"deltas"`
+	Cache    struct {
+		Hits        int64 `json:"hits"`
+		Misses      int64 `json:"misses"`
+		StoreErrors int64 `json:"store_errors"`
+	} `json:"cache"`
+	Sim struct {
+		Workers    int   `json:"workers"`
+		QueueDepth int   `json:"queue_depth"`
+		Inflight   int64 `json:"inflight"`
+		Queued     int64 `json:"queued"`
+		Shed       int64 `json:"shed"`
+	} `json:"sim"`
+	// Grid separates grid-job backpressure from simulation
+	// backpressure: grid.shed climbing points at MaxGridJobs, sim.shed
+	// at SimWorkers/QueueDepth — two different tuning knobs.
+	Grid struct {
+		Jobs int   `json:"jobs"`
+		Shed int64 `json:"shed"`
+	} `json:"grid"`
+}
+
+// Server is the resident scenario-query service. Construct with New;
+// serve with ListenAndServe or mount Handler on an existing server.
+type Server struct {
+	cache *sweep.Cache
+	// st is owned when built from CacheDir, nil otherwise; the pointer
+	// is immutable after New (handlers read it concurrently with
+	// Close), closure is idempotent through stClose.
+	st         *store.Store
+	stClose    sync.Once
+	runner     func(campaign.Config) (*campaign.Result, error)
+	simWorkers int
+	queueDepth int
+	maxGrid    int
+
+	admit chan struct{} // admission: queued + running simulations
+	slots chan struct{} // running simulations
+	grids chan struct{} // executing grid requests
+
+	mux   *http.ServeMux
+	hs    *http.Server
+	start time.Time
+
+	scenarioEP, sweepEP, deltasEP endpoint
+	hits, misses, shed, gridShed  atomic.Int64
+	inflight, queued              atomic.Int64
+}
+
+// New builds a Server from opts (see Options for defaults).
+func New(opts Options) (*Server, error) {
+	s := &Server{
+		cache:      opts.Cache,
+		runner:     opts.Runner,
+		simWorkers: opts.SimWorkers,
+		queueDepth: opts.QueueDepth,
+		maxGrid:    opts.MaxGridScenarios,
+		start:      time.Now(),
+	}
+	if s.simWorkers <= 0 {
+		s.simWorkers = runtime.GOMAXPROCS(0)
+	}
+	if s.runner == nil {
+		s.runner = campaign.Run
+	}
+	if s.maxGrid <= 0 {
+		s.maxGrid = DefaultMaxGridScenarios
+	}
+	if s.cache == nil {
+		if opts.CacheDir != "" {
+			st, err := store.Open(opts.CacheDir, store.Options{Compact: opts.Compact})
+			if err != nil {
+				return nil, err
+			}
+			s.st = st
+			s.cache = sweep.NewPersistentCache(st)
+		} else {
+			s.cache = sweep.NewCache()
+		}
+		// A resident process must not grow with the scenario space; with
+		// a store attached eviction is only a disk read away.
+		s.cache.SetLimit(sweep.DefaultSharedLimit)
+	}
+	if s.queueDepth == 0 {
+		s.queueDepth = DefaultQueueDepth
+	}
+	admitCap := 0 // QueueDepth < 0: store-only replica, shed every miss
+	if s.queueDepth > 0 {
+		admitCap = s.simWorkers + s.queueDepth
+	}
+	s.admit = make(chan struct{}, admitCap)
+	s.slots = make(chan struct{}, s.simWorkers)
+	maxJobs := opts.MaxGridJobs
+	if maxJobs <= 0 {
+		maxJobs = DefaultMaxGridJobs
+	}
+	s.grids = make(chan struct{}, maxJobs)
+
+	// The server owns the cache's miss path: every simulation — from
+	// /v1/scenario misses and from grid runs alike — funnels through
+	// the admission queue and the bounded worker pool.
+	s.cache.SetRunner(s.run)
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/scenario", s.handleScenario)
+	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("/v1/deltas", s.handleDeltas)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	s.hs = &http.Server{Handler: s.mux}
+	return s, nil
+}
+
+// run is the cache runner: admission queue, then a worker slot, then
+// the simulation. Shedding happens here — inside the singleflight — so
+// concurrent identical misses share one admission slot and one 429
+// outcome, exactly as they share one simulation on success.
+func (s *Server) run(cfg campaign.Config) (*campaign.Result, error) {
+	select {
+	case s.admit <- struct{}{}:
+	default:
+		s.shed.Add(1)
+		return nil, ErrShed
+	}
+	defer func() { <-s.admit }()
+	s.queued.Add(1)
+	s.slots <- struct{}{}
+	s.queued.Add(-1)
+	s.inflight.Add(1)
+	defer func() {
+		<-s.slots
+		s.inflight.Add(-1)
+	}()
+	return s.runner(cfg)
+}
+
+// Handler returns the service's HTTP handler, for mounting on an
+// existing server or an httptest server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Cache returns the cache the server serves from (the one it built, or
+// the one the caller supplied).
+func (s *Server) Cache() *sweep.Cache { return s.cache }
+
+// ListenAndServe serves on addr until Shutdown or a listener error.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve serves on ln until Shutdown or a listener error.
+func (s *Server) Serve(ln net.Listener) error {
+	err := s.hs.Serve(ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains gracefully: stop accepting, wait for in-flight
+// requests (simulations included) up to ctx, then flush and release
+// the store. Safe to call without a listener (Handler-only servers):
+// it just releases the store.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.hs.Shutdown(ctx)
+	if cerr := s.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Close releases the store (when the server owns one) without draining
+// the HTTP side; it is idempotent and safe while handlers are still
+// running (a write-through Put racing the close commits its record but
+// may skip the index line — the next Open re-simulates that scenario,
+// it never reads a corrupt one). Prefer Shutdown for running
+// listeners.
+func (s *Server) Close() error {
+	if s.st == nil {
+		return nil
+	}
+	var err error
+	s.stClose.Do(func() { err = s.st.Close() })
+	return err
+}
+
+// decode strictly unmarshals a request body into v.
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func requirePost(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return false
+	}
+	return true
+}
+
+// handleScenario resolves one scenario by axes: a store/cache hit is a
+// read; a miss simulates through the admission queue or sheds 429.
+func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	defer func() { s.scenarioEP.observe(time.Since(t0)) }()
+	if !requirePost(w, r) {
+		return
+	}
+	var ax sweep.Axes
+	if !decode(w, r, &ax) {
+		return
+	}
+	sc, err := ax.Scenario()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	res, cached, err := s.cache.GetOrRunReport(sc.Config)
+	switch {
+	case errors.Is(err, ErrShed):
+		httpError(w, http.StatusTooManyRequests, "simulation queue full; retry later")
+		return
+	case err != nil:
+		// Simulation errors are deterministic config errors (an
+		// off-grid cell, a slicing/target-cells conflict) that no retry
+		// can fix — the same classification the grid endpoints use.
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if cached {
+		s.hits.Add(1)
+		w.Header().Set("X-Sweepd-Cache", "hit")
+	} else {
+		s.misses.Add(1)
+		w.Header().Set("X-Sweepd-Cache", "miss")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(sweep.RecordOf(sweep.ScenarioRun{Scenario: sc, Cached: cached, Result: res}))
+}
+
+// parseGrid decodes and resolves a grid request, applying the size cap
+// before anything proportional to the grid is allocated.
+func (s *Server) parseGrid(w http.ResponseWriter, r *http.Request) (sweep.Grid, bool) {
+	var spec sweep.GridSpec
+	if !decode(w, r, &spec) {
+		return sweep.Grid{}, false
+	}
+	g, err := spec.Grid()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return g, false
+	}
+	size, err := g.Size()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return g, false
+	}
+	if size > s.maxGrid {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("grid expands to %d scenarios, limit %d", size, s.maxGrid))
+		return g, false
+	}
+	return g, true
+}
+
+// acquireGridJob bounds concurrently executing grid requests; a full
+// job table sheds exactly like a full simulation queue.
+func (s *Server) acquireGridJob(w http.ResponseWriter) bool {
+	select {
+	case s.grids <- struct{}{}:
+		return true
+	default:
+		s.gridShed.Add(1)
+		httpError(w, http.StatusTooManyRequests, "too many concurrent grid requests; retry later")
+		return false
+	}
+}
+
+// handleSweep streams a whole grid as JSONL in grid order, flushing
+// record by record, byte-identical to cmd/sweep -out for the same
+// grid. Cache accounting arrives in HTTP trailers (the body is already
+// streaming when the totals are known).
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	defer func() { s.sweepEP.observe(time.Since(t0)) }()
+	if !requirePost(w, r) {
+		return
+	}
+	g, ok := s.parseGrid(w, r)
+	if !ok {
+		return
+	}
+	if !s.acquireGridJob(w) {
+		return
+	}
+	defer func() { <-s.grids }()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Trailer", "X-Sweepd-Cache-Hits, X-Sweepd-Cache-Misses")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emitted := 0
+	res, err := sweep.RunEach(g, sweep.Options{Workers: s.simWorkers, Cache: s.cache},
+		func(run sweep.ScenarioRun) error {
+			if err := enc.Encode(sweep.RecordOf(run)); err != nil {
+				return err
+			}
+			emitted++
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return nil
+		})
+	if err != nil {
+		if emitted == 0 {
+			// Nothing streamed yet: a proper status line is still
+			// possible.
+			code := http.StatusBadRequest
+			if errors.Is(err, ErrShed) {
+				code = http.StatusTooManyRequests
+			}
+			httpError(w, code, err.Error())
+			return
+		}
+		// Mid-stream failure: the status line is gone; abort the
+		// connection so the client sees truncation, not a clean EOF
+		// that silently passes for a complete grid.
+		panic(http.ErrAbortHandler)
+	}
+	s.hits.Add(int64(res.CacheHits))
+	s.misses.Add(int64(res.CacheMisses))
+	w.Header().Set("X-Sweepd-Cache-Hits", fmt.Sprint(res.CacheHits))
+	w.Header().Set("X-Sweepd-Cache-Misses", fmt.Sprint(res.CacheMisses))
+}
+
+// DeltasResponse is the /v1/deltas payload.
+type DeltasResponse struct {
+	Scenarios   int                  `json:"scenarios"`
+	Variants    int                  `json:"variants"`
+	CacheHits   int                  `json:"cache_hits"`
+	CacheMisses int                  `json:"cache_misses"`
+	Deltas      []sweep.VariantDelta `json:"deltas"`
+}
+
+// handleDeltas completes a grid (warm grids never simulate) and
+// returns its recommendation deltas.
+func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	defer func() { s.deltasEP.observe(time.Since(t0)) }()
+	if !requirePost(w, r) {
+		return
+	}
+	g, ok := s.parseGrid(w, r)
+	if !ok {
+		return
+	}
+	if !s.acquireGridJob(w) {
+		return
+	}
+	defer func() { <-s.grids }()
+
+	res, err := sweep.Run(g, sweep.Options{Workers: s.simWorkers, Cache: s.cache})
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrShed) {
+			code = http.StatusTooManyRequests
+		}
+		httpError(w, code, err.Error())
+		return
+	}
+	s.hits.Add(int64(res.CacheHits))
+	s.misses.Add(int64(res.CacheMisses))
+	deltas := res.Deltas()
+	if deltas == nil {
+		deltas = []sweep.VariantDelta{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(DeltasResponse{
+		Scenarios:   len(res.Scenarios),
+		Variants:    len(res.Variants),
+		CacheHits:   res.CacheHits,
+		CacheMisses: res.CacheMisses,
+		Deltas:      deltas,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	payload := map[string]any{
+		"status":   "ok",
+		"uptime_s": time.Since(s.start).Seconds(),
+	}
+	if s.st != nil {
+		payload["records"] = s.st.Len()
+		payload["cache_dir"] = s.st.Dir()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(payload)
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	var st Stats
+	st.UptimeS = time.Since(s.start).Seconds()
+	st.Scenario = s.scenarioEP.snapshot()
+	st.Sweep = s.sweepEP.snapshot()
+	st.Deltas = s.deltasEP.snapshot()
+	st.Cache.Hits = s.hits.Load()
+	st.Cache.Misses = s.misses.Load()
+	st.Cache.StoreErrors = s.cache.StoreErrors()
+	st.Sim.Workers = s.simWorkers
+	st.Sim.QueueDepth = s.queueDepth
+	st.Sim.Inflight = s.inflight.Load()
+	st.Sim.Queued = s.queued.Load()
+	st.Sim.Shed = s.shed.Load()
+	st.Grid.Jobs = cap(s.grids)
+	st.Grid.Shed = s.gridShed.Load()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
+}

@@ -1,0 +1,517 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/sweep"
+)
+
+func post(t *testing.T, client *http.Client, url, body string) *http.Response {
+	t.Helper()
+	resp, err := client.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func readAll(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestScenarioMissSimulatesExactlyOnce is acceptance (a): concurrent
+// identical /v1/scenario requests on a cold cache must simulate exactly
+// once — the cache's singleflight holds over HTTP — and every caller
+// gets the same record.
+func TestScenarioMissSimulatesExactlyOnce(t *testing.T) {
+	var sims atomic.Int64
+	srv, err := New(Options{
+		SimWorkers: 4,
+		Runner: func(cfg campaign.Config) (*campaign.Result, error) {
+			sims.Add(1)
+			// Widen the race window: followers must join the flight, not
+			// find a warm cache.
+			time.Sleep(50 * time.Millisecond)
+			return campaign.Run(cfg)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const callers = 8
+	bodies := make([][]byte, callers)
+	statuses := make([]int, callers)
+	caches := make([]string, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/scenario", "application/json",
+				strings.NewReader(`{"seed":21}`))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			statuses[i] = resp.StatusCode
+			caches[i] = resp.Header.Get("X-Sweepd-Cache")
+			bodies[i], _ = io.ReadAll(resp.Body)
+		}(i)
+	}
+	wg.Wait()
+
+	if got := sims.Load(); got != 1 {
+		t.Fatalf("%d concurrent identical requests ran %d simulations, want 1", callers, got)
+	}
+	missCount := 0
+	for i := 0; i < callers; i++ {
+		if statuses[i] != http.StatusOK {
+			t.Fatalf("caller %d got status %d: %s", i, statuses[i], bodies[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("caller %d received a different record", i)
+		}
+		if caches[i] == "miss" {
+			missCount++
+		}
+	}
+	if missCount != 1 {
+		t.Fatalf("%d callers reported a miss, want exactly 1 (the flight leader)", missCount)
+	}
+
+	var rec sweep.Record
+	if err := json.Unmarshal(bodies[0], &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Seed != 21 || rec.Scenario == "" {
+		t.Fatalf("record looks wrong: %+v", rec)
+	}
+}
+
+// TestSweepStreamByteIdenticalToEngine is acceptance (b): the
+// /v1/sweep stream must be byte-identical to the sweep engine's JSONL
+// export (which is what cmd/sweep -out writes), cold and warm alike,
+// with trailers accounting the cache traffic.
+func TestSweepStreamByteIdenticalToEngine(t *testing.T) {
+	srv, err := New(Options{SimWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	grid := `{"seeds":[1,2],"edge_upf":[false,true]}`
+	want, err := sweep.Run(sweep.Grid{Seeds: []uint64{1, 2}, EdgeUPF: []bool{false, true}},
+		sweep.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := want.ExportJSONL()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, p := range []struct{ pass, wantMisses string }{{"cold", "4"}, {"warm", "0"}} {
+		pass, wantMisses := p.pass, p.wantMisses
+		resp := post(t, ts.Client(), ts.URL+"/v1/sweep", grid)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s pass: status %d", pass, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+			t.Fatalf("%s pass: content type %q", pass, ct)
+		}
+		body := readAll(t, resp)
+		if !bytes.Equal(body, golden) {
+			t.Fatalf("%s pass: streamed JSONL differs from the engine export", pass)
+		}
+		if got := resp.Trailer.Get("X-Sweepd-Cache-Misses"); got != wantMisses {
+			t.Fatalf("%s pass: trailer reports %s misses, want %s", pass, got, wantMisses)
+		}
+	}
+}
+
+// TestFullQueueShedsWith429 is acceptance (c): with the one worker
+// busy and the one queue slot taken, further distinct misses must shed
+// immediately with 429 + Retry-After, and the goroutine count must not
+// grow with the number of shed requests.
+func TestFullQueueShedsWith429(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan struct{}, 16)
+	srv, err := New(Options{
+		SimWorkers: 1,
+		QueueDepth: 1,
+		Runner: func(cfg campaign.Config) (*campaign.Result, error) {
+			started <- struct{}{}
+			<-block
+			return campaign.Run(cfg)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Occupy the worker (request A simulates) and the queue slot
+	// (request B is admitted, waiting for the worker).
+	results := make(chan int, 2)
+	fire := func(seed int) {
+		resp, err := http.Post(ts.URL+"/v1/scenario", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"seed":%d}`, seed)))
+		if err != nil {
+			t.Error(err)
+			results <- 0
+			return
+		}
+		resp.Body.Close()
+		results <- resp.StatusCode
+	}
+	go fire(100)
+	<-started // A is inside the runner, holding the worker slot
+	go fire(101)
+	// B occupies the admission queue; it never reaches the runner while
+	// A blocks, so poll the server's queued gauge.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.queued.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if srv.queued.Load() == 0 {
+		t.Fatal("second request never queued")
+	}
+
+	before := runtime.NumGoroutine()
+	const shedTries = 64
+	for i := 0; i < shedTries; i++ {
+		resp := post(t, ts.Client(), ts.URL+"/v1/scenario",
+			fmt.Sprintf(`{"seed":%d}`, 200+i))
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("request %d: status %d, want 429", i, resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatal("429 without Retry-After")
+		}
+		resp.Body.Close()
+	}
+	after := runtime.NumGoroutine()
+	if after > before+shedTries/2 {
+		t.Fatalf("shed requests leaked goroutines: %d -> %d", before, after)
+	}
+
+	// Unblock: both occupied requests must complete successfully.
+	close(block)
+	for i := 0; i < 2; i++ {
+		if code := <-results; code != http.StatusOK {
+			t.Fatalf("occupying request finished with %d", code)
+		}
+	}
+
+	var st Stats
+	r2, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(r2.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if st.Sim.Shed != shedTries {
+		t.Fatalf("statsz counts %d shed, want %d", st.Sim.Shed, shedTries)
+	}
+	if st.Sim.Inflight != 0 || st.Sim.Queued != 0 {
+		t.Fatalf("gauges not drained: inflight=%d queued=%d", st.Sim.Inflight, st.Sim.Queued)
+	}
+}
+
+// TestStoreOnlyReplicaServesHitsShedsMisses: QueueDepth < 0 turns a
+// warm cache directory into a read replica — hits serve, every miss
+// sheds deterministically with 429, and nothing ever simulates.
+func TestStoreOnlyReplicaServesHitsShedsMisses(t *testing.T) {
+	dir := t.TempDir()
+
+	// Warm the directory with one scenario through a normal server.
+	warm, err := New(Options{CacheDir: dir, SimWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(warm.Handler())
+	resp := post(t, ts.Client(), ts.URL+"/v1/scenario", `{"seed":31}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warming request: status %d", resp.StatusCode)
+	}
+	warmBody := readAll(t, resp)
+	ts.Close()
+	if err := warm.Close(); err != nil { // flushes the store
+		t.Fatal(err)
+	}
+
+	var sims atomic.Int64
+	replica, err := New(Options{
+		CacheDir:   dir,
+		QueueDepth: -1,
+		Runner: func(cfg campaign.Config) (*campaign.Result, error) {
+			sims.Add(1)
+			return campaign.Run(cfg)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replica.Close()
+	rs := httptest.NewServer(replica.Handler())
+	defer rs.Close()
+
+	hit := post(t, rs.Client(), rs.URL+"/v1/scenario", `{"seed":31}`)
+	if hit.StatusCode != http.StatusOK || hit.Header.Get("X-Sweepd-Cache") != "hit" {
+		t.Fatalf("replica should serve the warmed scenario: status %d cache %q",
+			hit.StatusCode, hit.Header.Get("X-Sweepd-Cache"))
+	}
+	if !bytes.Equal(readAll(t, hit), warmBody) {
+		t.Fatal("replica served different bytes than the writer")
+	}
+	miss := post(t, rs.Client(), rs.URL+"/v1/scenario", `{"seed":32}`)
+	if miss.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("replica miss: status %d, want 429", miss.StatusCode)
+	}
+	miss.Body.Close()
+	if sims.Load() != 0 {
+		t.Fatalf("replica simulated %d scenarios", sims.Load())
+	}
+}
+
+// TestRequestValidation: malformed bodies, unknown axes, oversized
+// grids and wrong methods map to precise HTTP statuses.
+func TestRequestValidation(t *testing.T) {
+	srv, err := New(Options{SimWorkers: 1, MaxGridScenarios: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		path, body string
+		want       int
+	}{
+		{"/v1/scenario", `{"seed":1,"bogus":true}`, http.StatusBadRequest},
+		{"/v1/scenario", `{"profile":"7G"}`, http.StatusBadRequest},
+		{"/v1/scenario", `not json`, http.StatusBadRequest},
+		// Off-grid cells surface from the simulation itself, but are
+		// config errors a retry can't fix: bad request, not 500.
+		{"/v1/scenario", `{"target_cells":["Z9"]}`, http.StatusBadRequest},
+		{"/v1/scenario", `{"slicing":"none","slicing_sites":4}`, http.StatusBadRequest},
+		{"/v1/sweep", `{"slicing":["quantum"]}`, http.StatusBadRequest},
+		{"/v1/sweep", `{"wired_rounds":[-2]}`, http.StatusBadRequest},
+		{"/v1/sweep", `{"seeds":[1,2,3],"local_peering":[false,true],"edge_upf":[false,true]}`,
+			http.StatusRequestEntityTooLarge}, // 12 > 8
+		{"/v1/sweep", `{"seeds":[1,1]}`, http.StatusBadRequest}, // duplicate scenarios
+		{"/v1/deltas", `{"profiles":["7G"]}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp := post(t, ts.Client(), ts.URL+c.path, c.body)
+		if resp.StatusCode != c.want {
+			t.Errorf("POST %s %q: status %d, want %d", c.path, c.body, resp.StatusCode, c.want)
+		}
+		resp.Body.Close()
+	}
+
+	for _, path := range []string{"/v1/scenario", "/v1/sweep", "/v1/deltas"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET %s: status %d, want 405", path, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+// TestDeltasEndpoint: a grid with a peering axis yields the
+// local_peering recommendation rows, with cache accounting.
+func TestDeltasEndpoint(t *testing.T) {
+	srv, err := New(Options{SimWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp := post(t, ts.Client(), ts.URL+"/v1/deltas", `{"seeds":[1],"local_peering":[false,true]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, readAll(t, resp))
+	}
+	var dr DeltasResponse
+	if err := json.Unmarshal(readAll(t, resp), &dr); err != nil {
+		t.Fatal(err)
+	}
+	if dr.Scenarios != 2 || dr.Variants != 2 || dr.CacheMisses != 2 {
+		t.Fatalf("unexpected accounting: %+v", dr)
+	}
+	if len(dr.Deltas) != 1 || dr.Deltas[0].Axis != "local_peering" {
+		t.Fatalf("unexpected deltas: %+v", dr.Deltas)
+	}
+}
+
+// TestHealthzAndGracefulShutdown: healthz reports the store, Shutdown
+// drains a running listener, and the flushed store reopens with every
+// record the server persisted.
+func TestHealthzAndGracefulShutdown(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := New(Options{CacheDir: dir, SimWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+
+	resp := post(t, ts.Client(), ts.URL+"/v1/sweep", `{"seeds":[41,42]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: status %d", resp.StatusCode)
+	}
+	stream := readAll(t, resp)
+
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if health["status"] != "ok" || health["records"].(float64) != 2 {
+		t.Fatalf("healthz: %v", health)
+	}
+
+	ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Close is idempotent, and a handler that raced past the close (a
+	// request outliving the drain timeout) must not panic: /healthz
+	// still answers over the closed store.
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	rr := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("healthz after Close: status %d", rr.Code)
+	}
+
+	// The drained store must hold both scenarios, byte-identically: a
+	// fresh server over the same directory replays the sweep as 100%
+	// hits producing the same stream.
+	re, err := New(Options{CacheDir: dir, QueueDepth: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	rs := httptest.NewServer(re.Handler())
+	defer rs.Close()
+	resp2 := post(t, rs.Client(), rs.URL+"/v1/sweep", `{"seeds":[41,42]}`)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("replayed sweep: status %d", resp2.StatusCode)
+	}
+	if !bytes.Equal(readAll(t, resp2), stream) {
+		t.Fatal("replayed stream differs from the original")
+	}
+}
+
+// TestGridJobLimitSheds: the grid-job table bounds concurrently
+// executing sweep requests; an occupied table sheds with 429.
+func TestGridJobLimitSheds(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan struct{}, 4)
+	srv, err := New(Options{
+		SimWorkers:  1,
+		MaxGridJobs: 1,
+		Runner: func(cfg campaign.Config) (*campaign.Result, error) {
+			started <- struct{}{}
+			<-block
+			return campaign.Run(cfg)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	done := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/sweep", "application/json",
+			strings.NewReader(`{"seeds":[51]}`))
+		if err != nil {
+			done <- 0
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		done <- resp.StatusCode
+	}()
+	<-started // the sweep occupies the single grid-job slot
+
+	resp := post(t, ts.Client(), ts.URL+"/v1/deltas", `{"seeds":[52]}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second grid request: status %d, want 429", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// The rejection is accounted to the grid-job counter, not the
+	// simulation queue — they are different tuning knobs.
+	var st Stats
+	sresp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if st.Grid.Shed != 1 || st.Sim.Shed != 0 {
+		t.Fatalf("shed accounting: grid=%d sim=%d, want 1/0", st.Grid.Shed, st.Sim.Shed)
+	}
+
+	close(block)
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("first sweep finished with %d", code)
+	}
+
+	// Emptied table admits again.
+	resp = post(t, ts.Client(), ts.URL+"/v1/deltas", `{"seeds":[51]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-drain grid request: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}

@@ -1,0 +1,89 @@
+package sixgedge
+
+// Benchmarks for the serving side (internal/sweep/serve): real HTTP
+// round-trips against an httptest server, so the numbers include JSON
+// decode, scenario-ID resolution, cache lookup, record encode and the
+// loopback transport — what a sweepd client actually pays. CI's bench
+// job records them into BENCH_serve.json; the warm number is the
+// headline "queries/sec a warm replica sustains".
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/sweep/serve"
+)
+
+func newBenchServer(b *testing.B, opts serve.Options) (*serve.Server, *httptest.Server) {
+	b.Helper()
+	srv, err := serve.New(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+func postScenario(client *http.Client, url, body string) (int, error) {
+	resp, err := client.Post(url+"/v1/scenario", "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return 0, err
+	}
+	return resp.StatusCode, nil
+}
+
+// BenchmarkServeWarm measures warm-hit scenario queries: the scenario
+// is simulated once up front, then every iteration is one HTTP request
+// served from the cache. ns/op inverts to the warm queries/sec a
+// single connection sustains.
+func BenchmarkServeWarm(b *testing.B) {
+	_, ts := newBenchServer(b, serve.Options{SimWorkers: 2})
+	client := ts.Client()
+	if code, err := postScenario(client, ts.URL, `{"seed":1}`); err != nil || code != http.StatusOK {
+		b.Fatalf("warming request: code %d err %v", code, err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		code, err := postScenario(client, ts.URL, `{"seed":1}`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if code != http.StatusOK {
+			b.Fatalf("warm query returned %d", code)
+		}
+	}
+	b.StopTimer()
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+	}
+}
+
+// BenchmarkServeColdMiss measures the full miss path: admission queue,
+// worker slot, one campaign simulation, write-through persist, record
+// encode. Every iteration queries a seed never seen before.
+func BenchmarkServeColdMiss(b *testing.B) {
+	_, ts := newBenchServer(b, serve.Options{SimWorkers: 2, CacheDir: b.TempDir()})
+	client := ts.Client()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		code, err := postScenario(client, ts.URL, fmt.Sprintf(`{"seed":%d}`, 1000+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if code != http.StatusOK {
+			b.Fatalf("cold query returned %d", code)
+		}
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"repro/internal/recommend"
 	"repro/internal/slicing"
 	"repro/internal/sweep"
+	"repro/internal/sweep/serve"
 	"repro/internal/sweep/store"
 )
 
@@ -92,6 +93,40 @@ type SweepResult = sweep.Result
 // simulator seeded from its config, and output order is grid order.
 func RunSweep(g SweepGrid, opt SweepOptions) (*SweepResult, error) {
 	return sweep.Run(g, opt)
+}
+
+// ServeOptions configures the sweep-serving HTTP service (cache or
+// cache directory, simulation worker pool, admission-queue depth,
+// grid-job bounds).
+type ServeOptions = serve.Options
+
+// SweepServer is the resident scenario-query service: it owns a sweep
+// cache/store and serves it as a read-through, simulate-on-demand HTTP
+// API (POST /v1/scenario, streaming POST /v1/sweep byte-identical to
+// cmd/sweep output, POST /v1/deltas, /healthz, /statsz). Misses
+// simulate on a bounded worker pool behind an explicit admission
+// queue; a full queue sheds load with 429 instead of stacking
+// goroutines.
+type SweepServer = serve.Server
+
+// NewSweepServer builds the service without binding a socket; callers
+// mount Handler() themselves or call ListenAndServe/Shutdown for the
+// full graceful lifecycle (drain in-flight simulations, flush the
+// store, exit). cmd/sweepd is the packaged daemon.
+func NewSweepServer(opts ServeOptions) (*SweepServer, error) {
+	return serve.New(opts)
+}
+
+// ServeSweep serves the sweep scenario API on addr until the listener
+// fails, releasing the store on return. For signal-driven graceful
+// shutdown use NewSweepServer directly (as cmd/sweepd does).
+func ServeSweep(addr string, opts ServeOptions) error {
+	s, err := serve.New(opts)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	return s.ListenAndServe(addr)
 }
 
 // UseDiskCache persists the shared result cache to dir: campaigns
