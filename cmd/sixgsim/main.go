@@ -30,8 +30,14 @@ func main() {
 		outDir  = flag.String("out", "", "also write each artefact to <dir>/<id>.txt")
 		cache   = flag.String("cache-dir", "", "persist completed campaigns to this directory and reuse them across runs")
 		compact = flag.Bool("compact", false, "with -cache-dir: store summary-only records; drivers deriving quantiles from raw samples re-simulate their campaign each run")
+		version = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println("sixgsim", sixgedge.Version())
+		return
+	}
 
 	// Usage error, not a runtime failure: -compact without a cache
 	// directory would otherwise silently change nothing.

@@ -1,0 +1,152 @@
+// Command sweep-proxy is the cluster front door over a sweepd fleet:
+// one writer (simulates misses, owns the authoritative store) plus any
+// number of read replicas (sweepd -follow). It routes POST /v1/scenario
+// by scenario-ID hash over a consistent ring of replicas so each
+// replica's cache stays hot on its own slice of the ID space, falls
+// through to the writer on miss, fans POST /v1/sweep out scenario by
+// scenario and merges the stream back in grid order — byte-identical
+// to the same sweep against a single sweepd — health-checks replicas
+// with eject/readmit, and answers conditional requests from an
+// ETag-keyed response cache (scenario IDs are content hashes, so a
+// warm ID needs no backend round trip at all).
+//
+// Usage:
+//
+//	sweep-proxy -writer http://w:8080                                   # proxy on :8070, no replicas
+//	sweep-proxy -writer http://w:8080 -replicas http://r1:8081,http://r2:8082
+//	sweep-proxy -addr :9000 -writer http://w:8080 -replicas http://r1:8081 -health-interval 5s
+//
+// Endpoints: POST /v1/scenario, POST /v1/sweep, POST /v1/deltas
+// (forwarded to the writer), GET /healthz, GET /statsz.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	sixgedge "repro"
+)
+
+func main() {
+	var (
+		addr           = flag.String("addr", ":8070", "listen address")
+		writer         = flag.String("writer", "", "base URL of the writer sweepd (required)")
+		replicas       = flag.String("replicas", "", "comma-separated base URLs of read replicas")
+		healthInterval = flag.Duration("health-interval", 2*time.Second, "replica health-probe period")
+		cacheEntries   = flag.Int("cache-entries", 0, "response-cache bound in records (0 = default 4096, -1 = disabled)")
+		sweepWorkers   = flag.Int("sweep-workers", 0, "concurrent backend requests per sweep fan-out (0 = default 16)")
+		maxGrid        = flag.Int("max-grid", 0, "reject grids expanding past this many scenarios (0 = default 65536)")
+		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight requests")
+		version        = flag.Bool("version", false, "print the build version and exit")
+	)
+	flag.Parse()
+
+	if *version {
+		fmt.Println("sweep-proxy", sixgedge.Version())
+		return
+	}
+
+	replicaURLs := splitURLs(*replicas)
+	if err := validateFlags(*writer, replicaURLs, *healthInterval, *cacheEntries,
+		*sweepWorkers, *maxGrid, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep-proxy:", err)
+		fmt.Fprintln(os.Stderr, "run with -h for usage")
+		os.Exit(2)
+	}
+
+	p, err := sixgedge.NewSweepProxy(sixgedge.ProxyOptions{
+		Writer:           *writer,
+		Replicas:         replicaURLs,
+		HealthInterval:   *healthInterval,
+		CacheEntries:     *cacheEntries,
+		SweepWorkers:     *sweepWorkers,
+		MaxGridScenarios: *maxGrid,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Fprintf(os.Stderr, "sweep-proxy: serving on %s (writer %s, %d replicas)\n",
+		*addr, *writer, len(replicaURLs))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- p.ListenAndServe(*addr) }()
+
+	select {
+	case err := <-errc:
+		p.Close()
+		if err != nil {
+			fatal(err)
+		}
+	case <-ctx.Done():
+		stop()
+		fmt.Fprintln(os.Stderr, "sweep-proxy: draining (signal received)")
+		dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := p.Shutdown(dctx); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "sweep-proxy: drained")
+	}
+}
+
+// splitURLs parses a comma-separated URL list, dropping empty elements
+// so a trailing comma is not a phantom replica.
+func splitURLs(s string) []string {
+	var out []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// validateFlags rejects nonsensical combinations up front, exit 2,
+// before any socket binds — the sweepd convention.
+func validateFlags(writer string, replicas []string, healthInterval time.Duration,
+	cacheEntries, sweepWorkers, maxGrid int, drainTimeout time.Duration) error {
+	if writer == "" {
+		return fmt.Errorf("-writer is required (the proxy has no simulator of its own)")
+	}
+	if !strings.Contains(writer, "://") {
+		return fmt.Errorf("-writer must be a base URL (http://host:port), got %q", writer)
+	}
+	for _, r := range replicas {
+		if !strings.Contains(r, "://") {
+			return fmt.Errorf("-replicas entries must be base URLs (http://host:port), got %q", r)
+		}
+		if strings.TrimRight(r, "/") == strings.TrimRight(writer, "/") {
+			return fmt.Errorf("the writer %s cannot also be a replica", writer)
+		}
+	}
+	if healthInterval < 0 {
+		return fmt.Errorf("-health-interval must be >= 0, got %v", healthInterval)
+	}
+	if cacheEntries < -1 {
+		return fmt.Errorf("-cache-entries must be >= -1 (-1 = disabled), got %d", cacheEntries)
+	}
+	if sweepWorkers < 0 {
+		return fmt.Errorf("-sweep-workers must be >= 0, got %d", sweepWorkers)
+	}
+	if maxGrid < 0 {
+		return fmt.Errorf("-max-grid must be >= 0, got %d", maxGrid)
+	}
+	if drainTimeout < 0 {
+		return fmt.Errorf("-drain-timeout must be >= 0, got %v", drainTimeout)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep-proxy:", err)
+	os.Exit(1)
+}

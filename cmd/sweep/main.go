@@ -28,6 +28,7 @@ import (
 
 	sixgedge "repro"
 	"repro/internal/argame"
+	"repro/internal/buildinfo"
 	"repro/internal/ran"
 	"repro/internal/slicing"
 	"repro/internal/sweep"
@@ -53,8 +54,14 @@ func main() {
 		cacheDir     = flag.String("cache-dir", "", "persist the result cache to this directory; re-runs over completed scenarios resume warm")
 		compact      = flag.Bool("compact", false, "with -cache-dir: store summary-only records (per-cell moments, no raw samples)")
 		compactStore = flag.Bool("compact-store", false, "with -cache-dir: compact the on-disk store (drop superseded and corrupt entries, rewrite live records into fresh segments) and exit")
+		version      = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println("sweep", buildinfo.Version())
+		return
+	}
 
 	// Reject invalid flag combinations up front, before any grid
 	// building or store opening: a silently ignored -compact or

@@ -12,11 +12,15 @@
 //	sweepd -addr :9000 -sim-workers 8 -queue-depth 128
 //	sweepd -cache-dir .sweep-cache -compact           # summary-only records
 //	sweepd -cache-dir .sweep-cache -queue-depth -1    # read replica: hits only, misses shed
+//	sweepd -cache-dir .follow -queue-depth -1 -follow http://writer:8080
+//	                                                  # following replica: segment-ships
+//	                                                  # the writer's store, serves reads
 //
-// Endpoints: POST /v1/scenario (axes JSON -> record), POST /v1/sweep
-// (grid JSON -> chunked JSONL, byte-identical to cmd/sweep -out),
-// POST /v1/deltas (grid JSON -> recommendation deltas), GET /healthz,
-// GET /statsz.
+// Endpoints: POST /v1/scenario (axes JSON -> record, ETag = scenario
+// ID), POST /v1/sweep (grid JSON -> chunked JSONL, byte-identical to
+// cmd/sweep -out), POST /v1/deltas (grid JSON -> recommendation
+// deltas), GET /v1/segments + /v1/segments/file (replication feed),
+// GET /healthz, GET /statsz.
 package main
 
 import (
@@ -40,16 +44,25 @@ func main() {
 		queueDepth   = flag.Int("queue-depth", 0, "admission queue beyond running simulations (0 = default 64; -1 = store-only replica, every miss sheds 429)")
 		gridJobs     = flag.Int("grid-jobs", 0, "concurrent grid requests (/v1/sweep, /v1/deltas) (0 = default 16)")
 		maxGrid      = flag.Int("max-grid", 0, "reject grids expanding past this many scenarios (0 = default 65536)")
+		retryAfter   = flag.Int("retry-after", 0, "Retry-After seconds attached to 429 shed responses (0 = default 1)")
+		follow       = flag.String("follow", "", "follow a writer sweepd at this base URL: pull its segment feed into -cache-dir (pair with -queue-depth -1 for a pure read replica)")
+		followEvery  = flag.Duration("follow-interval", 2*time.Second, "with -follow: manifest poll period")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight requests")
+		version      = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println("sweepd", sixgedge.Version())
+		return
+	}
 
 	// Usage errors exit 2, before any store is opened or socket bound —
 	// the cmd/sweep convention: a silently clamped -sim-workers or a
 	// replica with nothing to serve would run while doing the wrong
 	// thing.
 	if err := validateFlags(*cacheDir, *compact, *simWorkers, *queueDepth, *gridJobs,
-		*maxGrid, *drainTimeout); err != nil {
+		*maxGrid, *retryAfter, *follow, *followEvery, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "sweepd:", err)
 		fmt.Fprintln(os.Stderr, "run with -h for usage")
 		os.Exit(2)
@@ -62,14 +75,36 @@ func main() {
 		QueueDepth:       *queueDepth,
 		MaxGridJobs:      *gridJobs,
 		MaxGridScenarios: *maxGrid,
+		RetryAfter:       *retryAfter,
 	})
 	if err != nil {
 		fatal(err)
 	}
 
+	var rep *sixgedge.SweepReplicator
+	if *follow != "" {
+		rep, err = sixgedge.NewSweepReplicator(sixgedge.ReplicatorOptions{
+			Writer:   *follow,
+			Store:    srv.Store(),
+			Interval: *followEvery,
+		})
+		if err != nil {
+			srv.Close()
+			fatal(err)
+		}
+		// The pull loop's lag shows up in this process's /statsz, so
+		// the proxy (or an operator) can see how far each replica
+		// trails the writer.
+		srv.SetReplicationStats(func() any { return rep.Stats() })
+		rep.Start()
+	}
+
 	mode := "memory-only cache"
 	if *cacheDir != "" {
 		mode = fmt.Sprintf("cache-dir %s", *cacheDir)
+	}
+	if *follow != "" {
+		mode += fmt.Sprintf(", following %s", *follow)
 	}
 	fmt.Fprintf(os.Stderr, "sweepd: serving on %s (%s)\n", *addr, mode)
 
@@ -80,6 +115,9 @@ func main() {
 
 	select {
 	case err := <-errc:
+		if rep != nil {
+			rep.Stop()
+		}
 		srv.Close()
 		if err != nil {
 			fatal(err)
@@ -87,6 +125,10 @@ func main() {
 	case <-ctx.Done():
 		stop()
 		fmt.Fprintln(os.Stderr, "sweepd: draining (signal received)")
+		if rep != nil {
+			// Stop pulling before the store closes under the replicator.
+			rep.Stop()
+		}
 		dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := srv.Shutdown(dctx); err != nil {
@@ -98,7 +140,7 @@ func main() {
 
 // validateFlags rejects nonsensical combinations up front.
 func validateFlags(cacheDir string, compact bool, simWorkers, queueDepth, gridJobs,
-	maxGrid int, drainTimeout time.Duration) error {
+	maxGrid, retryAfter int, follow string, followEvery, drainTimeout time.Duration) error {
 	if simWorkers < 0 {
 		return fmt.Errorf("-sim-workers must be >= 0 (0 = GOMAXPROCS), got %d", simWorkers)
 	}
@@ -111,6 +153,9 @@ func validateFlags(cacheDir string, compact bool, simWorkers, queueDepth, gridJo
 	if maxGrid < 0 {
 		return fmt.Errorf("-max-grid must be >= 0, got %d", maxGrid)
 	}
+	if retryAfter < 0 {
+		return fmt.Errorf("-retry-after must be >= 0 (0 = default 1s), got %d", retryAfter)
+	}
 	if drainTimeout < 0 {
 		return fmt.Errorf("-drain-timeout must be >= 0, got %v", drainTimeout)
 	}
@@ -119,6 +164,15 @@ func validateFlags(cacheDir string, compact bool, simWorkers, queueDepth, gridJo
 	}
 	if queueDepth == -1 && cacheDir == "" {
 		return fmt.Errorf("-queue-depth -1 (store-only replica) requires -cache-dir (there is no store to serve)")
+	}
+	if follow != "" && cacheDir == "" {
+		return fmt.Errorf("-follow requires -cache-dir (shipped segments need a store to land in)")
+	}
+	if follow != "" && compact {
+		return fmt.Errorf("-follow and -compact conflict: a follower mirrors the writer's bytes, record mode included")
+	}
+	if follow != "" && followEvery <= 0 {
+		return fmt.Errorf("-follow-interval must be > 0, got %v", followEvery)
 	}
 	return nil
 }

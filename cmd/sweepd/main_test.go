@@ -8,6 +8,7 @@ import (
 
 func TestValidateFlagsRejectsNonsense(t *testing.T) {
 	ok := 30 * time.Second
+	poll := 2 * time.Second
 	cases := []struct {
 		name       string
 		cacheDir   string
@@ -16,23 +17,31 @@ func TestValidateFlagsRejectsNonsense(t *testing.T) {
 		queueDepth int
 		gridJobs   int
 		maxGrid    int
+		retryAfter int
+		follow     string
+		followEvr  time.Duration
 		drain      time.Duration
 		wantErr    string
 	}{
-		{"defaults", "", false, 0, 0, 0, 0, ok, ""},
-		{"full", ".c", true, 8, 128, 4, 1024, ok, ""},
-		{"replica", ".c", false, 0, -1, 0, 0, ok, ""},
-		{"negative-sim-workers", "", false, -2, 0, 0, 0, ok, "-sim-workers must be >= 0"},
-		{"queue-below-minus-one", "", false, 0, -2, 0, 0, ok, "-queue-depth must be >= -1"},
-		{"negative-grid-jobs", "", false, 0, 0, -1, 0, ok, "-grid-jobs must be >= 0"},
-		{"negative-max-grid", "", false, 0, 0, 0, -1, ok, "-max-grid must be >= 0"},
-		{"negative-drain", "", false, 0, 0, 0, 0, -time.Second, "-drain-timeout must be >= 0"},
-		{"compact-no-dir", "", true, 0, 0, 0, 0, ok, "-compact requires -cache-dir"},
-		{"replica-no-dir", "", false, 0, -1, 0, 0, ok, "-queue-depth -1 (store-only replica) requires -cache-dir"},
+		{"defaults", "", false, 0, 0, 0, 0, 0, "", poll, ok, ""},
+		{"full", ".c", true, 8, 128, 4, 1024, 5, "", poll, ok, ""},
+		{"replica", ".c", false, 0, -1, 0, 0, 0, "", poll, ok, ""},
+		{"follower", ".c", false, 0, -1, 0, 0, 0, "http://w:8080", poll, ok, ""},
+		{"negative-sim-workers", "", false, -2, 0, 0, 0, 0, "", poll, ok, "-sim-workers must be >= 0"},
+		{"queue-below-minus-one", "", false, 0, -2, 0, 0, 0, "", poll, ok, "-queue-depth must be >= -1"},
+		{"negative-grid-jobs", "", false, 0, 0, -1, 0, 0, "", poll, ok, "-grid-jobs must be >= 0"},
+		{"negative-max-grid", "", false, 0, 0, 0, -1, 0, "", poll, ok, "-max-grid must be >= 0"},
+		{"negative-retry-after", "", false, 0, 0, 0, 0, -1, "", poll, ok, "-retry-after must be >= 0"},
+		{"negative-drain", "", false, 0, 0, 0, 0, 0, "", poll, -time.Second, "-drain-timeout must be >= 0"},
+		{"compact-no-dir", "", true, 0, 0, 0, 0, 0, "", poll, ok, "-compact requires -cache-dir"},
+		{"replica-no-dir", "", false, 0, -1, 0, 0, 0, "", poll, ok, "-queue-depth -1 (store-only replica) requires -cache-dir"},
+		{"follow-no-dir", "", false, 0, 0, 0, 0, 0, "http://w:8080", poll, ok, "-follow requires -cache-dir"},
+		{"follow-compact", ".c", true, 0, 0, 0, 0, 0, "http://w:8080", poll, ok, "-follow and -compact conflict"},
+		{"follow-bad-interval", ".c", false, 0, 0, 0, 0, 0, "http://w:8080", 0, ok, "-follow-interval must be > 0"},
 	}
 	for _, c := range cases {
 		err := validateFlags(c.cacheDir, c.compact, c.simWorkers, c.queueDepth,
-			c.gridJobs, c.maxGrid, c.drain)
+			c.gridJobs, c.maxGrid, c.retryAfter, c.follow, c.followEvr, c.drain)
 		if c.wantErr == "" {
 			if err != nil {
 				t.Errorf("%s: unexpected error %v", c.name, err)

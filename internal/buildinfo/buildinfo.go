@@ -1,0 +1,41 @@
+// Package buildinfo derives a single human-readable build identity
+// string from the Go build metadata, shared by every binary's -version
+// flag and every daemon's /statsz payload — so CI assertions and the
+// proxy's eject/readmit logs can name exactly which build answered.
+package buildinfo
+
+import "runtime/debug"
+
+// Version reports the best identity the build metadata offers: the main
+// module version when stamped by a tagged build, else the VCS revision
+// (marked +dirty when the tree was modified), else "devel".
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	v := bi.Main.Version
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	switch {
+	case rev != "" && (v == "" || v == "(devel)"):
+		return rev + dirty
+	case rev != "":
+		return v + " (" + rev + dirty + ")"
+	case v == "" || v == "(devel)":
+		return "devel"
+	}
+	return v
+}

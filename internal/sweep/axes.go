@@ -112,6 +112,36 @@ func (a Axes) Scenario() (Scenario, error) {
 	return Scenario{ID: ScenarioID(cfg), Variant: VariantID(cfg), Config: cfg}, nil
 }
 
+// AxesOf inverts Config: the wire-level axes that resolve back to the
+// same canonical config, and therefore the same scenario ID. Routing
+// layers use it to re-describe one expanded grid cell as a standalone
+// /v1/scenario request — fanning a sweep out scenario by scenario
+// without inventing a second wire format.
+func AxesOf(cfg campaign.Config) Axes {
+	c := cfg.Canonical()
+	a := Axes{
+		Seed:         c.Seed,
+		Profile:      c.Profile.Name,
+		LocalPeering: c.LocalPeering,
+		EdgeUPF:      c.EdgeUPF,
+		MobileNodes:  c.MobileNodes,
+		TargetCells:  append([]string(nil), c.TargetCells...),
+		WiredRounds:  c.WiredRounds,
+	}
+	if c.Slicing != nil {
+		// Canonical slicing configs carry no explicit target cells — the
+		// placement chooses the probes — so the two exclusive axes can
+		// never both round-trip populated.
+		a.Slicing = c.Slicing.Strategy.String()
+		a.SlicingSites = c.Slicing.Sites
+		a.TargetCells = nil
+	}
+	if c.ARGame != nil {
+		a.ARDeployment = c.ARGame.Deployment.String()
+	}
+	return a
+}
+
 // GridSpec is the wire-level description of a whole Grid, with every
 // axis carried by name so it can round-trip through JSON. Empty axes
 // default exactly as Grid's do.

@@ -121,6 +121,29 @@ func (c *Cache) Get(id string) (*campaign.Result, bool) {
 	return c.get(id, false)
 }
 
+// Contains reports whether id would serve as a hit — from memory or the
+// backing store — without decoding, copying or promoting anything. It
+// exists for cheap warmth checks (conditional requests: a warm id IS
+// its ETag); like the store's Has it can over-report a record that
+// turns out corrupt on the actual read, never under-report.
+func (c *Cache) Contains(id string) bool {
+	c.mu.Lock()
+	_, ok := c.m[id]
+	st := c.store
+	c.mu.Unlock()
+	if ok {
+		return true
+	}
+	if st == nil {
+		return false
+	}
+	if h, ok := st.(interface{ Has(string) bool }); ok {
+		return h.Has(id)
+	}
+	_, ok = st.Get(id)
+	return ok
+}
+
 // GetFull is Get restricted to results carrying raw per-cell samples: a
 // summary-only entry (restored from a compact disk record) is reported
 // as a miss instead of served, so callers deriving quantiles, CDFs or

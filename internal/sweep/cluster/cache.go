@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"container/list"
+	"sync"
+)
+
+// responseCache is the proxy's ETag-keyed response cache: scenario ID →
+// the exact JSONL line a backend served for it. Records are immutable
+// once acknowledged (the ID is a content hash of the config, and
+// campaigns are deterministic), so an entry never needs invalidation —
+// only LRU bounding. It deliberately caches bytes, not decoded records:
+// a warm hit is a map lookup plus one Write, and the bytes are
+// guaranteed identical to what the backend would serve.
+type responseCache struct {
+	mu    sync.Mutex
+	m     map[string]*list.Element
+	lru   *list.List // front = most recently used
+	limit int
+}
+
+type cacheEntry struct {
+	id   string
+	line []byte
+}
+
+func newResponseCache(limit int) *responseCache {
+	return &responseCache{
+		m:     make(map[string]*list.Element),
+		lru:   list.New(),
+		limit: limit,
+	}
+}
+
+// get returns the cached JSONL line for id. Callers must not mutate the
+// returned slice (entries are written once and only ever evicted, so
+// sharing the backing array is safe).
+func (c *responseCache) get(id string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[id]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).line, true
+}
+
+func (c *responseCache) contains(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.m[id]
+	return ok
+}
+
+func (c *responseCache) put(id string, line []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[id]; ok {
+		// Same ID ⇒ same bytes by construction; just refresh recency.
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.m[id] = c.lru.PushFront(&cacheEntry{id: id, line: line})
+	for c.limit > 0 && c.lru.Len() > c.limit {
+		el := c.lru.Back()
+		c.lru.Remove(el)
+		delete(c.m, el.Value.(*cacheEntry).id)
+	}
+}
+
+func (c *responseCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

@@ -1,0 +1,730 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/sweep"
+	"repro/internal/sweep/store"
+)
+
+// DefaultCacheEntries bounds the proxy's response cache when Options
+// leave it zero. One entry is one JSONL record (~1 KiB), so the default
+// is a few MiB of the hottest scenario lines.
+const DefaultCacheEntries = 4096
+
+// DefaultHealthInterval is the replica health-probe period when Options
+// leave it zero.
+const DefaultHealthInterval = 2 * time.Second
+
+// DefaultSweepWorkers bounds a sweep fan-out's concurrent backend
+// requests when Options leave it zero.
+const DefaultSweepWorkers = 16
+
+// maxBodyBytes mirrors the serve package's request-body bound.
+const maxBodyBytes = 1 << 20
+
+// Options configures a Proxy.
+type Options struct {
+	// Writer is the base URL of the writer sweepd — the only member
+	// that simulates misses and appends to the authoritative store. It
+	// is the final fallback for every scenario, so the proxy is correct
+	// (if slower) with zero replicas.
+	Writer string
+	// Replicas are base URLs of read replicas (sweepd -follow). They
+	// form the consistent-hash ring; scenario requests prefer the
+	// shard's owner so each replica's LRU stays hot on its own slice of
+	// the ID space.
+	Replicas []string
+	// HealthInterval is the replica probe period (DefaultHealthInterval
+	// when zero; negative disables the loop — tests drive CheckHealth
+	// directly).
+	HealthInterval time.Duration
+	// CacheEntries bounds the response cache (DefaultCacheEntries when
+	// zero; negative disables caching).
+	CacheEntries int
+	// Vnodes is the ring's virtual-node count per replica
+	// (DefaultVnodes when <= 0).
+	Vnodes int
+	// SweepWorkers bounds concurrent backend requests during one sweep
+	// fan-out (DefaultSweepWorkers when <= 0).
+	SweepWorkers int
+	// MaxGridScenarios rejects larger sweep grids with 413 before
+	// expansion (serve's default when zero).
+	MaxGridScenarios int
+	// Client performs backend requests (a default client when nil).
+	Client *http.Client
+}
+
+// member is one routed-to backend with its health and backoff state.
+type member struct {
+	url     string
+	healthy atomic.Bool
+	// backoffUntil (unix nanos) honors the Retry-After a 429 carried:
+	// until then the member is skipped, exactly as if unhealthy, but
+	// without an eject — shedding is load, not failure.
+	backoffUntil atomic.Int64
+
+	requests, errs, shed atomic.Int64
+	ejects, readmits     atomic.Int64
+}
+
+func (m *member) backingOff(now time.Time) bool {
+	return now.UnixNano() < m.backoffUntil.Load()
+}
+
+// setHealth applies a probe result, counting the transition.
+func (m *member) setHealth(ok bool) {
+	if m.healthy.CompareAndSwap(!ok, ok) {
+		if ok {
+			m.readmits.Add(1)
+		} else {
+			m.ejects.Add(1)
+		}
+	}
+}
+
+// Proxy is the cluster front door: it owns no simulator and no store,
+// only the routing table, the health states, and a response cache keyed
+// by scenario ID. Construct with NewProxy; serve with ListenAndServe or
+// mount Handler.
+type Proxy struct {
+	writer   *member
+	replicas []*member // ring order is per-key; this is the fixed set
+	ring     *Ring     // nil with zero replicas
+	byURL    map[string]*member
+
+	client    *http.Client
+	cache     *responseCache // nil when caching is disabled
+	maxGrid   int
+	workers   int
+	interval  time.Duration
+	mux       *http.ServeMux
+	hs        *http.Server
+	start     time.Time
+	stop      chan struct{}
+	stopOnce  sync.Once
+	healthWG  sync.WaitGroup
+	scenarios atomic.Int64
+	sweeps    atomic.Int64
+
+	cacheHits, cacheMisses, notModified atomic.Int64
+}
+
+// NewProxy builds the proxy and starts its health loop (unless
+// disabled). Close stops the loop.
+func NewProxy(opts Options) (*Proxy, error) {
+	if opts.Writer == "" {
+		return nil, fmt.Errorf("cluster: proxy needs a writer URL")
+	}
+	p := &Proxy{
+		writer:  &member{url: strings.TrimRight(opts.Writer, "/")},
+		byURL:   map[string]*member{},
+		client:  opts.Client,
+		maxGrid: opts.MaxGridScenarios,
+		workers: opts.SweepWorkers,
+		start:   time.Now(),
+		stop:    make(chan struct{}),
+	}
+	p.writer.healthy.Store(true)
+	p.byURL[p.writer.url] = p.writer
+	if p.client == nil {
+		p.client = &http.Client{}
+	}
+	if p.maxGrid <= 0 {
+		p.maxGrid = 1 << 16
+	}
+	if p.workers <= 0 {
+		p.workers = DefaultSweepWorkers
+	}
+	if len(opts.Replicas) > 0 {
+		urls := make([]string, len(opts.Replicas))
+		for i, u := range opts.Replicas {
+			urls[i] = strings.TrimRight(u, "/")
+		}
+		ring, err := NewRing(urls, opts.Vnodes)
+		if err != nil {
+			return nil, err
+		}
+		p.ring = ring
+		for _, u := range ring.Members() {
+			if u == p.writer.url {
+				return nil, fmt.Errorf("cluster: writer %s cannot also be a replica", u)
+			}
+			m := &member{url: u}
+			// Optimistic start: the proxy serves before the first probe
+			// completes; a dead replica costs one failed forward, which
+			// ejects it inline.
+			m.healthy.Store(true)
+			p.replicas = append(p.replicas, m)
+			p.byURL[u] = m
+		}
+	}
+	entries := opts.CacheEntries
+	if entries == 0 {
+		entries = DefaultCacheEntries
+	}
+	if entries > 0 {
+		p.cache = newResponseCache(entries)
+	}
+
+	p.mux = http.NewServeMux()
+	p.mux.HandleFunc("/v1/scenario", p.handleScenario)
+	p.mux.HandleFunc("/v1/sweep", p.handleSweep)
+	p.mux.HandleFunc("/v1/deltas", p.handlePassthrough)
+	p.mux.HandleFunc("/healthz", p.handleHealthz)
+	p.mux.HandleFunc("/statsz", p.handleStatsz)
+	p.hs = &http.Server{Handler: p.mux}
+
+	p.interval = opts.HealthInterval
+	if p.interval == 0 {
+		p.interval = DefaultHealthInterval
+	}
+	if p.interval > 0 && len(p.replicas) > 0 {
+		p.healthWG.Add(1)
+		go p.healthLoop()
+	}
+	return p, nil
+}
+
+// Handler returns the proxy's HTTP handler.
+func (p *Proxy) Handler() http.Handler { return p.mux }
+
+// ListenAndServe serves on addr until Shutdown or a listener error.
+func (p *Proxy) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return p.Serve(ln)
+}
+
+// Serve serves on ln until Shutdown or a listener error.
+func (p *Proxy) Serve(ln net.Listener) error {
+	err := p.hs.Serve(ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains in-flight requests up to ctx and stops the health
+// loop.
+func (p *Proxy) Shutdown(ctx context.Context) error {
+	err := p.hs.Shutdown(ctx)
+	p.Close()
+	return err
+}
+
+// Close stops the health loop; idempotent.
+func (p *Proxy) Close() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	p.healthWG.Wait()
+}
+
+func (p *Proxy) healthLoop() {
+	defer p.healthWG.Done()
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.CheckHealth(context.Background())
+		}
+	}
+}
+
+// CheckHealth probes every replica's /healthz once and applies
+// eject/readmit transitions. The health loop calls it on a ticker;
+// tests call it directly.
+func (p *Proxy) CheckHealth(ctx context.Context) {
+	timeout := p.interval
+	if timeout <= 0 || timeout > 2*time.Second {
+		timeout = 2 * time.Second
+	}
+	var wg sync.WaitGroup
+	for _, m := range p.replicas {
+		wg.Add(1)
+		go func(m *member) {
+			defer wg.Done()
+			cctx, cancel := context.WithTimeout(ctx, timeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(cctx, http.MethodGet, m.url+"/healthz", nil)
+			if err != nil {
+				m.setHealth(false)
+				return
+			}
+			resp, err := p.client.Do(req)
+			if err != nil {
+				m.setHealth(false)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			m.setHealth(resp.StatusCode == http.StatusOK)
+		}(m)
+	}
+	wg.Wait()
+}
+
+// backendError relays a backend's deliberate non-200 answer (a 400
+// config rejection, or the writer's own 429) to the proxy's client
+// with status and body intact.
+type backendError struct {
+	status     int
+	body       []byte
+	retryAfter string
+}
+
+func (e *backendError) Error() string {
+	return fmt.Sprintf("backend status %d: %s", e.status, bytes.TrimSpace(e.body))
+}
+
+// candidates returns the members to try for a scenario ID, in order:
+// the shard's ring owner and its successors (healthy, not backing
+// off), then always the writer. Routing keys on the shard prefix — the
+// same 256-way split the store shards and ships segments by — so one
+// shard's scenarios heat one replica's cache.
+func (p *Proxy) candidates(id string) []*member {
+	out := make([]*member, 0, len(p.replicas)+1)
+	if p.ring != nil {
+		now := time.Now()
+		for _, u := range p.ring.Order(store.ShardOf(id)) {
+			m := p.byURL[u]
+			if m.healthy.Load() && !m.backingOff(now) {
+				out = append(out, m)
+			}
+		}
+	}
+	return append(out, p.writer)
+}
+
+// forward posts one scenario request to one member and classifies the
+// outcome: (line, nil) on success; errRetryMember when another member
+// should be tried; *backendError when the answer is final and must be
+// relayed.
+var errRetryMember = errors.New("cluster: try next member")
+
+func (p *Proxy) forward(ctx context.Context, m *member, body []byte) ([]byte, error) {
+	m.requests.Add(1)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, m.url+"/v1/scenario", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.client.Do(req)
+	if err != nil {
+		// Transport failure: eject inline — the health loop readmits
+		// when the member answers probes again.
+		m.errs.Add(1)
+		if m != p.writer {
+			m.setHealth(false)
+		}
+		return nil, fmt.Errorf("%w: %s: %v", errRetryMember, m.url, err)
+	}
+	defer resp.Body.Close()
+	line, err := io.ReadAll(resp.Body)
+	if err != nil {
+		m.errs.Add(1)
+		if m != p.writer {
+			m.setHealth(false)
+		}
+		return nil, fmt.Errorf("%w: %s: %v", errRetryMember, m.url, err)
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		return line, nil
+	case resp.StatusCode == http.StatusTooManyRequests:
+		// Honor the Retry-After the serve layer attached: back this
+		// member off and let the caller try the next ring member (a
+		// replica shedding a miss is the DESIGN — the writer simulates).
+		m.shed.Add(1)
+		if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && sec > 0 {
+			m.backoffUntil.Store(time.Now().Add(time.Duration(sec) * time.Second).UnixNano())
+		}
+		if m == p.writer {
+			return nil, &backendError{status: resp.StatusCode, body: line, retryAfter: resp.Header.Get("Retry-After")}
+		}
+		return nil, fmt.Errorf("%w: %s shed", errRetryMember, m.url)
+	case resp.StatusCode >= 500:
+		m.errs.Add(1)
+		if m != p.writer {
+			m.setHealth(false)
+		}
+		return nil, fmt.Errorf("%w: %s status %d", errRetryMember, m.url, resp.StatusCode)
+	default:
+		// 4xx: a deterministic rejection (bad axes) every member would
+		// repeat — final.
+		return nil, &backendError{status: resp.StatusCode, body: line}
+	}
+}
+
+// resolve returns the JSONL line for one scenario: proxy cache, then
+// the ring members in preference order, then the writer.
+func (p *Proxy) resolve(ctx context.Context, id string, body []byte) (line []byte, source string, err error) {
+	if p.cache != nil {
+		if line, ok := p.cache.get(id); ok {
+			p.cacheHits.Add(1)
+			return line, "cache", nil
+		}
+		p.cacheMisses.Add(1)
+	}
+	var lastErr error
+	for _, m := range p.candidates(id) {
+		line, err := p.forward(ctx, m, body)
+		if err == nil {
+			if p.cache != nil {
+				p.cache.put(id, line)
+			}
+			return line, m.url, nil
+		}
+		var be *backendError
+		if errors.As(err, &be) {
+			return nil, m.url, be
+		}
+		lastErr = err
+	}
+	return nil, "", lastErr
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// relayError writes a resolve failure to the client: backend answers
+// keep their status and body, transport dead-ends become 502.
+func relayError(w http.ResponseWriter, err error) {
+	var be *backendError
+	if errors.As(err, &be) {
+		if be.retryAfter != "" {
+			w.Header().Set("Retry-After", be.retryAfter)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(be.status)
+		w.Write(be.body)
+		return
+	}
+	httpError(w, http.StatusBadGateway, err.Error())
+}
+
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
+func requirePost(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return false
+	}
+	return true
+}
+
+// etagMatch mirrors the serve layer's If-None-Match handling.
+func etagMatch(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		part = strings.TrimPrefix(part, "W/")
+		if part == "*" || part == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// handleScenario routes one scenario request. The proxy resolves the
+// axes itself — the scenario ID is both the routing key and the ETag,
+// so a conditional request for a cached id never touches a backend.
+func (p *Proxy) handleScenario(w http.ResponseWriter, r *http.Request) {
+	p.scenarios.Add(1)
+	if !requirePost(w, r) {
+		return
+	}
+	var ax sweep.Axes
+	if !decode(w, r, &ax) {
+		return
+	}
+	sc, err := ax.Scenario()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	etag := `"` + sc.ID + `"`
+	inm := r.Header.Get("If-None-Match")
+	if etagMatch(inm, etag) && p.cache != nil && p.cache.contains(sc.ID) {
+		p.notModified.Add(1)
+		p.cacheHits.Add(1)
+		w.Header().Set("ETag", etag)
+		w.Header().Set("X-Sweepd-Proxy-Cache", "hit")
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	// Re-encode the axes rather than replaying the raw body: backends
+	// decode strictly, and this guarantees the forwarded body is the
+	// same bytes for every equivalent phrasing of one scenario.
+	body, err := json.Marshal(ax)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	line, source, err := p.resolve(r.Context(), sc.ID, body)
+	if err != nil {
+		relayError(w, err)
+		return
+	}
+	w.Header().Set("ETag", etag)
+	w.Header().Set("X-Sweepd-Route", source)
+	if source == "cache" {
+		w.Header().Set("X-Sweepd-Proxy-Cache", "hit")
+	} else {
+		w.Header().Set("X-Sweepd-Proxy-Cache", "miss")
+	}
+	if etagMatch(inm, etag) {
+		// The client's copy is current (the id is a content hash); the
+		// resolve run confirmed the record exists cluster-wide.
+		p.notModified.Add(1)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(line)
+}
+
+// handleSweep fans a grid out scenario by scenario across the ring and
+// merges the responses back in grid order — byte-identical to the same
+// sweep against a single sweepd, because each response line IS one line
+// of that stream. Workers run ahead while earlier lines flush, the same
+// pipelining discipline as the sweep engine's RunEach.
+func (p *Proxy) handleSweep(w http.ResponseWriter, r *http.Request) {
+	p.sweeps.Add(1)
+	if !requirePost(w, r) {
+		return
+	}
+	var spec sweep.GridSpec
+	if !decode(w, r, &spec) {
+		return
+	}
+	g, err := spec.Grid()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if size, err := g.Size(); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	} else if size > p.maxGrid {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("grid expands to %d scenarios, limit %d", size, p.maxGrid))
+		return
+	}
+	scs, err := g.Scenarios()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	type cell struct {
+		line []byte
+		err  error
+		done chan struct{}
+	}
+	cells := make([]cell, len(scs))
+	for i := range cells {
+		cells[i].done = make(chan struct{})
+	}
+	idx := make(chan int, len(scs))
+	for i := range scs {
+		idx <- i
+	}
+	close(idx)
+	workers := p.workers
+	if workers > len(scs) {
+		workers = len(scs)
+	}
+	for wk := 0; wk < workers; wk++ {
+		go func() {
+			for i := range idx {
+				if ctx.Err() != nil {
+					cells[i].err = ctx.Err()
+					close(cells[i].done)
+					continue
+				}
+				body, err := json.Marshal(sweep.AxesOf(scs[i].Config))
+				if err == nil {
+					cells[i].line, _, err = p.resolve(ctx, scs[i].ID, body)
+				}
+				cells[i].err = err
+				close(cells[i].done)
+			}
+		}()
+	}
+
+	flusher, _ := w.(http.Flusher)
+	wroteHeader := false
+	for i := range cells {
+		<-cells[i].done
+		if cells[i].err != nil {
+			cancel()
+			if !wroteHeader {
+				relayError(w, cells[i].err)
+				return
+			}
+			// Mid-stream: abort so the client sees truncation, not a
+			// clean EOF passing for a complete grid.
+			panic(http.ErrAbortHandler)
+		}
+		if !wroteHeader {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			wroteHeader = true
+		}
+		if _, err := w.Write(cells[i].line); err != nil {
+			cancel()
+			panic(http.ErrAbortHandler)
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// handlePassthrough forwards a request verbatim to the writer —
+// /v1/deltas needs the whole grid in one process, so it is not fanned
+// out.
+func (p *Proxy) handlePassthrough(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, p.writer.url+r.URL.Path, bytes.NewReader(body))
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	req.Header.Set("Content-Type", r.Header.Get("Content-Type"))
+	p.writer.requests.Add(1)
+	resp, err := p.client.Do(req)
+	if err != nil {
+		p.writer.errs.Add(1)
+		httpError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	defer resp.Body.Close()
+	for _, h := range []string{"Content-Type", "Retry-After", "ETag"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// MemberStats is one backend's health and traffic snapshot.
+type MemberStats struct {
+	URL        string `json:"url"`
+	Healthy    bool   `json:"healthy"`
+	BackingOff bool   `json:"backing_off"`
+	Requests   int64  `json:"requests"`
+	Errors     int64  `json:"errors"`
+	Shed       int64  `json:"shed"`
+	Ejects     int64  `json:"ejects"`
+	Readmits   int64  `json:"readmits"`
+}
+
+// ProxyStats is the proxy's /statsz payload.
+type ProxyStats struct {
+	UptimeS  float64 `json:"uptime_s"`
+	Version  string  `json:"version"`
+	Scenario struct {
+		Requests int64 `json:"requests"`
+	} `json:"scenario"`
+	Sweep struct {
+		Requests int64 `json:"requests"`
+	} `json:"sweep"`
+	Cache struct {
+		Entries     int   `json:"entries"`
+		Hits        int64 `json:"hits"`
+		Misses      int64 `json:"misses"`
+		NotModified int64 `json:"not_modified"`
+	} `json:"cache"`
+	Writer   MemberStats   `json:"writer"`
+	Replicas []MemberStats `json:"replicas"`
+}
+
+func memberStats(m *member) MemberStats {
+	return MemberStats{
+		URL:        m.url,
+		Healthy:    m.healthy.Load(),
+		BackingOff: m.backingOff(time.Now()),
+		Requests:   m.requests.Load(),
+		Errors:     m.errs.Load(),
+		Shed:       m.shed.Load(),
+		Ejects:     m.ejects.Load(),
+		Readmits:   m.readmits.Load(),
+	}
+}
+
+func (p *Proxy) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	var st ProxyStats
+	st.UptimeS = time.Since(p.start).Seconds()
+	st.Version = buildinfo.Version()
+	st.Scenario.Requests = p.scenarios.Load()
+	st.Sweep.Requests = p.sweeps.Load()
+	if p.cache != nil {
+		st.Cache.Entries = p.cache.len()
+	}
+	st.Cache.Hits = p.cacheHits.Load()
+	st.Cache.Misses = p.cacheMisses.Load()
+	st.Cache.NotModified = p.notModified.Load()
+	st.Writer = memberStats(p.writer)
+	st.Replicas = make([]MemberStats, 0, len(p.replicas))
+	for _, m := range p.replicas {
+		st.Replicas = append(st.Replicas, memberStats(m))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
+}
+
+func (p *Proxy) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	healthy := 0
+	for _, m := range p.replicas {
+		if m.healthy.Load() {
+			healthy++
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":           "ok",
+		"uptime_s":         time.Since(p.start).Seconds(),
+		"writer":           p.writer.url,
+		"replicas":         len(p.replicas),
+		"replicas_healthy": healthy,
+	})
+}

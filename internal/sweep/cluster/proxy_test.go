@@ -1,0 +1,426 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/sweep"
+	"repro/internal/sweep/serve"
+)
+
+// flakyHandler wraps a backend so tests can take it down (every request
+// answers 500, including /healthz) without tearing the listener down.
+type flakyHandler struct {
+	h    http.Handler
+	down atomic.Bool
+}
+
+func (f *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if f.down.Load() {
+		http.Error(w, "induced outage", http.StatusInternalServerError)
+		return
+	}
+	f.h.ServeHTTP(w, r)
+}
+
+// testCluster is one writer plus n store-only read replicas, each with
+// a replicator following the writer's segment feed.
+type testCluster struct {
+	writer     *serve.Server
+	writerTS   *httptest.Server
+	writerSims *atomic.Int64
+	replicas   []*serve.Server
+	replicaTS  []*httptest.Server
+	flaky      []*flakyHandler
+	reps       []*Replicator
+}
+
+func newTestCluster(t *testing.T, nReplicas int) *testCluster {
+	t.Helper()
+	c := &testCluster{writerSims: &atomic.Int64{}}
+	w, err := serve.New(serve.Options{
+		CacheDir:   t.TempDir(),
+		SimWorkers: 4,
+		Runner: func(cfg campaign.Config) (*campaign.Result, error) {
+			c.writerSims.Add(1)
+			return campaign.Run(cfg)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.writer = w
+	c.writerTS = httptest.NewServer(w.Handler())
+	t.Cleanup(func() { c.writerTS.Close(); w.Close() })
+
+	for i := 0; i < nReplicas; i++ {
+		r, err := serve.New(serve.Options{CacheDir: t.TempDir(), QueueDepth: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fh := &flakyHandler{h: r.Handler()}
+		ts := httptest.NewServer(fh)
+		t.Cleanup(func() { ts.Close(); r.Close() })
+		rep, err := NewReplicator(ReplicatorOptions{Writer: c.writerTS.URL, Store: r.Store()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.replicas = append(c.replicas, r)
+		c.replicaTS = append(c.replicaTS, ts)
+		c.flaky = append(c.flaky, fh)
+		c.reps = append(c.reps, rep)
+	}
+	return c
+}
+
+func (c *testCluster) replicaURLs() []string {
+	urls := make([]string, len(c.replicaTS))
+	for i, ts := range c.replicaTS {
+		urls[i] = ts.URL
+	}
+	return urls
+}
+
+// sync pulls every replica up to the writer's current generation.
+func (c *testCluster) sync(t *testing.T) {
+	t.Helper()
+	for i, rep := range c.reps {
+		if err := rep.SyncOnce(context.Background()); err != nil {
+			t.Fatalf("replica %d sync: %v", i, err)
+		}
+	}
+}
+
+func (c *testCluster) newProxy(t *testing.T, opts Options) (*Proxy, *httptest.Server) {
+	t.Helper()
+	opts.Writer = c.writerTS.URL
+	if opts.Replicas == nil {
+		opts.Replicas = c.replicaURLs()
+	}
+	if opts.HealthInterval == 0 {
+		opts.HealthInterval = -1 // tests drive CheckHealth directly
+	}
+	p, err := NewProxy(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(p.Handler())
+	t.Cleanup(func() { ts.Close(); p.Close() })
+	return p, ts
+}
+
+func postScenario(t *testing.T, url string, seed uint64, hdr map[string]string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/scenario",
+		strings.NewReader(fmt.Sprintf(`{"seed":%d}`, seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func proxyStats(t *testing.T, url string) ProxyStats {
+	t.Helper()
+	resp, err := http.Get(url + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st ProxyStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestProxyRoutesWarmScenariosToReplicas: once records replicate, the
+// proxy serves them from ring replicas — the writer runs zero
+// replica-era simulations — and a repeat answers from the proxy's own
+// response cache without touching any backend.
+func TestProxyRoutesWarmScenariosToReplicas(t *testing.T) {
+	c := newTestCluster(t, 2)
+	seeds := []uint64{301, 302, 303}
+	var bodies [][]byte
+	for _, s := range seeds {
+		resp := postScenario(t, c.writerTS.URL, s, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("warming seed %d: status %d", s, resp.StatusCode)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		bodies = append(bodies, b)
+	}
+	c.sync(t)
+	simsBefore := c.writerSims.Load()
+
+	_, pts := c.newProxy(t, Options{})
+	for i, s := range seeds {
+		resp := postScenario(t, pts.URL, s, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("seed %d through proxy: status %d", s, resp.StatusCode)
+		}
+		got, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if !bytes.Equal(got, bodies[i]) {
+			t.Fatalf("seed %d: proxy served different bytes than the writer", s)
+		}
+		route := resp.Header.Get("X-Sweepd-Route")
+		if route == c.writerTS.URL || route == "" || route == "cache" {
+			t.Fatalf("seed %d routed to %q, want a replica", s, route)
+		}
+		if resp.Header.Get("ETag") == "" {
+			t.Fatalf("seed %d: proxy response missing ETag", s)
+		}
+	}
+	if got := c.writerSims.Load(); got != simsBefore {
+		t.Fatalf("replica-era requests triggered %d writer simulations", got-simsBefore)
+	}
+
+	// Repeat: all three now come from the proxy's response cache.
+	for i, s := range seeds {
+		resp := postScenario(t, pts.URL, s, nil)
+		got, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if !bytes.Equal(got, bodies[i]) {
+			t.Fatalf("seed %d: cached bytes differ", s)
+		}
+		if route := resp.Header.Get("X-Sweepd-Route"); route != "cache" {
+			t.Fatalf("seed %d: route %q, want cache", s, route)
+		}
+	}
+	st := proxyStats(t, pts.URL)
+	if st.Cache.Hits != int64(len(seeds)) || st.Cache.Misses != int64(len(seeds)) {
+		t.Fatalf("cache counters hits=%d misses=%d, want %d/%d",
+			st.Cache.Hits, st.Cache.Misses, len(seeds), len(seeds))
+	}
+	if st.Version == "" || st.UptimeS <= 0 {
+		t.Fatalf("statsz missing identity: %+v", st)
+	}
+}
+
+// TestProxyConditionalRequests: a warm id answers 304 with an empty
+// body straight from the proxy cache; a cold id with a matching tag
+// still resolves cluster-wide before conceding the 304.
+func TestProxyConditionalRequests(t *testing.T) {
+	c := newTestCluster(t, 1)
+	_, pts := c.newProxy(t, Options{})
+
+	resp := postScenario(t, pts.URL, 311, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold request: status %d", resp.StatusCode)
+	}
+	etag := resp.Header.Get("ETag")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if etag == "" {
+		t.Fatal("no ETag on proxy response")
+	}
+
+	r304 := postScenario(t, pts.URL, 311, map[string]string{"If-None-Match": etag})
+	b, _ := io.ReadAll(r304.Body)
+	r304.Body.Close()
+	if r304.StatusCode != http.StatusNotModified || len(b) != 0 {
+		t.Fatalf("warm conditional: status %d body %d bytes, want 304 empty", r304.StatusCode, len(b))
+	}
+	if r304.Header.Get("X-Sweepd-Proxy-Cache") != "hit" {
+		t.Fatal("warm conditional did not come from the proxy cache")
+	}
+
+	st := proxyStats(t, pts.URL)
+	if st.Cache.NotModified != 1 {
+		t.Fatalf("not_modified=%d, want 1", st.Cache.NotModified)
+	}
+
+	// Stale tag on a warm id: full body.
+	rFull := postScenario(t, pts.URL, 311, map[string]string{"If-None-Match": `"stale"`})
+	b, _ = io.ReadAll(rFull.Body)
+	rFull.Body.Close()
+	if rFull.StatusCode != http.StatusOK || len(b) == 0 {
+		t.Fatalf("stale conditional: status %d body %d bytes", rFull.StatusCode, len(b))
+	}
+}
+
+// TestProxyMissFallsThroughAndHonorsRetryAfter: an unreplicated
+// scenario sheds off the store-only replica and lands on the writer;
+// the shed replica is then backed off for its advertised Retry-After,
+// so an immediate second miss skips it entirely.
+func TestProxyMissFallsThroughAndHonorsRetryAfter(t *testing.T) {
+	c := newTestCluster(t, 1)
+	_, pts := c.newProxy(t, Options{CacheEntries: -1}) // no response cache: every request routes
+
+	resp := postScenario(t, pts.URL, 321, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("miss through proxy: status %d", resp.StatusCode)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if route := resp.Header.Get("X-Sweepd-Route"); route != c.writerTS.URL {
+		t.Fatalf("miss routed to %q, want the writer %q", route, c.writerTS.URL)
+	}
+	st := proxyStats(t, pts.URL)
+	if len(st.Replicas) != 1 || st.Replicas[0].Shed != 1 || st.Replicas[0].Requests != 1 {
+		t.Fatalf("replica counters after one miss: %+v", st.Replicas)
+	}
+	if !st.Replicas[0].BackingOff {
+		t.Fatal("shed replica is not backing off despite Retry-After")
+	}
+
+	// Second miss, same shard (same scenario, cache disabled): the
+	// replica must not see the request while backing off.
+	resp = postScenario(t, pts.URL, 321, nil)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second miss: status %d", resp.StatusCode)
+	}
+	st = proxyStats(t, pts.URL)
+	if st.Replicas[0].Requests != 1 {
+		t.Fatalf("backed-off replica saw %d requests, want still 1", st.Replicas[0].Requests)
+	}
+}
+
+// TestProxyHealthEjectReadmit: a replica that fails /healthz is
+// ejected — requests route around it — and readmitted when it answers
+// again, with both transitions counted.
+func TestProxyHealthEjectReadmit(t *testing.T) {
+	c := newTestCluster(t, 2)
+	resp := postScenario(t, c.writerTS.URL, 331, nil)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	c.sync(t)
+
+	p, pts := c.newProxy(t, Options{CacheEntries: -1})
+	c.flaky[0].down.Store(true)
+	p.CheckHealth(context.Background())
+	st := proxyStats(t, pts.URL)
+	downURL := c.replicaTS[0].URL
+	for _, m := range st.Replicas {
+		if m.URL == downURL && (m.Healthy || m.Ejects != 1) {
+			t.Fatalf("downed replica not ejected: %+v", m)
+		}
+		if m.URL != downURL && !m.Healthy {
+			t.Fatalf("healthy replica ejected: %+v", m)
+		}
+	}
+
+	// Requests still serve (other replica or writer), never the downed
+	// member.
+	for i := 0; i < 3; i++ {
+		r := postScenario(t, pts.URL, 331, nil)
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("request %d during outage: status %d", i, r.StatusCode)
+		}
+		if route := r.Header.Get("X-Sweepd-Route"); route == downURL {
+			t.Fatalf("request %d routed to the ejected replica", i)
+		}
+	}
+
+	c.flaky[0].down.Store(false)
+	p.CheckHealth(context.Background())
+	st = proxyStats(t, pts.URL)
+	for _, m := range st.Replicas {
+		if m.URL == downURL && (!m.Healthy || m.Readmits != 1) {
+			t.Fatalf("recovered replica not readmitted: %+v", m)
+		}
+	}
+}
+
+// TestProxySweepByteIdenticalAcrossFailure: a sweep through the proxy
+// over two replicas is byte-identical to the engine's own JSONL export,
+// cold (everything falls through to the writer) and with one replica
+// down (failover mid-fan-out) alike.
+func TestProxySweepByteIdenticalAcrossFailure(t *testing.T) {
+	g := sweep.Grid{Seeds: []uint64{341, 342}, EdgeUPF: []bool{false, true}}
+	res, err := sweep.Run(g, sweep.Options{Workers: 2, Cache: sweep.NewCache()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := res.ExportJSONL()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := newTestCluster(t, 2)
+	_, pts := c.newProxy(t, Options{})
+	spec := `{"seeds":[341,342],"edge_upf":[false,true]}`
+
+	sweepBytes := func() []byte {
+		t.Helper()
+		resp, err := http.Post(pts.URL+"/v1/sweep", "application/json", strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			t.Fatalf("sweep status %d: %s", resp.StatusCode, b)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	if got := sweepBytes(); !bytes.Equal(got, want) {
+		t.Fatalf("cold proxy sweep differs from engine export (%d vs %d bytes)", len(got), len(want))
+	}
+	// Replicate, then knock one replica out: the fan-out must fail over
+	// and still assemble the identical stream.
+	c.sync(t)
+	c.flaky[1].down.Store(true)
+	if got := sweepBytes(); !bytes.Equal(got, want) {
+		t.Fatalf("degraded proxy sweep differs from engine export")
+	}
+}
+
+// TestProxyRejectsBadRequests: malformed axes and oversized grids fail
+// at the proxy without touching a backend.
+func TestProxyRejectsBadRequests(t *testing.T) {
+	c := newTestCluster(t, 0)
+	_, pts := c.newProxy(t, Options{Replicas: []string{}, MaxGridScenarios: 4})
+
+	resp, err := http.Post(pts.URL+"/v1/scenario", "application/json",
+		strings.NewReader(`{"seed":1,"bogus":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: status %d, want 400", resp.StatusCode)
+	}
+
+	resp, err = http.Post(pts.URL+"/v1/sweep", "application/json",
+		strings.NewReader(`{"seeds":[1,2,3],"edge_upf":[false,true]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized grid: status %d, want 413", resp.StatusCode)
+	}
+
+	st := proxyStats(t, pts.URL)
+	if st.Writer.Requests != 0 {
+		t.Fatalf("rejected requests reached the writer %d times", st.Writer.Requests)
+	}
+}

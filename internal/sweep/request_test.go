@@ -185,3 +185,49 @@ func TestRunEachEmitErrorCancelsSweep(t *testing.T) {
 		t.Fatalf("emit ran %d times, want 2", calls)
 	}
 }
+
+// TestAxesOfRoundTripsScenarioIDs: every cell of a grid that exercises
+// all axis kinds re-describes (AxesOf), re-resolves (Scenario), and
+// lands on the same content hash — the invariant that lets a routing
+// layer fan a sweep out as independent per-scenario requests.
+func TestAxesOfRoundTripsScenarioIDs(t *testing.T) {
+	spec := GridSpec{
+		Seeds:         []uint64{1, 9},
+		EdgeUPF:       []bool{false, true},
+		Slicing:       []string{"none", "latency"},
+		ARDeployments: []string{"none", "5G-edge-upf"},
+	}
+	g, err := spec.Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs, err := g.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range scs {
+		ax := AxesOf(sc.Config)
+		re, err := ax.Scenario()
+		if err != nil {
+			t.Fatalf("scenario %d (%s): re-resolve: %v", sc.Index, sc.ID, err)
+		}
+		if re.ID != sc.ID || re.Variant != sc.Variant {
+			t.Fatalf("scenario %d: AxesOf round-trip changed identity: %s/%s -> %s/%s",
+				sc.Index, sc.ID, sc.Variant, re.ID, re.Variant)
+		}
+		// And the axes survive a JSON round-trip (they travel as a
+		// request body).
+		b, err := json.Marshal(ax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Axes
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		re2, err := back.Scenario()
+		if err != nil || re2.ID != sc.ID {
+			t.Fatalf("scenario %d: JSON round-trip changed identity (%v)", sc.Index, err)
+		}
+	}
+}

@@ -10,14 +10,21 @@
 //
 //	POST /v1/scenario   axes JSON (sweep.Axes) -> one JSONL record,
 //	                    served from the store or simulated on miss;
-//	                    X-Sweepd-Cache: hit|miss
+//	                    X-Sweepd-Cache: hit|miss. Scenario IDs are
+//	                    content hashes, so the ID is the ETag: warm
+//	                    If-None-Match requests answer 304 with no body
 //	POST /v1/sweep      grid JSON (sweep.GridSpec) -> chunked JSONL
 //	                    stream in grid order, byte-identical to
 //	                    cmd/sweep -out for the same grid
 //	POST /v1/deltas     grid JSON -> recommendation deltas over the
 //	                    completed grid (edge UPF, peering, slicing)
+//	GET  /v1/segments   store segment manifest + generation cursor
+//	                    (304 when ?cursor matches); the writer side of
+//	                    segment-shipping replication
+//	GET  /v1/segments/file?shard=..&seg=..  raw segment bytes
 //	GET  /healthz       liveness + record count
-//	GET  /statsz        hit/miss/inflight/shed/latency counters
+//	GET  /statsz        hit/miss/inflight/shed/latency counters, build
+//	                    version, uptime, replication lag when following
 //
 // # Backpressure
 //
@@ -52,10 +59,13 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/campaign"
 	"repro/internal/sweep"
 	"repro/internal/sweep/store"
@@ -94,6 +104,10 @@ type Options struct {
 	CacheDir string
 	// Compact stores summary-only records (meaningful with CacheDir).
 	Compact bool
+	// SegmentBytes overrides the store's segment-rotation threshold
+	// (meaningful with CacheDir; 0 keeps the store default). Small
+	// values exercise rotation; replication tests lean on it.
+	SegmentBytes int64
 	// SimWorkers bounds concurrently running simulations across all
 	// requests (default GOMAXPROCS).
 	SimWorkers int
@@ -110,6 +124,10 @@ type Options struct {
 	// Runner simulates one scenario on an admitted miss (default
 	// campaign.Run). Tests stub it to count or block simulations.
 	Runner func(campaign.Config) (*campaign.Result, error)
+	// RetryAfter is the Retry-After hint, in seconds, attached to 429
+	// shed responses (default 1). Routing layers read it to decide how
+	// long to back a shed replica off before retrying it.
+	RetryAfter int
 }
 
 // endpoint aggregates one route's request and latency counters.
@@ -148,13 +166,20 @@ func (e *endpoint) snapshot() EndpointStats {
 
 // Stats is the /statsz payload.
 type Stats struct {
-	UptimeS  float64       `json:"uptime_s"`
+	UptimeS float64 `json:"uptime_s"`
+	// Version is the build identity (module version or VCS revision),
+	// so fleet tooling can assert what is actually deployed.
+	Version  string        `json:"version"`
 	Scenario EndpointStats `json:"scenario"`
 	Sweep    EndpointStats `json:"sweep"`
 	Deltas   EndpointStats `json:"deltas"`
+	Segments EndpointStats `json:"segments"`
 	Cache    struct {
 		Hits        int64 `json:"hits"`
 		Misses      int64 `json:"misses"`
+		// NotModified counts conditional /v1/scenario requests answered
+		// 304 from warmth alone — no record read, no body sent.
+		NotModified int64 `json:"not_modified"`
 		StoreErrors int64 `json:"store_errors"`
 	} `json:"cache"`
 	Sim struct {
@@ -171,6 +196,10 @@ type Stats struct {
 		Jobs int   `json:"jobs"`
 		Shed int64 `json:"shed"`
 	} `json:"grid"`
+	// Replication carries the follower's pull-loop stats (segments
+	// behind the writer, bytes shipped) when this process runs in
+	// -follow mode; absent on writers and standalone servers.
+	Replication any `json:"replication,omitempty"`
 }
 
 // Server is the resident scenario-query service. Construct with New;
@@ -186,6 +215,11 @@ type Server struct {
 	simWorkers int
 	queueDepth int
 	maxGrid    int
+	retryAfter string
+
+	// replStats, when set (SetReplicationStats), is snapshotted into
+	// Stats.Replication; the follower's replicator installs it.
+	replStats atomic.Pointer[func() any]
 
 	admit chan struct{} // admission: queued + running simulations
 	slots chan struct{} // running simulations
@@ -195,9 +229,9 @@ type Server struct {
 	hs    *http.Server
 	start time.Time
 
-	scenarioEP, sweepEP, deltasEP endpoint
-	hits, misses, shed, gridShed  atomic.Int64
-	inflight, queued              atomic.Int64
+	scenarioEP, sweepEP, deltasEP, segmentsEP endpoint
+	hits, misses, shed, gridShed              atomic.Int64
+	notModified, inflight, queued             atomic.Int64
 }
 
 // New builds a Server from opts (see Options for defaults).
@@ -219,9 +253,17 @@ func New(opts Options) (*Server, error) {
 	if s.maxGrid <= 0 {
 		s.maxGrid = DefaultMaxGridScenarios
 	}
+	if opts.RetryAfter < 0 {
+		return nil, fmt.Errorf("serve: RetryAfter must be >= 0, got %d", opts.RetryAfter)
+	}
+	retryAfter := opts.RetryAfter
+	if retryAfter == 0 {
+		retryAfter = 1
+	}
+	s.retryAfter = fmt.Sprint(retryAfter)
 	if s.cache == nil {
 		if opts.CacheDir != "" {
-			st, err := store.Open(opts.CacheDir, store.Options{Compact: opts.Compact})
+			st, err := store.Open(opts.CacheDir, store.Options{Compact: opts.Compact, SegmentBytes: opts.SegmentBytes})
 			if err != nil {
 				return nil, err
 			}
@@ -258,6 +300,8 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("/v1/scenario", s.handleScenario)
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("/v1/deltas", s.handleDeltas)
+	s.mux.HandleFunc("/v1/segments", s.handleSegments)
+	s.mux.HandleFunc("/v1/segments/file", s.handleSegmentFile)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/statsz", s.handleStatsz)
 	s.hs = &http.Server{Handler: s.mux}
@@ -352,12 +396,16 @@ func decode(w http.ResponseWriter, r *http.Request, v any) bool {
 }
 
 func httpError(w http.ResponseWriter, code int, msg string) {
-	if code == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", "1")
-	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// shed429 rejects a request with 429 and the configured Retry-After
+// hint — the one header routing layers key their backoff on.
+func (s *Server) shed429(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", s.retryAfter)
+	httpError(w, http.StatusTooManyRequests, msg)
 }
 
 func requirePost(w http.ResponseWriter, r *http.Request) bool {
@@ -386,10 +434,24 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	// Scenario IDs are content hashes of the canonical config, so the ID
+	// is the record's ETag: a conditional request for a warm id needs no
+	// record read and no body — the client's copy is current by
+	// construction (records are immutable once acknowledged). Cold ids
+	// fall through to the full path: a 304 would vouch for bytes this
+	// server never produced.
+	etag := `"` + sc.ID + `"`
+	if inm := r.Header.Get("If-None-Match"); etagMatch(inm, etag) && s.cache.Contains(sc.ID) {
+		s.notModified.Add(1)
+		w.Header().Set("ETag", etag)
+		w.Header().Set("X-Sweepd-Cache", "hit")
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
 	res, cached, err := s.cache.GetOrRunReport(sc.Config)
 	switch {
 	case errors.Is(err, ErrShed):
-		httpError(w, http.StatusTooManyRequests, "simulation queue full; retry later")
+		s.shed429(w, "simulation queue full; retry later")
 		return
 	case err != nil:
 		// Simulation errors are deterministic config errors (an
@@ -405,8 +467,26 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 		s.misses.Add(1)
 		w.Header().Set("X-Sweepd-Cache", "miss")
 	}
+	w.Header().Set("ETag", etag)
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(sweep.RecordOf(sweep.ScenarioRun{Scenario: sc, Cached: cached, Result: res}))
+}
+
+// etagMatch reports whether an If-None-Match header names the given
+// entity tag: any listed tag (weak validators compare equal for GET
+// semantics) or the wildcard.
+func etagMatch(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		part = strings.TrimPrefix(part, "W/")
+		if part == "*" || part == etag {
+			return true
+		}
+	}
+	return false
 }
 
 // parseGrid decodes and resolves a grid request, applying the size cap
@@ -442,7 +522,7 @@ func (s *Server) acquireGridJob(w http.ResponseWriter) bool {
 		return true
 	default:
 		s.gridShed.Add(1)
-		httpError(w, http.StatusTooManyRequests, "too many concurrent grid requests; retry later")
+		s.shed429(w, "too many concurrent grid requests; retry later")
 		return false
 	}
 }
@@ -486,11 +566,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		if emitted == 0 {
 			// Nothing streamed yet: a proper status line is still
 			// possible.
-			code := http.StatusBadRequest
 			if errors.Is(err, ErrShed) {
-				code = http.StatusTooManyRequests
+				s.shed429(w, err.Error())
+			} else {
+				httpError(w, http.StatusBadRequest, err.Error())
 			}
-			httpError(w, code, err.Error())
 			return
 		}
 		// Mid-stream failure: the status line is gone; abort the
@@ -532,11 +612,11 @@ func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
 
 	res, err := sweep.Run(g, sweep.Options{Workers: s.simWorkers, Cache: s.cache})
 	if err != nil {
-		code := http.StatusBadRequest
 		if errors.Is(err, ErrShed) {
-			code = http.StatusTooManyRequests
+			s.shed429(w, err.Error())
+		} else {
+			httpError(w, http.StatusBadRequest, err.Error())
 		}
-		httpError(w, code, err.Error())
 		return
 	}
 	s.hits.Add(int64(res.CacheHits))
@@ -555,6 +635,93 @@ func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// SegmentManifest is the /v1/segments payload: the store's replication
+// cursor plus every segment file with its committed size. A follower
+// diffs it against its own manifest and ships exactly the files that
+// differ; the index is never shipped (followers re-derive it from the
+// same bytes).
+type SegmentManifest struct {
+	Generation int64               `json:"generation"`
+	Segments   []store.SegmentInfo `json:"segments"`
+}
+
+// handleSegments serves the segment manifest — the writer side of
+// segment-shipping replication. ?cursor=<generation> short-circuits an
+// unchanged store to 304, so idle pollers cost one int compare.
+func (s *Server) handleSegments(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	defer func() { s.segmentsEP.observe(time.Since(t0)) }()
+	if !requireGet(w, r) {
+		return
+	}
+	if s.st == nil {
+		httpError(w, http.StatusNotFound, "no store attached; segment shipping needs -cache-dir")
+		return
+	}
+	gen, segs := s.st.Manifest()
+	if c := r.URL.Query().Get("cursor"); c != "" {
+		if cur, err := strconv.ParseInt(c, 10, 64); err == nil && cur == gen {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
+	if segs == nil {
+		segs = []store.SegmentInfo{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(SegmentManifest{Generation: gen, Segments: segs})
+}
+
+// handleSegmentFile streams one segment's raw bytes. A segment that
+// vanished between manifest and fetch (compaction won the race) is a
+// 404 the follower resolves by re-polling the manifest.
+func (s *Server) handleSegmentFile(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	defer func() { s.segmentsEP.observe(time.Since(t0)) }()
+	if !requireGet(w, r) {
+		return
+	}
+	if s.st == nil {
+		httpError(w, http.StatusNotFound, "no store attached; segment shipping needs -cache-dir")
+		return
+	}
+	q := r.URL.Query()
+	seg, err := strconv.Atoi(q.Get("seg"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "seg must be an integer")
+		return
+	}
+	data, err := s.st.ReadSegment(q.Get("shard"), seg)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Write(data)
+}
+
+func requireGet(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return false
+	}
+	return true
+}
+
+// Store returns the disk store the server owns (nil when serving a
+// caller-supplied cache or a memory-only one). Follower processes hand
+// it to the replication pull loop so ingested segments land in the same
+// instance the handlers read.
+func (s *Server) Store() *store.Store { return s.st }
+
+// SetReplicationStats installs a snapshot function whose result is
+// embedded in /statsz as "replication" — the follower's pull loop
+// reports its lag through this.
+func (s *Server) SetReplicationStats(fn func() any) {
+	s.replStats.Store(&fn)
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	payload := map[string]any{
 		"status":   "ok",
@@ -571,12 +738,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	var st Stats
 	st.UptimeS = time.Since(s.start).Seconds()
+	st.Version = buildinfo.Version()
 	st.Scenario = s.scenarioEP.snapshot()
 	st.Sweep = s.sweepEP.snapshot()
 	st.Deltas = s.deltasEP.snapshot()
+	st.Segments = s.segmentsEP.snapshot()
 	st.Cache.Hits = s.hits.Load()
 	st.Cache.Misses = s.misses.Load()
+	st.Cache.NotModified = s.notModified.Load()
 	st.Cache.StoreErrors = s.cache.StoreErrors()
+	if fn := s.replStats.Load(); fn != nil {
+		st.Replication = (*fn)()
+	}
 	st.Sim.Workers = s.simWorkers
 	st.Sim.QueueDepth = s.queueDepth
 	st.Sim.Inflight = s.inflight.Load()

@@ -515,3 +515,221 @@ func TestGridJobLimitSheds(t *testing.T) {
 	}
 	resp.Body.Close()
 }
+
+// TestScenarioETagSemantics is the conditional-request contract:
+// responses carry the scenario ID as their ETag, If-None-Match on a
+// warm id answers 304 with an empty body (accounted in statsz), and a
+// cold id ignores the precondition and serves the full record — a 304
+// must never vouch for bytes the server never produced.
+func TestScenarioETagSemantics(t *testing.T) {
+	srv, err := New(Options{SimWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp := post(t, ts.Client(), ts.URL+"/v1/scenario", `{"seed":61}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warming request: status %d", resp.StatusCode)
+	}
+	etag := resp.Header.Get("ETag")
+	body := readAll(t, resp)
+	var rec sweep.Record
+	if err := json.Unmarshal(body, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if etag != `"`+rec.Scenario+`"` {
+		t.Fatalf("ETag %q does not quote the scenario id %q", etag, rec.Scenario)
+	}
+
+	conditional := func(seed int, inm string) *http.Response {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/scenario",
+			strings.NewReader(fmt.Sprintf(`{"seed":%d}`, seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("If-None-Match", inm)
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Warm id + matching tag: 304, no body.
+	r304 := conditional(61, etag)
+	if r304.StatusCode != http.StatusNotModified {
+		t.Fatalf("warm conditional: status %d, want 304", r304.StatusCode)
+	}
+	if got := readAll(t, r304); len(got) != 0 {
+		t.Fatalf("304 carried a %d-byte body", len(got))
+	}
+	if got := r304.Header.Get("ETag"); got != etag {
+		t.Fatalf("304 ETag %q, want %q", got, etag)
+	}
+
+	// Warm id + stale tag: full body again.
+	rFull := conditional(61, `"deadbeef"`)
+	if rFull.StatusCode != http.StatusOK {
+		t.Fatalf("stale-tag conditional: status %d, want 200", rFull.StatusCode)
+	}
+	if !bytes.Equal(readAll(t, rFull), body) {
+		t.Fatal("stale-tag conditional served different bytes")
+	}
+
+	// Cold id + matching tag: the precondition cannot exempt the server
+	// from producing the record — full body, then the id is warm.
+	coldAxes := `{"seed":62}`
+	var coldID string
+	{
+		ax := sweep.Axes{Seed: 62}
+		sc, err := ax.Scenario()
+		if err != nil {
+			t.Fatal(err)
+		}
+		coldID = sc.ID
+	}
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/scenario", strings.NewReader(coldAxes))
+	req.Header.Set("If-None-Match", `"`+coldID+`"`)
+	rCold, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rCold.StatusCode != http.StatusOK {
+		t.Fatalf("cold conditional: status %d, want 200 (must simulate, not vouch)", rCold.StatusCode)
+	}
+	readAll(t, rCold)
+
+	var st Stats
+	sresp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if st.Cache.NotModified != 1 {
+		t.Fatalf("statsz counts %d not-modified, want 1", st.Cache.NotModified)
+	}
+	if st.Version == "" {
+		t.Fatal("statsz must report a build version")
+	}
+	if st.UptimeS <= 0 {
+		t.Fatal("statsz must report uptime")
+	}
+}
+
+// TestRetryAfterConfigurable: the 429 Retry-After hint follows
+// Options.RetryAfter on both shed paths (simulation queue and grid-job
+// table), and a negative value is rejected at construction.
+func TestRetryAfterConfigurable(t *testing.T) {
+	if _, err := New(Options{RetryAfter: -1}); err == nil {
+		t.Fatal("negative RetryAfter must be rejected")
+	}
+	srv, err := New(Options{QueueDepth: -1, RetryAfter: 7, MaxGridJobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Store-only replica with no store dir: every miss sheds.
+	resp := post(t, ts.Client(), ts.URL+"/v1/scenario", `{"seed":71}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "7" {
+		t.Fatalf("Retry-After %q, want \"7\"", got)
+	}
+	resp.Body.Close()
+}
+
+// TestSegmentFeed: the writer-side replication feed — manifest with a
+// working 304 cursor, raw segment bytes identical to the files on
+// disk, traversal-shaped refs rejected, and 404 without a store.
+func TestSegmentFeed(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := New(Options{CacheDir: dir, SimWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp := post(t, ts.Client(), ts.URL+"/v1/scenario", `{"seed":81}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warming request: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	mresp, err := http.Get(ts.URL + "/v1/segments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man SegmentManifest
+	if err := json.NewDecoder(mresp.Body).Decode(&man); err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if len(man.Segments) != 1 || man.Generation <= 0 {
+		t.Fatalf("unexpected manifest: %+v", man)
+	}
+	si := man.Segments[0]
+
+	// Cursor match short-circuits to 304.
+	c304, err := http.Get(fmt.Sprintf("%s/v1/segments?cursor=%d", ts.URL, man.Generation))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c304.Body.Close()
+	if c304.StatusCode != http.StatusNotModified {
+		t.Fatalf("matching cursor: status %d, want 304", c304.StatusCode)
+	}
+
+	// Segment bytes round-trip exactly.
+	fresp, err := http.Get(fmt.Sprintf("%s/v1/segments/file?shard=%s&seg=%d", ts.URL, si.Shard, si.Seg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readAll(t, fresp)
+	want, err := srv.Store().ReadSegment(si.Shard, si.Seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(got)) != si.Size || !bytes.Equal(got, want) {
+		t.Fatalf("served segment differs from disk (%d vs %d bytes)", len(got), si.Size)
+	}
+
+	for _, q := range []string{"shard=..&seg=0", "shard=zz&seg=0", "shard=" + si.Shard + "&seg=-1", "shard=" + si.Shard + "&seg=x"} {
+		r, err := http.Get(ts.URL + "/v1/segments/file?" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusBadRequest && r.StatusCode != http.StatusNotFound {
+			t.Errorf("query %q: status %d, want 400/404", q, r.StatusCode)
+		}
+	}
+
+	// A storeless server has nothing to ship.
+	mem, err := New(Options{SimWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mem.Close()
+	ms := httptest.NewServer(mem.Handler())
+	defer ms.Close()
+	r, err := http.Get(ms.URL + "/v1/segments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("storeless manifest: status %d, want 404", r.StatusCode)
+	}
+}

@@ -178,6 +178,11 @@ type Store struct {
 	loc    map[string]location    // id -> live record location
 	shards map[string]*shardState // shard -> append state
 	index  *os.File               // append handle for index.jsonl
+	// gen is the replication cursor: it moves on every mutation, and
+	// appends move it by the bytes they wrote so it stays comparable
+	// across restarts (Open re-initializes it to the store's total
+	// segment bytes). See replica.go.
+	gen int64
 
 	// compactMu serializes Compact passes. Compact releases mu between
 	// shards so live Put/Get traffic interleaves with a long pass, but
@@ -251,7 +256,22 @@ func Open(dir string, opt Options) (*Store, error) {
 		}
 		s.index = idx
 	}
+	// Seed the generation cursor from the bytes on disk, so a reopened
+	// writer whose segments are unchanged reports the same cursor a
+	// replica last synced at (see replica.go).
+	for _, si := range s.manifestLocked() {
+		s.gen += si.Size
+	}
 	return s, nil
+}
+
+// bumpGenLocked advances the replication cursor by delta bytes (at
+// least one, so every mutation is observable).
+func (s *Store) bumpGenLocked(delta int64) {
+	if delta <= 0 {
+		delta = 1
+	}
+	s.gen += delta
 }
 
 // shardOf maps an id to its shard directory: the id's own first two hex
@@ -428,10 +448,8 @@ func (s *Store) scanSegment(shard string, seg int) error {
 			if payload[len(payload)-1] == '\n' {
 				payload = payload[:len(payload)-1]
 			}
-			var rec record
-			if json.Unmarshal(payload, &rec) == nil && rec.V == FormatVersion &&
-				validID(rec.ID) == nil && shardOf(rec.ID) == shard {
-				s.loc[rec.ID] = location{shard: shard, seg: seg, off: off, n: int64(len(payload))}
+			if id, ok := parseRecordLine(payload, shard); ok {
+				s.loc[id] = location{shard: shard, seg: seg, off: off, n: int64(len(payload))}
 			}
 			off += n
 		}
@@ -442,6 +460,18 @@ func (s *Store) scanSegment(shard string, seg int) error {
 			return fmt.Errorf("store: scan segment: %w", err)
 		}
 	}
+}
+
+// parseRecordLine validates one segment line as a live record of the
+// given shard, returning its id. Garbage lines (crash debris, foreign
+// versions, misfiled ids) report false and stay dead bytes.
+func parseRecordLine(payload []byte, shard string) (string, bool) {
+	var rec record
+	if json.Unmarshal(payload, &rec) != nil || rec.V != FormatVersion ||
+		validID(rec.ID) != nil || shardOf(rec.ID) != shard {
+		return "", false
+	}
+	return rec.ID, true
 }
 
 // migrateV1 folds a v1 one-file-per-record layout (records/<id>.json)
@@ -657,16 +687,23 @@ func (s *Store) Put(id string, res *campaign.Result) error {
 	if err != nil {
 		return fmt.Errorf("store: commit %s: %w", id, err)
 	}
-	if s.index != nil {
-		// A failed append is tolerated: the record is committed and
-		// serves this process; the next Open misses it and re-simulates.
-		ie, _ := json.Marshal(indexEntry{
-			V: indexVersion, ID: id, Shard: l.shard, Seg: l.seg, Off: l.off, Len: l.n,
-		})
-		s.index.Write(append(ie, '\n'))
-	}
+	s.appendIndexLocked(id, l)
 	s.loc[id] = l
 	return nil
+}
+
+// appendIndexLocked appends one sidecar line for a freshly located
+// record. A failed append is tolerated: the record is committed and
+// serves this process; the next Open misses it and re-simulates (or,
+// on a replica, re-ingests).
+func (s *Store) appendIndexLocked(id string, l location) {
+	if s.index == nil {
+		return
+	}
+	ie, _ := json.Marshal(indexEntry{
+		V: indexVersion, ID: id, Shard: l.shard, Seg: l.seg, Off: l.off, Len: l.n,
+	})
+	s.index.Write(append(ie, '\n'))
 }
 
 // appendLocked writes one record line to the id's shard tail segment
@@ -713,6 +750,7 @@ func (s *Store) appendLocked(id string, line []byte) (location, error) {
 		return location{}, err
 	}
 	l := location{shard: shard, seg: ss.tailSeg, off: off, n: int64(len(line))}
+	s.bumpGenLocked(int64(len(line)) + 1)
 	if off+int64(len(line))+1 >= s.segBytes {
 		ss.tail.Close()
 		ss.tail = nil
@@ -781,6 +819,7 @@ func (s *Store) Compact() (CompactStats, error) {
 	// a crash in between leaves superseded duplicates, never a hole.
 	s.mu.Lock()
 	err := s.rewriteIndexLocked()
+	s.bumpGenLocked(1) // compaction moved records; pollers must re-diff
 	s.mu.Unlock()
 	if err != nil {
 		return stats, err

@@ -26,14 +26,20 @@ import (
 	"fmt"
 
 	"repro/internal/argame"
+	"repro/internal/buildinfo"
 	"repro/internal/campaign"
 	"repro/internal/experiments"
 	"repro/internal/recommend"
 	"repro/internal/slicing"
 	"repro/internal/sweep"
+	"repro/internal/sweep/cluster"
 	"repro/internal/sweep/serve"
 	"repro/internal/sweep/store"
 )
+
+// Version reports the build identity (module version or VCS revision)
+// every binary's -version flag and every daemon's /statsz share.
+func Version() string { return buildinfo.Version() }
 
 // CampaignConfig parameterizes the measurement campaign. The zero value
 // plus a seed reproduces the paper's setup: three mobile nodes, eight
@@ -127,6 +133,39 @@ func ServeSweep(addr string, opts ServeOptions) error {
 	}
 	defer s.Close()
 	return s.ListenAndServe(addr)
+}
+
+// ProxyOptions configures the cluster routing proxy (writer URL, read
+// replicas, health-probe interval, response-cache bound).
+type ProxyOptions = cluster.Options
+
+// SweepProxy is the cluster front door: it routes /v1/scenario by
+// scenario-ID hash over a consistent ring of read replicas (falling
+// through to the writer on miss), fans /v1/sweep out scenario by
+// scenario and merges the stream back in grid order byte-identical to
+// a single sweepd, health-checks replicas with eject/readmit, and
+// answers conditional requests from an ETag-keyed response cache.
+// cmd/sweep-proxy is the packaged daemon.
+type SweepProxy = cluster.Proxy
+
+// NewSweepProxy builds the routing proxy without binding a socket.
+func NewSweepProxy(opts ProxyOptions) (*SweepProxy, error) {
+	return cluster.NewProxy(opts)
+}
+
+// ReplicatorOptions configures a replica's segment-shipping pull loop.
+type ReplicatorOptions = cluster.ReplicatorOptions
+
+// SweepReplicator keeps one replica's sweep store converging on a
+// writer sweepd's bytes by shipping whole segments off its
+// /v1/segments feed. cmd/sweepd -follow runs one next to a store-only
+// serve layer.
+type SweepReplicator = cluster.Replicator
+
+// NewSweepReplicator builds a replicator over an open store; Start
+// launches the pull loop.
+func NewSweepReplicator(opts ReplicatorOptions) (*SweepReplicator, error) {
+	return cluster.NewReplicator(opts)
 }
 
 // UseDiskCache persists the shared result cache to dir: campaigns
