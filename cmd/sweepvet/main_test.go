@@ -1,0 +1,44 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateFlagsRejectsNonsense(t *testing.T) {
+	cases := []struct {
+		name    string
+		version bool
+		list    bool
+		jsonOut bool
+		run     string
+		args    []string
+		wantErr string
+	}{
+		{"defaults", false, false, false, "", nil, ""},
+		{"patterns", false, false, false, "", []string{"./..."}, ""},
+		{"json", false, false, true, "", []string{"./internal/sweep/..."}, ""},
+		{"run-subset", false, false, false, "determinism,closecheck", []string{"./..."}, ""},
+		{"list", false, true, false, "", nil, ""},
+		{"version", true, false, false, "", nil, ""},
+		{"unit-cfg", false, false, false, "", []string{"/tmp/vet073/unit.cfg"}, ""},
+		{"version-and-list", true, true, false, "", nil, "-version stands alone"},
+		{"version-and-json", true, false, true, "", nil, "-version stands alone"},
+		{"version-and-args", true, false, false, "", []string{"./..."}, "-version stands alone"},
+		{"unknown-analyzer", false, false, false, "nosuch", []string{"./..."}, `unknown analyzer "nosuch"`},
+		{"list-with-args", false, true, false, "", []string{"./..."}, "-list takes no package patterns"},
+		{"cfg-plus-patterns", false, false, false, "", []string{"unit.cfg", "./..."}, "exactly one .cfg"},
+	}
+	for _, c := range cases {
+		err := validateFlags(c.version, c.list, c.jsonOut, c.run, c.args)
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: got %v, want error containing %q", c.name, err, c.wantErr)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// appendOnlyBaseline names the campaign.Config fields that existed when
+// the scenario-hash format was frozen (PR 1's seven axes). These hash
+// unconditionally — reshaping how they fold in would orphan every
+// deployed cache directory, which the golden-ID tests pin. Every field
+// added since must fold in append-only: referenced in hashConfig only
+// under a guard that tests the field against its default, so a config
+// without the new axis mints the exact pre-axis ID.
+var appendOnlyBaseline = map[string]bool{
+	"Seed": true, "MobileNodes": true, "Profile": true,
+	"LocalPeering": true, "EdgeUPF": true, "TargetCells": true,
+	"WiredRounds": true,
+}
+
+// AppendOnlyHash turns the hashedConfigFields reflection test into a
+// compile-graph check with field-exact diagnostics. In any package that
+// declares both hashConfig (the scenario-identity fold) and the
+// hashedConfigFields pin, it verifies that the pin matches the config
+// struct's real field count, that every post-baseline field is folded
+// into the hash at all, and that every fold of a post-baseline field
+// sits behind a non-default guard (`if c.Field != zero { ... }`).
+var AppendOnlyHash = &Analyzer{
+	Name: "appendonlyhash",
+	Doc: "verify hashedConfigFields matches campaign.Config and that every " +
+		"post-baseline field folds into the scenario hash behind a non-default " +
+		"guard, so pre-existing cache directories keep serving 100% hits",
+	Run: runAppendOnlyHash,
+}
+
+func runAppendOnlyHash(pass *Pass) error {
+	if !inScope(pass.Pkg.Path(), "repro/internal") {
+		return nil
+	}
+	var hashFn *ast.FuncDecl
+	var pinIdent *ast.Ident
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.Name == "hashConfig" && d.Recv == nil {
+					hashFn = d
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						if name.Name == "hashedConfigFields" {
+							pinIdent = name
+						}
+					}
+				}
+			}
+		}
+	}
+	if hashFn == nil || pinIdent == nil {
+		return nil
+	}
+
+	cfgStruct, cfgNamed := hashConfigParamStruct(pass, hashFn)
+	if cfgStruct == nil {
+		return nil
+	}
+
+	// The pin must match the struct's true field count.
+	pinObj := pass.Info.Defs[pinIdent]
+	if c, ok := pinObj.(*types.Const); ok {
+		if v, exact := constant.Int64Val(c.Val()); exact && v != int64(cfgStruct.NumFields()) {
+			pass.Reportf(pinIdent.Pos(), "hashedConfigFields = %d but %s has %d fields: "+
+				"a field was added without extending hashConfig; fold it in behind a "+
+				"non-default guard and bump this pin", v, cfgNamed.Obj().Name(), cfgStruct.NumFields())
+		}
+	}
+
+	refs := fieldReferences(pass, hashFn, cfgNamed)
+	for i := 0; i < cfgStruct.NumFields(); i++ {
+		f := cfgStruct.Field(i)
+		if appendOnlyBaseline[f.Name()] {
+			continue
+		}
+		frefs := refs[f.Name()]
+		if len(frefs) == 0 {
+			pass.Reportf(f.Pos(), "field %s.%s is not folded into hashConfig: two "+
+				"configs differing only here would share a scenario ID and the cache "+
+				"would serve the wrong result; append it to the hash behind a "+
+				"non-default guard", cfgNamed.Obj().Name(), f.Name())
+			continue
+		}
+		for _, ref := range frefs {
+			if !ref.inCond && !ref.guarded {
+				pass.Reportf(ref.pos, "post-baseline field %s.%s is hashed "+
+					"unconditionally: every scenario ID minted before the field existed "+
+					"changes and old cache directories stop serving hits; guard the fold "+
+					"with `if` against the field's default value", cfgNamed.Obj().Name(), f.Name())
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// hashConfigParamStruct resolves hashConfig's first parameter to its
+// named struct type.
+func hashConfigParamStruct(pass *Pass, fn *ast.FuncDecl) (*types.Struct, *types.Named) {
+	if fn.Type.Params == nil || len(fn.Type.Params.List) == 0 {
+		return nil, nil
+	}
+	t := pass.Info.TypeOf(fn.Type.Params.List[0].Type)
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil
+	}
+	return st, named
+}
+
+// fieldRef is one x.Field selector inside hashConfig.
+type fieldRef struct {
+	pos token.Pos
+	// inCond: the reference is itself part of an if condition (it IS a
+	// guard, not a fold).
+	inCond bool
+	// guarded: the reference sits inside an if whose condition also
+	// references the same field.
+	guarded bool
+}
+
+// fieldReferences collects, per field name, every selector on a value of
+// the config type within fn's body, classifying each by its enclosing
+// if-statements.
+func fieldReferences(pass *Pass, fn *ast.FuncDecl, cfg *types.Named) map[string][]fieldRef {
+	refs := make(map[string][]fieldRef)
+	var ifStack []*ast.IfStmt
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		switch n := n.(type) {
+		case nil:
+		case *ast.IfStmt:
+			walkExpr(pass, cfg, n.Cond, refs, ifStack, true)
+			ifStack = append(ifStack, n)
+			walk(n.Body)
+			if n.Else != nil {
+				walk(n.Else)
+			}
+			ifStack = ifStack[:len(ifStack)-1]
+		case *ast.BlockStmt:
+			for _, s := range n.List {
+				walk(s)
+			}
+		default:
+			// Any other statement: scan its expressions in place.
+			ast.Inspect(n, func(m ast.Node) bool {
+				if _, isIf := m.(*ast.IfStmt); isIf && m != n {
+					walk(m)
+					return false
+				}
+				if sel, ok := m.(*ast.SelectorExpr); ok {
+					recordFieldRef(pass, cfg, sel, refs, ifStack, false)
+				}
+				return true
+			})
+		}
+	}
+	walk(fn.Body)
+	return refs
+}
+
+func walkExpr(pass *Pass, cfg *types.Named, e ast.Expr, refs map[string][]fieldRef, ifStack []*ast.IfStmt, inCond bool) {
+	ast.Inspect(e, func(m ast.Node) bool {
+		if sel, ok := m.(*ast.SelectorExpr); ok {
+			recordFieldRef(pass, cfg, sel, refs, ifStack, inCond)
+		}
+		return true
+	})
+}
+
+func recordFieldRef(pass *Pass, cfg *types.Named, sel *ast.SelectorExpr, refs map[string][]fieldRef, ifStack []*ast.IfStmt, inCond bool) {
+	selInfo, ok := pass.Info.Selections[sel]
+	if !ok || selInfo.Kind() != types.FieldVal {
+		return
+	}
+	recvT := selInfo.Recv()
+	if p, ok := recvT.(*types.Pointer); ok {
+		recvT = p.Elem()
+	}
+	named, ok := recvT.(*types.Named)
+	if !ok || named.Obj() != cfg.Obj() {
+		return
+	}
+	name := sel.Sel.Name
+	ref := fieldRef{pos: sel.Pos(), inCond: inCond}
+	for _, ifs := range ifStack {
+		if condMentionsField(pass, cfg, ifs.Cond, name) {
+			ref.guarded = true
+			break
+		}
+	}
+	refs[name] = append(refs[name], ref)
+}
+
+// condMentionsField reports whether an if condition references the given
+// field of the config type — the shape of a non-default guard.
+func condMentionsField(pass *Pass, cfg *types.Named, cond ast.Expr, field string) bool {
+	found := false
+	ast.Inspect(cond, func(m ast.Node) bool {
+		sel, ok := m.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != field {
+			return true
+		}
+		selInfo, ok := pass.Info.Selections[sel]
+		if !ok || selInfo.Kind() != types.FieldVal {
+			return true
+		}
+		recvT := selInfo.Recv()
+		if p, ok := recvT.(*types.Pointer); ok {
+			recvT = p.Elem()
+		}
+		if named, ok := recvT.(*types.Named); ok && named.Obj() == cfg.Obj() {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestAppendOnlyHash(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), analysis.AppendOnlyHash,
+		"repro/internal/vetbad_hash")
+}

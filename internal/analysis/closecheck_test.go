@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestCloseCheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), analysis.CloseCheck,
+		"repro/internal/sweep/store/vetbad_close")
+}

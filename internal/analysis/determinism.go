@@ -1,0 +1,255 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// determinismRoots are the packages whose output must be byte-identical
+// at any worker count: the sweep tree (engine, store, serve, cluster —
+// the stream a replica serves must equal the writer's bytes), the
+// campaign simulator, the DES core, and the stats/report layers every
+// exported number flows through.
+var determinismRoots = []string{
+	"repro/internal/sweep",
+	"repro/internal/campaign",
+	"repro/internal/des",
+	"repro/internal/stats",
+	"repro/internal/report",
+}
+
+// Determinism flags the three classic ways a diff silently breaks
+// byte-identical output: iterating a map in an order-sensitive way
+// (writing to an encoder/writer inside the loop, or accumulating a slice
+// that is never sorted), calling the global math/rand functions (seeded
+// process-wide, shared across goroutines — replication streams must come
+// from des.RNG sub-streams instead), and reading the wall clock
+// (time.Now/time.Since) outside explicitly annotated sites such as serve
+// latency counters.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "flag nondeterminism hazards (unordered map iteration reaching an encoder, " +
+		"global math/rand, unannotated time.Now) in packages that must produce " +
+		"byte-identical sweep output",
+	Run: runDeterminism,
+}
+
+// randConstructors are the math/rand package-level functions that build
+// explicit, seedable generators — deterministic by construction, so not
+// flagged.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// sinkMethods write bytes in call order: reaching one from inside a map
+// range makes the output depend on iteration order.
+var sinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true,
+	"WriteRune": true, "Encode": true,
+}
+
+// sortFuncs (package function name -> true) reorder a slice
+// deterministically, laundering map-iteration order out of it.
+var sortFuncs = map[string]bool{
+	"sort.Strings": true, "sort.Ints": true, "sort.Float64s": true,
+	"sort.Sort": true, "sort.Stable": true, "sort.Slice": true,
+	"sort.SliceStable": true,
+	"slices.Sort":      true, "slices.SortFunc": true,
+	"slices.SortStableFunc": true,
+}
+
+func runDeterminism(pass *Pass) error {
+	if !inScope(pass.Pkg.Path(), determinismRoots...) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkWallClock(pass, n)
+			case *ast.SelectorExpr:
+				checkGlobalRand(pass, n)
+			case *ast.Ident:
+				// Dot-imported or aliased uses still resolve through Uses;
+				// selector form is the only idiom in this repo, so the
+				// selector check above suffices.
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkMapRanges(pass, n.Body)
+				}
+				return true
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkWallClock flags time.Now and time.Since calls that are not
+// annotated //sweepvet:allow(timenow).
+func checkWallClock(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+		return
+	}
+	if name := fn.Name(); name != "Now" && name != "Since" {
+		return
+	}
+	if pass.Allowed(call.Pos(), "timenow") {
+		return
+	}
+	pass.Reportf(call.Pos(), "time.%s taints deterministic output: byte-identical "+
+		"replay is a serving contract here; derive timestamps from the scenario "+
+		"seed, or annotate a genuine wall-clock site with "+
+		"//sweepvet:allow(timenow) <reason>", fn.Name())
+}
+
+// checkGlobalRand flags uses of math/rand's package-level generator
+// functions, which draw from a process-global source.
+func checkGlobalRand(pass *Pass, sel *ast.SelectorExpr) {
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if p := fn.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+		return
+	}
+	// Only package-level functions share the global source; methods on an
+	// explicit *rand.Rand are fine, as are the constructors.
+	if fn.Type().(*types.Signature).Recv() != nil || randConstructors[fn.Name()] {
+		return
+	}
+	pass.Reportf(sel.Pos(), "global math/rand.%s draws from the process-wide source: "+
+		"replications would stop being reproducible per scenario seed; use "+
+		"des.RNG sub-streams (des.DeriveSeed) instead", fn.Name())
+}
+
+// checkMapRanges walks one function body looking for range statements
+// over maps whose bodies leak iteration order.
+func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if _, isMap := pass.Info.TypeOf(rng.X).Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRangeBody(pass, body, rng)
+		return true
+	})
+}
+
+func checkMapRangeBody(pass *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := sinkCall(pass, n); ok && !pass.Allowed(n.Pos(), "maporder") {
+				pass.Reportf(n.Pos(), "%s inside a map-range loop emits bytes in map "+
+					"iteration order, which varies run to run; iterate a sorted key "+
+					"slice instead, or annotate //sweepvet:allow(maporder) <reason>", name)
+			}
+		case *ast.AssignStmt:
+			checkOrderedAppend(pass, fnBody, rng, n)
+		}
+		return true
+	})
+}
+
+// sinkCall reports whether a call writes bytes to an encoder, writer,
+// hash or printer — anything whose output depends on call order.
+func sinkCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if fn, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+		if fn.Pkg().Path() == "fmt" && (fn.Name() == "Fprintf" || fn.Name() == "Fprint" || fn.Name() == "Fprintln") {
+			return "fmt." + fn.Name(), true
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && sinkMethods[fn.Name()] {
+			return "(" + sig.Recv().Type().String() + ")." + fn.Name(), true
+		}
+	}
+	return "", false
+}
+
+// checkOrderedAppend flags `s = append(s, ...)` inside a map range when
+// s is never sorted in the enclosing function: the slice then carries
+// map-iteration order to whoever consumes it.
+func checkOrderedAppend(pass *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, assign *ast.AssignStmt) {
+	if len(assign.Rhs) != 1 || len(assign.Lhs) != 1 {
+		return
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" ||
+		pass.Info.Uses[id] != types.Universe.Lookup("append") {
+		return
+	}
+	target, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := pass.Info.Uses[target]
+	if obj == nil {
+		obj = pass.Info.Defs[target]
+	}
+	if obj == nil {
+		return
+	}
+	if appendTargetSorted(pass, fnBody, obj) {
+		return
+	}
+	if pass.Allowed(assign.Pos(), "maporder") {
+		return
+	}
+	pass.Reportf(assign.Pos(), "slice %s accumulates elements in map iteration order "+
+		"and is never sorted in this function; sort it before it can reach an "+
+		"encoder or hash, or annotate //sweepvet:allow(maporder) <reason>", target.Name)
+}
+
+// appendTargetSorted reports whether obj is passed to a sort function
+// anywhere in the enclosing function body.
+func appendTargetSorted(pass *Pass, fnBody *ast.BlockStmt, obj types.Object) bool {
+	sorted := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || !sortFuncs[fn.Pkg().Name()+"."+fn.Name()] {
+			return true
+		}
+		if len(call.Args) == 0 {
+			return true
+		}
+		// The slice is the first argument (sort.Slice, sort.Strings,
+		// slices.Sort...) — match by object identity, through &x too.
+		arg := call.Args[0]
+		if u, ok := arg.(*ast.UnaryExpr); ok {
+			arg = u.X
+		}
+		if id, ok := arg.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			sorted = true
+			return false
+		}
+		return true
+	})
+	return sorted
+}

@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+// jsonRoots are the packages whose structs end up on the wire or on
+// disk: sweep records and HTTP payloads (sweep tree, serve and cluster
+// included), campaign result states, and the stats states they embed.
+var jsonRoots = []string{
+	"repro/internal/sweep",
+	"repro/internal/campaign",
+	"repro/internal/stats",
+}
+
+// recordBaselines pins, per append-only serialized struct, the fields
+// that existed when that record/stream format was frozen. Fields added
+// later MUST marshal as `omitempty` (or `json:"-"`): an old record read
+// back and re-marshaled must reproduce its exact bytes, and a new writer
+// must not emit keys an old reader never wrote — the discipline the
+// store's byte-identical restore tests and the ar_ghosts marker rely on.
+// Structs not listed here are not held to omitempty (a brand-new payload
+// has no old readers), but still need explicit tags on every exported
+// field.
+var recordBaselines = map[string]map[string]bool{
+	"repro/internal/sweep.Record": set("Scenario", "Variant", "Seed", "Profile",
+		"LocalPeering", "EdgeUPF", "MobileNodes", "TargetCells", "WiredRounds",
+		"Measurements", "Mobile", "Wired", "Factor", "Cells"),
+	"repro/internal/sweep.CellAggregate": set("Cell", "N", "MeanMs", "StdMs", "Reported"),
+	"repro/internal/campaign.ResultState": set("Config", "Measurements", "VirtualNs",
+		"MobileMean", "MobileAll", "Wired", "Cells"),
+	"repro/internal/campaign.ConfigState": set("Seed", "MobileNodes", "Profile",
+		"LocalPeering", "EdgeUPF", "TargetCells", "WiredRounds"),
+	"repro/internal/campaign.CellState": set("Cell", "N", "MeanMs", "StdMs",
+		"Reported", "Summary", "Samples"),
+	"repro/internal/campaign.SlicingState":   set("Strategy", "Sites"),
+	"repro/internal/stats.SummaryState":      set("N", "Mean", "M2", "Min", "Max"),
+	"repro/internal/stats.Snapshot":          set("N", "Mean", "Std", "Min", "Max"),
+	"repro/internal/sweep/store.record":      set("V", "ID", "Result"),
+	"repro/internal/sweep/store.indexEntry":  set("V", "ID", "Shard", "Seg", "Off", "Len"),
+	"repro/internal/sweep/store.SegmentInfo": set("Shard", "Seg", "Size"),
+	// Fixture baseline for the analyzer's own golden test.
+	"repro/internal/sweep/vetbad_jsontags.FrozenRecord": set("A", "B"),
+}
+
+func set(names ...string) map[string]bool {
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+// JSONTags walks every struct the package actually marshals or
+// unmarshals (json.Marshal/Unmarshal and Encoder/Decoder calls, plus
+// everything reachable from those structs through exported fields) and
+// enforces the record discipline: every exported field carries an
+// explicit json tag, and fields added after a record format froze carry
+// omitempty.
+var JSONTags = &Analyzer{
+	Name: "jsontags",
+	Doc: "require explicit json tags on every serialized exported field, and " +
+		"omitempty on fields newer than their record-format baseline, keeping " +
+		"store records and /v1 responses append-only",
+	Run: runJSONTags,
+}
+
+func runJSONTags(pass *Pass) error {
+	if !inScope(pass.Pkg.Path(), jsonRoots...) {
+		return nil
+	}
+	roots := marshaledTypes(pass)
+	seen := make(map[*types.TypeName]bool)
+	var visit func(t types.Type)
+	visit = func(t types.Type) {
+		switch t := t.(type) {
+		case *types.Pointer:
+			visit(t.Elem())
+		case *types.Slice:
+			visit(t.Elem())
+		case *types.Array:
+			visit(t.Elem())
+		case *types.Map:
+			visit(t.Elem())
+		case *types.Named:
+			st, ok := t.Underlying().(*types.Struct)
+			if !ok || t.Obj().Pkg() == nil || seen[t.Obj()] {
+				return
+			}
+			if !inScope(t.Obj().Pkg().Path(), jsonRoots...) {
+				return
+			}
+			seen[t.Obj()] = true
+			checkStruct(pass, t.Obj().Pkg().Path()+"."+t.Obj().Name(), st)
+			for i := 0; i < st.NumFields(); i++ {
+				visit(st.Field(i).Type())
+			}
+		case *types.Struct:
+			checkStruct(pass, "", t)
+			for i := 0; i < t.NumFields(); i++ {
+				visit(t.Field(i).Type())
+			}
+		}
+	}
+	for _, t := range roots {
+		visit(t)
+	}
+	return nil
+}
+
+// marshaledTypes collects the static types handed to encoding/json in
+// this package.
+func marshaledTypes(pass *Pass) []types.Type {
+	var out []types.Type
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/json" {
+				return true
+			}
+			var arg ast.Expr
+			switch fn.Name() {
+			case "Marshal", "MarshalIndent", "Encode":
+				if len(call.Args) > 0 {
+					arg = call.Args[0]
+				}
+			case "Unmarshal":
+				if len(call.Args) > 1 {
+					arg = call.Args[1]
+				}
+			case "Decode":
+				if len(call.Args) > 0 {
+					arg = call.Args[0]
+				}
+			}
+			if arg != nil {
+				if t := pass.Info.TypeOf(arg); t != nil {
+					out = append(out, t)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func checkStruct(pass *Pass, qualified string, st *types.Struct) {
+	baseline := recordBaselines[qualified]
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() || f.Embedded() {
+			continue
+		}
+		tag, explicit := reflect.StructTag(st.Tag(i)).Lookup("json")
+		if !explicit {
+			pass.Reportf(f.Pos(), "serialized field %s has no json tag: the wire/disk "+
+				"name would silently track the Go identifier; give every serialized "+
+				"exported field an explicit json tag", f.Name())
+			continue
+		}
+		if tag == "-" {
+			continue
+		}
+		if baseline != nil && !baseline[f.Name()] && !hasOmitempty(tag) {
+			pass.Reportf(f.Pos(), "field %s postdates the frozen %s record format but "+
+				"is not omitempty: old records re-marshal with a new key and stop being "+
+				"byte-identical; tag it `json:\"...,omitempty\"`", f.Name(), qualified)
+		}
+	}
+}
+
+func hasOmitempty(tag string) bool {
+	parts := strings.Split(tag, ",")
+	for _, p := range parts[1:] {
+		if p == "omitempty" {
+			return true
+		}
+	}
+	return false
+}

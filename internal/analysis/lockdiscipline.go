@@ -1,0 +1,406 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockRoots are the packages whose mutex discipline the store's
+// liveness depends on: the append-only store itself and the cluster
+// layer that replicates its segments.
+var lockRoots = []string{
+	"repro/internal/sweep/store",
+	"repro/internal/sweep/cluster",
+}
+
+// LockDiscipline simulates each function's statements linearly,
+// tracking which sync.Mutex / sync.RWMutex receivers are held on every
+// branch, and reports the three failure shapes that have actually
+// bitten append-only stores like this one:
+//
+//   - a return path that leaves a lock held with no deferred unlock —
+//     one missed early return deadlocks every subsequent Put/Get;
+//   - acquiring compactMu while a store/shard mutex is held — the
+//     documented order is compactMu first, then mu, and inverting it
+//     deadlocks against a concurrent Compact;
+//   - filesystem or network I/O (os.Rename, file ReadAt, HTTP requests)
+//     while a store mutex is held — the store serves reads under that
+//     mutex, so a slow disk or peer stalls every caller. Deliberate
+//     sites (atomic install of an ingested segment) carry
+//     //sweepvet:allow(iolock) with a reason.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc: "flag return paths that leave a mutex held, compactMu/mu lock-order " +
+		"inversions, and I/O performed under a store mutex in the store and " +
+		"cluster packages",
+	Run: runLockDiscipline,
+}
+
+// lockState is the simulator's per-path state.
+type lockState struct {
+	held     map[string]token.Pos // lock key -> position it was acquired
+	deferred map[string]bool      // keys a pending defer will release
+	term     bool                 // path ended (return/panic/branch)
+}
+
+func newLockState() *lockState {
+	return &lockState{held: map[string]token.Pos{}, deferred: map[string]bool{}}
+}
+
+func (st *lockState) clone() *lockState {
+	c := newLockState()
+	for k, v := range st.held {
+		c.held[k] = v
+	}
+	for k := range st.deferred {
+		c.deferred[k] = true
+	}
+	return c
+}
+
+func runLockDiscipline(pass *Pass) error {
+	if !inScope(pass.Pkg.Path(), lockRoots...) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				// Function literals run on their own stack of lock
+				// acquisitions (a goroutine does not inherit its
+				// spawner's held locks), so each is simulated fresh.
+				body = n.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			st := newLockState()
+			simulate(pass, body.List, st)
+			if !st.term {
+				reportHeld(pass, body.Rbrace, st, "function end")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func simulate(pass *Pass, stmts []ast.Stmt, st *lockState) {
+	for _, s := range stmts {
+		if st.term {
+			return
+		}
+		step(pass, s, st)
+	}
+}
+
+func step(pass *Pass, s ast.Stmt, st *lockState) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if key, method, ok := mutexMethod(pass, call); ok {
+				applyLock(pass, call, key, method, st)
+				return
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" &&
+				pass.Info.Uses[id] == types.Universe.Lookup("panic") {
+				st.term = true
+				return
+			}
+		}
+		scanForIO(pass, s, st)
+	case *ast.DeferStmt:
+		registerDefer(pass, s.Call, st)
+	case *ast.ReturnStmt:
+		scanForIO(pass, s, st)
+		reportHeld(pass, s.Return, st, "return")
+		st.term = true
+	case *ast.BranchStmt:
+		// break/continue/goto end this linear path; the target is
+		// re-covered by the enclosing loop's own simulation.
+		st.term = true
+	case *ast.BlockStmt:
+		simulate(pass, s.List, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			step(pass, s.Init, st)
+		}
+		scanForIO(pass, s.Cond, st)
+		body := st.clone()
+		simulate(pass, s.Body.List, body)
+		alt := st.clone()
+		if s.Else != nil {
+			step(pass, s.Else, alt)
+		}
+		mergeInto(st, body, alt)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			step(pass, s.Init, st)
+		}
+		if s.Cond != nil {
+			scanForIO(pass, s.Cond, st)
+		}
+		inner := st.clone()
+		simulate(pass, s.Body.List, inner)
+		// A body that locks without unlocking shows up as diagnostics
+		// inside the body (double-lock on the next statement would need
+		// iteration-2 modeling); after the loop, continue from the
+		// pre-loop state.
+	case *ast.RangeStmt:
+		scanForIO(pass, s.X, st)
+		inner := st.clone()
+		simulate(pass, s.Body.List, inner)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			step(pass, s.Init, st)
+		}
+		if s.Tag != nil {
+			scanForIO(pass, s.Tag, st)
+		}
+		stepClauses(pass, s.Body, st)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			step(pass, s.Init, st)
+		}
+		stepClauses(pass, s.Body, st)
+	case *ast.SelectStmt:
+		stepClauses(pass, s.Body, st)
+	case *ast.LabeledStmt:
+		step(pass, s.Stmt, st)
+	case *ast.GoStmt:
+		// The spawned goroutine does not hold this path's locks; its
+		// body is simulated separately as a FuncLit.
+	default:
+		scanForIO(pass, s, st)
+	}
+}
+
+// stepClauses simulates each case/comm clause from a clone of the
+// current state and merges the surviving outcomes.
+func stepClauses(pass *Pass, body *ast.BlockStmt, st *lockState) {
+	outcomes := []*lockState{}
+	hasDefault := false
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+			stmts = c.Body
+		}
+		o := st.clone()
+		simulate(pass, stmts, o)
+		outcomes = append(outcomes, o)
+	}
+	if !hasDefault {
+		// No default: the zero-case fallthrough (or select block) keeps
+		// the incoming state alive.
+		outcomes = append(outcomes, st.clone())
+	}
+	mergeInto(st, outcomes...)
+}
+
+// mergeInto folds branch outcomes back into st: the union of locks
+// still held on any live path (a lock held on one branch only is
+// exactly the asymmetry worth tracking), terminated only if every
+// branch terminated.
+func mergeInto(st *lockState, outcomes ...*lockState) {
+	st.held = map[string]token.Pos{}
+	st.deferred = map[string]bool{}
+	live := 0
+	for _, o := range outcomes {
+		if o.term {
+			continue
+		}
+		live++
+		for k, v := range o.held {
+			st.held[k] = v
+		}
+		for k := range o.deferred {
+			st.deferred[k] = true
+		}
+	}
+	st.term = live == 0
+}
+
+// mutexMethod recognizes Lock/Unlock/RLock/RUnlock calls on sync
+// mutexes and returns a stable key for the receiver expression
+// (e.g. "s.mu", "s.compactMu", "ss.mu").
+func mutexMethod(pass *Pass, call *ast.CallExpr) (key, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	fn, isFn := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), name, true
+}
+
+func isCompactKey(key string) bool {
+	return strings.HasSuffix(key, "compactMu")
+}
+
+func applyLock(pass *Pass, call *ast.CallExpr, key, method string, st *lockState) {
+	switch method {
+	case "Lock", "RLock":
+		if _, already := st.held[key]; already && method == "Lock" {
+			pass.Reportf(call.Pos(), "%s.Lock() while %s is already held on this path: "+
+				"sync.Mutex is not reentrant, this path deadlocks", key, key)
+		}
+		if isCompactKey(key) {
+			for other := range st.held {
+				if !isCompactKey(other) {
+					pass.Reportf(call.Pos(), "acquiring %s while holding %s inverts the "+
+						"documented compactMu-then-mu lock order and deadlocks against a "+
+						"concurrent Compact; take %s before %s", key, other, key, other)
+				}
+			}
+		}
+		st.held[key] = call.Pos()
+	case "Unlock", "RUnlock":
+		delete(st.held, key)
+	}
+}
+
+// registerDefer records deferred unlocks: `defer s.mu.Unlock()`
+// directly, or a deferred closure whose body unlocks.
+func registerDefer(pass *Pass, call *ast.CallExpr, st *lockState) {
+	if key, method, ok := mutexMethod(pass, call); ok {
+		if method == "Unlock" || method == "RUnlock" {
+			st.deferred[key] = true
+		}
+		return
+	}
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok {
+				if key, method, ok := mutexMethod(pass, c); ok &&
+					(method == "Unlock" || method == "RUnlock") {
+					st.deferred[key] = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// reportHeld fires one diagnostic per lock still held (and not
+// defer-released) at a path exit.
+func reportHeld(pass *Pass, pos token.Pos, st *lockState, what string) {
+	var leaked []string
+	for key := range st.held {
+		if !st.deferred[key] {
+			leaked = append(leaked, key)
+		}
+	}
+	sort.Strings(leaked)
+	for _, key := range leaked {
+		pass.Reportf(pos, "%s leaves %s locked with no deferred unlock on this path: "+
+			"every later Put/Get on this store blocks forever; unlock before "+
+			"returning or defer the unlock at acquisition", what, key)
+	}
+}
+
+// osIOFuncs are the package-level filesystem calls that hit the disk.
+var osIOFuncs = map[string]bool{
+	"Rename": true, "Remove": true, "RemoveAll": true,
+	"ReadFile": true, "WriteFile": true, "ReadDir": true,
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"Mkdir": true, "MkdirAll": true,
+}
+
+// httpIOFuncs are the request-issuing entry points of net/http.
+var httpIOFuncs = map[string]bool{
+	"Do": true, "Get": true, "Head": true, "Post": true,
+	"PostForm": true, "RoundTrip": true,
+}
+
+// scanForIO walks one statement or expression (not descending into
+// function literals) and flags disk/network calls made while a
+// non-compaction mutex is held.
+func scanForIO(pass *Pass, n ast.Node, st *lockState) {
+	locks := heldStoreLocks(st)
+	if len(locks) == 0 {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, isLit := m.(*ast.FuncLit); isLit {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		desc, ok := ioCall(pass, call)
+		if !ok || pass.Allowed(call.Pos(), "iolock") {
+			return true
+		}
+		pass.Reportf(call.Pos(), "%s while holding %s: reads are served under this "+
+			"mutex, so a slow disk or peer stalls every Put/Get; move the I/O "+
+			"outside the critical section, or annotate a deliberate atomic-install "+
+			"site with //sweepvet:allow(iolock) <reason>", desc, strings.Join(locks, ", "))
+		return true
+	})
+}
+
+// heldStoreLocks returns the held non-compactMu locks, sorted.
+// compactMu exists precisely to serialize long I/O (compaction) without
+// blocking serving, so I/O under it alone is the design, not a finding.
+func heldStoreLocks(st *lockState) []string {
+	var locks []string
+	for key := range st.held {
+		if !isCompactKey(key) {
+			locks = append(locks, key)
+		}
+	}
+	sort.Strings(locks)
+	return locks
+}
+
+// ioCall recognizes a disk or network call and describes it.
+func ioCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	switch {
+	case sig.Recv() == nil && fn.Pkg().Path() == "os" && osIOFuncs[fn.Name()]:
+		return "os." + fn.Name(), true
+	case fn.Pkg().Path() == "net/http" && httpIOFuncs[fn.Name()]:
+		return "http " + fn.Name(), true
+	case sig.Recv() != nil && fn.Name() == "ReadAt":
+		return fmt.Sprintf("(%s).ReadAt", sig.Recv().Type()), true
+	}
+	return "", false
+}

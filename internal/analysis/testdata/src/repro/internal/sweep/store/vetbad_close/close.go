@@ -1,0 +1,23 @@
+// Package vetbad seeds the discarded-close violations: Close, Sync and
+// Flush errors dropped on writable handles, alongside the tolerated
+// shapes (read-only handles, explicit discards, defers, annotations).
+package vetbad
+
+import (
+	"bufio"
+	"io"
+	"os"
+)
+
+func writeOut(f *os.File, w *bufio.Writer, body io.ReadCloser) {
+	w.Flush() // want `w\.Flush\(\) error discarded`
+	f.Sync()  // want `f\.Sync\(\) error discarded`
+	f.Close() // want `f\.Close\(\) error discarded`
+	body.Close()
+	_ = f.Close()
+	f.Close() //sweepvet:allow(close) best-effort cleanup fixture
+}
+
+func deferred(f *os.File) {
+	defer f.Close()
+}

@@ -1,0 +1,79 @@
+// Package vetbad seeds the locking violations: an early return that
+// leaves the store mutex held, a compactMu acquired in inverted order,
+// a non-reentrant double lock, and disk I/O under the serving mutex.
+package vetbad
+
+import (
+	"os"
+	"sync"
+)
+
+type store struct {
+	mu        sync.Mutex
+	compactMu sync.Mutex
+}
+
+func (s *store) leak(fail bool) error {
+	s.mu.Lock()
+	if fail {
+		return os.ErrInvalid // want "return leaves s.mu locked"
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *store) balanced(fail bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fail {
+		return os.ErrInvalid
+	}
+	return nil
+}
+
+func (s *store) invert() {
+	s.mu.Lock()
+	s.compactMu.Lock() // want "inverts the documented compactMu-then-mu lock order"
+	s.compactMu.Unlock()
+	s.mu.Unlock()
+}
+
+func (s *store) rightOrder() {
+	s.compactMu.Lock()
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.compactMu.Unlock()
+}
+
+func (s *store) double() {
+	s.mu.Lock()
+	s.mu.Lock() // want "not reentrant"
+	s.mu.Unlock()
+}
+
+func (s *store) ioUnderLock(dir string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	os.Remove(dir) // want `os\.Remove while holding s\.mu`
+}
+
+func (s *store) ioAllowed(dir string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	os.Remove(dir) //sweepvet:allow(iolock) atomic install fixture
+}
+
+func (s *store) compactionIO(dir string) {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	os.Remove(dir)
+}
+
+func (s *store) spawn() {
+	s.mu.Lock()
+	go func() {
+		s.mu.Lock()
+		s.mu.Unlock()
+	}()
+	s.mu.Unlock()
+}

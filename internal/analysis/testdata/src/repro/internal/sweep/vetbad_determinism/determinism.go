@@ -1,0 +1,55 @@
+// Package vetbad seeds every violation the determinism analyzer must
+// catch, plus the idioms it must accept.
+package vetbad
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func emit(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "map iteration order"
+	}
+}
+
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "never sorted"
+	}
+	return keys
+}
+
+func collectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func collectAllowed(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//sweepvet:allow(maporder) consumer treats this as a set
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func jitter() time.Duration {
+	start := time.Now() // want "time.Now taints"
+	_ = rand.Intn(10)   // want `global math/rand\.Intn`
+	r := rand.New(rand.NewSource(1))
+	_ = r.Intn(10)
+	return time.Since(start) // want "time.Since taints"
+}
+
+func allowedClock() time.Time {
+	return time.Now() //sweepvet:allow(timenow) latency counter fixture
+}

@@ -1,0 +1,27 @@
+// Package vetbad seeds the json-tag violations: a serialized exported
+// field with no explicit tag, and a field added after the
+// FrozenRecord baseline (pinned in the analyzer's recordBaselines
+// fixture entry) without omitempty.
+package vetbad
+
+import "encoding/json"
+
+type FrozenRecord struct {
+	A        string `json:"a"`
+	B        int    `json:"b"`
+	NewField string `json:"new_field"` // want "postdates the frozen"
+	NewOK    string `json:"new_ok,omitempty"`
+	Internal string `json:"-"`
+}
+
+type Payload struct {
+	Tagged   string `json:"tagged"`
+	Untagged string // want "has no json tag"
+	hidden   int
+	Nested   FrozenRecord `json:"nested"`
+}
+
+func Emit(p Payload) ([]byte, error) {
+	_ = p.hidden
+	return json.Marshal(p)
+}

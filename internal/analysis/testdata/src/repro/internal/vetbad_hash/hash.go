@@ -1,0 +1,32 @@
+// Package vetbad seeds the append-only scenario-hash violations: a
+// stale hashedConfigFields pin, a post-baseline field missing from the
+// hash entirely, and one folded in without a non-default guard.
+package vetbad
+
+import "fmt"
+
+type Config struct {
+	Seed         int64
+	MobileNodes  int
+	Profile      string
+	LocalPeering bool
+	EdgeUPF      bool
+	TargetCells  []string
+	WiredRounds  int
+	Slicing      *int
+	ARGame       *int // want "not folded into hashConfig"
+	GoodAxis     *int
+}
+
+const hashedConfigFields = 9 // want "hashedConfigFields = 9 but Config has 10 fields"
+
+func hashConfig(c Config) string {
+	s := fmt.Sprintf("%d;%d;%s;%t;%t;%v;%d",
+		c.Seed, c.MobileNodes, c.Profile, c.LocalPeering, c.EdgeUPF,
+		c.TargetCells, c.WiredRounds)
+	s += fmt.Sprintf(";slice=%d", *c.Slicing) // want "hashed unconditionally"
+	if c.GoodAxis != nil {
+		s += fmt.Sprintf(";good=%d", *c.GoodAxis)
+	}
+	return s
+}

@@ -71,11 +71,11 @@ type SlicingState struct {
 // sample moments (reported or not), and the raw RTT samples in
 // milliseconds unless captured compactly.
 type CellState struct {
-	Cell     string             `json:"cell"`
-	N        int                `json:"n"`
-	MeanMs   float64            `json:"mean_ms"`
-	StdMs    float64            `json:"std_ms"`
-	Reported bool               `json:"reported"`
+	Cell     string  `json:"cell"`
+	N        int     `json:"n"`
+	MeanMs   float64 `json:"mean_ms"`
+	StdMs    float64 `json:"std_ms"`
+	Reported bool    `json:"reported"`
 	// GhostHits carries the AR-mode over-budget sample count; omitted
 	// when zero so ping-campaign records keep their exact bytes.
 	GhostHits int                `json:"ghost_hits,omitempty"`

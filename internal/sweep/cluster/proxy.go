@@ -135,7 +135,7 @@ func NewProxy(opts Options) (*Proxy, error) {
 		client:  opts.Client,
 		maxGrid: opts.MaxGridScenarios,
 		workers: opts.SweepWorkers,
-		start:   time.Now(),
+		start:   time.Now(), //sweepvet:allow(timenow) proxy start time for /statsz uptime; never in record bytes
 		stop:    make(chan struct{}),
 	}
 	p.writer.healthy.Store(true)
@@ -302,7 +302,7 @@ func (e *backendError) Error() string {
 func (p *Proxy) candidates(id string) []*member {
 	out := make([]*member, 0, len(p.replicas)+1)
 	if p.ring != nil {
-		now := time.Now()
+		now := time.Now() //sweepvet:allow(timenow) health-check backoff clock
 		for _, u := range p.ring.Order(store.ShardOf(id)) {
 			m := p.byURL[u]
 			if m.healthy.Load() && !m.backingOff(now) {
@@ -354,6 +354,7 @@ func (p *Proxy) forward(ctx context.Context, m *member, body []byte) ([]byte, er
 		// replica shedding a miss is the DESIGN — the writer simulates).
 		m.shed.Add(1)
 		if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && sec > 0 {
+			//sweepvet:allow(timenow) Retry-After backoff clock
 			m.backoffUntil.Store(time.Now().Add(time.Duration(sec) * time.Second).UnixNano())
 		}
 		if m == p.writer {
@@ -682,7 +683,7 @@ func memberStats(m *member) MemberStats {
 	return MemberStats{
 		URL:        m.url,
 		Healthy:    m.healthy.Load(),
-		BackingOff: m.backingOff(time.Now()),
+		BackingOff: m.backingOff(time.Now()), //sweepvet:allow(timenow) backoff state for /statsz
 		Requests:   m.requests.Load(),
 		Errors:     m.errs.Load(),
 		Shed:       m.shed.Load(),
@@ -693,7 +694,7 @@ func memberStats(m *member) MemberStats {
 
 func (p *Proxy) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	var st ProxyStats
-	st.UptimeS = time.Since(p.start).Seconds()
+	st.UptimeS = time.Since(p.start).Seconds() //sweepvet:allow(timenow) /statsz uptime
 	st.Version = buildinfo.Version()
 	st.Scenario.Requests = p.scenarios.Load()
 	st.Sweep.Requests = p.sweeps.Load()
@@ -722,7 +723,7 @@ func (p *Proxy) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
 		"status":           "ok",
-		"uptime_s":         time.Since(p.start).Seconds(),
+		"uptime_s":         time.Since(p.start).Seconds(), //sweepvet:allow(timenow) /statsz uptime
 		"writer":           p.writer.url,
 		"replicas":         len(p.replicas),
 		"replicas_healthy": healthy,

@@ -13,15 +13,15 @@ import (
 // axes and headline statistics. Field order is fixed by the struct, and
 // every float is finite, so marshalling is byte-deterministic.
 type Record struct {
-	Scenario     string          `json:"scenario"`
-	Variant      string          `json:"variant"`
-	Seed         uint64          `json:"seed"`
-	Profile      string          `json:"profile"`
-	LocalPeering bool            `json:"local_peering"`
-	EdgeUPF      bool            `json:"edge_upf"`
-	MobileNodes  int             `json:"mobile_nodes"`
-	TargetCells  []string        `json:"target_cells"`
-	WiredRounds  int             `json:"wired_rounds"`
+	Scenario     string   `json:"scenario"`
+	Variant      string   `json:"variant"`
+	Seed         uint64   `json:"seed"`
+	Profile      string   `json:"profile"`
+	LocalPeering bool     `json:"local_peering"`
+	EdgeUPF      bool     `json:"edge_upf"`
+	MobileNodes  int      `json:"mobile_nodes"`
+	TargetCells  []string `json:"target_cells"`
+	WiredRounds  int      `json:"wired_rounds"`
 	// Slicing is the probe-placement strategy ("latency/8") and
 	// ARDeployment the AR-session deployment ("5G-edge-upf"); both are
 	// omitted for the plain campaign.
@@ -31,9 +31,9 @@ type Record struct {
 	// over the whole scenario: motion-to-photon samples past the 20 ms
 	// budget, and that count over Measurements. Zero (and omitted) for
 	// ping campaigns, so pre-existing records keep their exact bytes.
-	GhostHits    int     `json:"ghost_hits,omitempty"`
-	GhostRate    float64 `json:"ghost_rate,omitempty"`
-	Measurements int     `json:"measurements"`
+	GhostHits    int             `json:"ghost_hits,omitempty"`
+	GhostRate    float64         `json:"ghost_rate,omitempty"`
+	Measurements int             `json:"measurements"`
 	Mobile       stats.Snapshot  `json:"mobile"`
 	Wired        stats.Snapshot  `json:"wired"`
 	Factor       float64         `json:"mobile_vs_wired_factor"`

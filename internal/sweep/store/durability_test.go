@@ -1,0 +1,101 @@
+package store
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests pin the error-propagation contract sweepvet's closecheck
+// analyzer enforces statically: a failed Close/Sync on a writable
+// handle is the last signal that acknowledged bytes never reached the
+// disk, so the store must surface it, not swallow it. Failure is
+// injected by closing the tail's file descriptor out from under the
+// store — the subsequent in-API Close sees os.ErrClosed, standing in
+// for a real deferred write-back error.
+
+// breakOpenTail closes the underlying tail handle of the shard holding
+// id while leaving the store's bookkeeping convinced the handle is
+// still open. Fails the test if no tail handle is open (the injection
+// would silently test nothing).
+func breakOpenTail(t *testing.T, s *Store, id string) {
+	t.Helper()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ss := s.shards[ShardOf(id)]
+	if ss == nil || ss.tail == nil {
+		t.Fatalf("no open tail handle for shard %s; injection point gone", ShardOf(id))
+	}
+	if err := ss.tail.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloseReportsTailCloseError(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	if err := s.Put("abc123", testResult(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	breakOpenTail(t, s, "abc123")
+	if err := s.Close(); err == nil {
+		t.Fatal("Close swallowed the tail close error: a failed write-back " +
+			"after an acknowledged Put would go unreported")
+	}
+}
+
+func TestCloseReportsIndexCloseError(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	if err := s.Put("abc123", testResult(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	if s.index == nil {
+		s.mu.Unlock()
+		t.Fatal("no open index handle; injection point gone")
+	}
+	if err := s.index.Close(); err != nil {
+		s.mu.Unlock()
+		t.Fatal(err)
+	}
+	s.mu.Unlock()
+	if err := s.Close(); err == nil {
+		t.Fatal("Close swallowed the index close error")
+	}
+}
+
+func TestCompactReportsTailCloseError(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	if err := s.Put("abc123", testResult(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	breakOpenTail(t, s, "abc123")
+	_, err := s.Compact()
+	if err == nil {
+		t.Fatal("Compact ignored the tail close error: it would have packed " +
+			"possibly-bad bytes forward and deleted the only good copy")
+	}
+	if !strings.Contains(err.Error(), "close tail") {
+		t.Fatalf("Compact error %q does not name the tail close", err)
+	}
+	// The abort must be clean: nothing moved, the record is still
+	// readable through a fresh handle.
+	if _, ok := s.Get("abc123"); !ok {
+		t.Fatal("aborted compaction lost the record")
+	}
+}
+
+func TestPutFailsOnBrokenTail(t *testing.T) {
+	// A Put through a dead tail handle must fail, never acknowledge: the
+	// first syscall that touches the handle (the offset stat) surfaces
+	// it. The deeper rotation-close path — write succeeds, deferred
+	// write-back fails at close — cannot be provoked on a local
+	// filesystem; its propagation (appendLocked failing the Put with a
+	// "rotate" error) is what closecheck pins statically.
+	s := open(t, t.TempDir(), Options{})
+	if err := s.Put("abc123", testResult(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	breakOpenTail(t, s, "abc123")
+	if err := s.Put("abc456", testResult(t, 2)); err == nil {
+		t.Fatal("Put acknowledged a write through a closed tail handle")
+	}
+}

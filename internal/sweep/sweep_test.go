@@ -3,13 +3,18 @@ package sweep
 import (
 	"bufio"
 	"bytes"
+	"crypto/sha256"
 	"encoding/json"
+	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 
+	"repro/internal/argame"
 	"repro/internal/campaign"
 	"repro/internal/des"
 	"repro/internal/ran"
+	"repro/internal/slicing"
 )
 
 func TestGridDefaultsToBaseline(t *testing.T) {
@@ -120,11 +125,91 @@ func TestScenarioIDCoversEveryConfigField(t *testing.T) {
 	// hashConfig hand-enumerates campaign.Config; if the struct grows a
 	// field the hash does not cover, two differing configs would share
 	// a scenario ID and the shared cache would hand back the wrong
-	// result. Fail here first.
+	// result. Fail here first. (cmd/sweepvet's appendonlyhash analyzer
+	// enforces the same contract statically, with field-exact
+	// diagnostics.)
 	if n := reflect.TypeOf(campaign.Config{}).NumField(); n != hashedConfigFields {
 		t.Fatalf("campaign.Config has %d fields but hashConfig covers %d: "+
 			"extend hashConfig (and this constant) so scenario identity stays complete",
 			n, hashedConfigFields)
+	}
+}
+
+// TestScenarioIDAllAxesGolden pins the scenario-ID stream of a grid
+// that exercises every axis at a non-default value — wired rounds,
+// slicing and AR-game included. The digest covers all 512 IDs in
+// expansion order, so any reshaping of the hash, the expansion order,
+// or an axis's fold-in changes it; the spot IDs turn "digest changed"
+// into a pointer at which region moved. A reflection guard keeps the
+// grid honest: when Grid grows a new axis slice, this test refuses to
+// pass until the grid here exercises it.
+func TestScenarioIDAllAxesGolden(t *testing.T) {
+	g := Grid{
+		Seeds:             []uint64{3, 4},
+		Profiles:          []*ran.Profile{ran.Profile5G, ran.Profile6G},
+		LocalPeering:      []bool{false, true},
+		EdgeUPF:           []bool{false, true},
+		MobileNodes:       []int{0, 5},
+		TargetCellSets:    [][]string{nil, {"B2", "E2"}},
+		WiredRounds:       []int{0, 9},
+		SlicingStrategies: []slicing.Strategy{slicing.StrategyNone, slicing.StrategyLatency},
+		ARGameDeployments: []argame.Deployment{argame.DeployNone, argame.DeployBaseline},
+	}
+
+	gv := reflect.ValueOf(g)
+	for i := 0; i < gv.NumField(); i++ {
+		f := gv.Type().Field(i)
+		if f.Type.Kind() == reflect.Slice && gv.Field(i).Len() == 0 {
+			t.Fatalf("Grid axis %s is not exercised by the all-axes golden grid: "+
+				"add a non-default value for it (and re-pin the goldens) so the new "+
+				"axis's fold-in is covered", f.Name)
+		}
+	}
+
+	scs, err := g.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 512 {
+		t.Fatalf("all-axes grid expanded to %d scenarios, want 512", len(scs))
+	}
+	ids := make([]string, len(scs))
+	seen := make(map[string]bool, len(scs))
+	for i, sc := range scs {
+		if seen[sc.ID] {
+			t.Fatalf("duplicate scenario ID %s at index %d", sc.ID, i)
+		}
+		seen[sc.ID] = true
+		ids[i] = sc.ID
+	}
+
+	// Spot pins: the all-defaults corner must equal the plain baseline
+	// hash (axes at their defaults are invisible), and a few interior
+	// corners localize a digest mismatch.
+	if ids[0] != ScenarioID(campaign.Config{Seed: 3}) {
+		t.Errorf("ids[0] = %s does not match the bare Seed-3 baseline ID", ids[0])
+	}
+	for _, spot := range []struct {
+		index int
+		id    string
+	}{
+		{0, "c625102f46b73bfb"},
+		{1, "26cbbaab9fc9ff5c"},
+		{255, "6a1e45c716285c91"},
+		{256, "725bc832bbb7d876"},
+		{511, "40ed46926632b421"},
+	} {
+		if ids[spot.index] != spot.id {
+			t.Errorf("ids[%d] = %s, want %s (a deployed cache covering this region "+
+				"would stop serving hits)", spot.index, ids[spot.index], spot.id)
+		}
+	}
+
+	const wantDigest = "eccdd137bc081fbb5c3eb9e55f1c0f257cc8ea952de564717362ffe0191e125f"
+	if got := fmt.Sprintf("%x", sha256.Sum256([]byte(strings.Join(ids, "\n")))); got != wantDigest {
+		t.Errorf("all-axes scenario-ID digest = %s, want %s: the ID stream moved; "+
+			"if this is a deliberate format break, re-pin the goldens and say so "+
+			"loudly — every deployed cache directory re-simulates from scratch", got, wantDigest)
 	}
 }
 
