@@ -42,6 +42,8 @@ func main() {
 		cacheEntries   = flag.Int("cache-entries", 0, "response-cache bound in records (0 = default 4096, -1 = disabled)")
 		sweepWorkers   = flag.Int("sweep-workers", 0, "concurrent backend requests per sweep fan-out (0 = default 16)")
 		maxGrid        = flag.Int("max-grid", 0, "reject grids expanding past this many scenarios (0 = default 65536)")
+		batchRecs      = flag.Int("tlv-batch-records", 0, "records per flushed batch on negotiated binary /v1/sweep streams (0 = default 64)")
+		batchBytes     = flag.Int("tlv-batch-bytes", 0, "bytes per flushed batch on negotiated binary /v1/sweep streams (0 = default 64KiB)")
 		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight requests")
 		version        = flag.Bool("version", false, "print the build version and exit")
 	)
@@ -54,19 +56,21 @@ func main() {
 
 	replicaURLs := splitURLs(*replicas)
 	if err := validateFlags(*writer, replicaURLs, *healthInterval, *cacheEntries,
-		*sweepWorkers, *maxGrid, *drainTimeout); err != nil {
+		*sweepWorkers, *maxGrid, *batchRecs, *batchBytes, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep-proxy:", err)
 		fmt.Fprintln(os.Stderr, "run with -h for usage")
 		os.Exit(2)
 	}
 
 	p, err := sixgedge.NewSweepProxy(sixgedge.ProxyOptions{
-		Writer:           *writer,
-		Replicas:         replicaURLs,
-		HealthInterval:   *healthInterval,
-		CacheEntries:     *cacheEntries,
-		SweepWorkers:     *sweepWorkers,
-		MaxGridScenarios: *maxGrid,
+		Writer:             *writer,
+		Replicas:           replicaURLs,
+		HealthInterval:     *healthInterval,
+		CacheEntries:       *cacheEntries,
+		SweepWorkers:       *sweepWorkers,
+		MaxGridScenarios:   *maxGrid,
+		StreamBatchRecords: *batchRecs,
+		StreamBatchBytes:   *batchBytes,
 	})
 	if err != nil {
 		fatal(err)
@@ -113,7 +117,7 @@ func splitURLs(s string) []string {
 // validateFlags rejects nonsensical combinations up front, exit 2,
 // before any socket binds — the sweepd convention.
 func validateFlags(writer string, replicas []string, healthInterval time.Duration,
-	cacheEntries, sweepWorkers, maxGrid int, drainTimeout time.Duration) error {
+	cacheEntries, sweepWorkers, maxGrid, batchRecs, batchBytes int, drainTimeout time.Duration) error {
 	if writer == "" {
 		return fmt.Errorf("-writer is required (the proxy has no simulator of its own)")
 	}
@@ -139,6 +143,12 @@ func validateFlags(writer string, replicas []string, healthInterval time.Duratio
 	}
 	if maxGrid < 0 {
 		return fmt.Errorf("-max-grid must be >= 0, got %d", maxGrid)
+	}
+	if batchRecs < 0 {
+		return fmt.Errorf("-tlv-batch-records must be >= 0 (0 = default 64), got %d", batchRecs)
+	}
+	if batchBytes < 0 {
+		return fmt.Errorf("-tlv-batch-bytes must be >= 0 (0 = default 64KiB), got %d", batchBytes)
 	}
 	if drainTimeout < 0 {
 		return fmt.Errorf("-drain-timeout must be >= 0, got %v", drainTimeout)

@@ -29,30 +29,34 @@ func TestValidateFlagsRejectsNonsense(t *testing.T) {
 	probe := 2 * time.Second
 	w := "http://w:8080"
 	cases := []struct {
-		name     string
-		writer   string
-		replicas []string
-		health   time.Duration
-		cache    int
-		workers  int
-		maxGrid  int
-		drain    time.Duration
-		wantErr  string
+		name       string
+		writer     string
+		replicas   []string
+		health     time.Duration
+		cache      int
+		workers    int
+		maxGrid    int
+		batchRecs  int
+		batchBytes int
+		drain      time.Duration
+		wantErr    string
 	}{
-		{"writer-only", w, nil, probe, 0, 0, 0, ok, ""},
-		{"full", w, []string{"http://r1:1", "http://r2:2"}, probe, 1024, 8, 4096, ok, ""},
-		{"no-writer", "", nil, probe, 0, 0, 0, ok, "-writer is required"},
-		{"writer-not-url", "w:8080", nil, probe, 0, 0, 0, ok, "-writer must be a base URL"},
-		{"replica-not-url", w, []string{"r1:1"}, probe, 0, 0, 0, ok, "-replicas entries must be base URLs"},
-		{"writer-as-replica", w, []string{w + "/"}, probe, 0, 0, 0, ok, "cannot also be a replica"},
-		{"negative-health", w, nil, -time.Second, 0, 0, 0, ok, "-health-interval must be >= 0"},
-		{"cache-below-minus-one", w, nil, probe, -2, 0, 0, ok, "-cache-entries must be >= -1"},
-		{"negative-workers", w, nil, probe, 0, -1, 0, ok, "-sweep-workers must be >= 0"},
-		{"negative-max-grid", w, nil, probe, 0, 0, -1, ok, "-max-grid must be >= 0"},
-		{"negative-drain", w, nil, probe, 0, 0, 0, -time.Second, "-drain-timeout must be >= 0"},
+		{"writer-only", w, nil, probe, 0, 0, 0, 0, 0, ok, ""},
+		{"full", w, []string{"http://r1:1", "http://r2:2"}, probe, 1024, 8, 4096, 128, 1 << 17, ok, ""},
+		{"no-writer", "", nil, probe, 0, 0, 0, 0, 0, ok, "-writer is required"},
+		{"writer-not-url", "w:8080", nil, probe, 0, 0, 0, 0, 0, ok, "-writer must be a base URL"},
+		{"replica-not-url", w, []string{"r1:1"}, probe, 0, 0, 0, 0, 0, ok, "-replicas entries must be base URLs"},
+		{"writer-as-replica", w, []string{w + "/"}, probe, 0, 0, 0, 0, 0, ok, "cannot also be a replica"},
+		{"negative-health", w, nil, -time.Second, 0, 0, 0, 0, 0, ok, "-health-interval must be >= 0"},
+		{"cache-below-minus-one", w, nil, probe, -2, 0, 0, 0, 0, ok, "-cache-entries must be >= -1"},
+		{"negative-workers", w, nil, probe, 0, -1, 0, 0, 0, ok, "-sweep-workers must be >= 0"},
+		{"negative-max-grid", w, nil, probe, 0, 0, -1, 0, 0, ok, "-max-grid must be >= 0"},
+		{"negative-batch-records", w, nil, probe, 0, 0, 0, -1, 0, ok, "-tlv-batch-records must be >= 0"},
+		{"negative-batch-bytes", w, nil, probe, 0, 0, 0, 0, -1, ok, "-tlv-batch-bytes must be >= 0"},
+		{"negative-drain", w, nil, probe, 0, 0, 0, 0, 0, -time.Second, "-drain-timeout must be >= 0"},
 	}
 	for _, c := range cases {
-		err := validateFlags(c.writer, c.replicas, c.health, c.cache, c.workers, c.maxGrid, c.drain)
+		err := validateFlags(c.writer, c.replicas, c.health, c.cache, c.workers, c.maxGrid, c.batchRecs, c.batchBytes, c.drain)
 		if c.wantErr == "" {
 			if err != nil {
 				t.Errorf("%s: unexpected error %v", c.name, err)

@@ -17,11 +17,17 @@
 //	sweep -reps 4 -cache-dir .sweepcache    # persist results; re-runs resume warm
 //	sweep -reps 4 -cache-dir .sweepcache -compact   # summary-only records on disk
 //	sweep -cache-dir .sweepcache -compact-store     # rewrite live records, drop dead bytes
+//	sweep -cache-dir .sweepcache -store-format jsonl    # keep writing v2 JSONL segments
+//	curl -sN -H 'Accept: application/x-sweep-tlv' ... | sweep -decode-tlv -
+//	                                                # binary sweep stream -> canonical JSONL
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -33,6 +39,7 @@ import (
 	"repro/internal/slicing"
 	"repro/internal/sweep"
 	"repro/internal/sweep/store"
+	"repro/internal/sweep/tlv"
 )
 
 func main() {
@@ -54,6 +61,8 @@ func main() {
 		cacheDir     = flag.String("cache-dir", "", "persist the result cache to this directory; re-runs over completed scenarios resume warm")
 		compact      = flag.Bool("compact", false, "with -cache-dir: store summary-only records (per-cell moments, no raw samples)")
 		compactStore = flag.Bool("compact-store", false, "with -cache-dir: compact the on-disk store (drop superseded and corrupt entries, rewrite live records into fresh segments) and exit")
+		storeFormat  = flag.String("store-format", "", "with -cache-dir: record encoding for newly written segments, "+store.FormatTLV+" (default) or "+store.FormatJSONL+"; existing segments stay readable either way")
+		decodeTLV    = flag.String("decode-tlv", "", "decode a binary sweep stream ("+tlv.MediaType+") from this file (\"-\" for stdin) to JSONL on stdout and exit")
 		version      = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -68,14 +77,21 @@ func main() {
 	// -compact-store would leave the user believing the store was
 	// compacted (or its records slimmed) when nothing happened, and a
 	// negative -workers would silently run at GOMAXPROCS.
-	if err := validateFlags(*cacheDir, *compact, *compactStore, *workers, *reps); err != nil {
+	if err := validateFlags(*cacheDir, *storeFormat, *compact, *compactStore, *workers, *reps); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		fmt.Fprintln(os.Stderr, "run with -h for usage")
 		os.Exit(2)
 	}
 
+	if *decodeTLV != "" {
+		if err := decodeTLVStream(*decodeTLV, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	if *compactStore {
-		st, err := store.Open(*cacheDir, store.Options{Compact: *compact})
+		st, err := store.Open(*cacheDir, store.Options{Compact: *compact, Format: *storeFormat})
 		if err != nil {
 			fatal(err)
 		}
@@ -102,7 +118,7 @@ func main() {
 	cache := sweep.Shared
 	var st *store.Store
 	if *cacheDir != "" {
-		st, err = store.Open(*cacheDir, store.Options{Compact: *compact})
+		st, err = store.Open(*cacheDir, store.Options{Compact: *compact, Format: *storeFormat})
 		if err != nil {
 			fatal(err)
 		}
@@ -202,7 +218,7 @@ func main() {
 // validateFlags rejects flag combinations that ask for on-disk cache
 // behaviour without a cache directory to apply it to, and nonsensical
 // numeric values that would otherwise be silently reinterpreted.
-func validateFlags(cacheDir string, compact, compactStore bool, workers, reps int) error {
+func validateFlags(cacheDir, storeFormat string, compact, compactStore bool, workers, reps int) error {
 	if workers < 0 {
 		return fmt.Errorf("-workers must be >= 0 (0 = GOMAXPROCS), got %d", workers)
 	}
@@ -215,7 +231,47 @@ func validateFlags(cacheDir string, compact, compactStore bool, workers, reps in
 	if compactStore && cacheDir == "" {
 		return fmt.Errorf("-compact-store requires -cache-dir (there is no store to compact)")
 	}
+	switch storeFormat {
+	case "", store.FormatTLV, store.FormatJSONL:
+	default:
+		return fmt.Errorf("-store-format must be %s or %s, got %q", store.FormatTLV, store.FormatJSONL, storeFormat)
+	}
+	if storeFormat != "" && cacheDir == "" {
+		return fmt.Errorf("-store-format requires -cache-dir (the encoding is a property of the on-disk store)")
+	}
 	return nil
+}
+
+// decodeTLVStream converts a binary sweep stream (the
+// application/x-sweep-tlv response body, or a concatenation of v3
+// record frames) back to the canonical JSONL, one record per line —
+// the bridge that lets CI cmp-compare a negotiated binary stream
+// against the JSONL the same grid produces for plain clients.
+func decodeTLVStream(path string, w io.Writer) error {
+	in := io.Reader(os.Stdin)
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	sr := tlv.NewStreamReader(in)
+	out := bufio.NewWriter(w)
+	enc := json.NewEncoder(out)
+	for {
+		rec, err := sr.NextRecord()
+		if err == io.EOF {
+			return out.Flush()
+		}
+		if err != nil {
+			return fmt.Errorf("decode tlv stream: %w", err)
+		}
+		if err := enc.Encode(&rec); err != nil {
+			return err
+		}
+	}
 }
 
 func buildGrid(seeds string, reps int, baseSeed uint64, profiles, peering, edgeUPF,

@@ -1,34 +1,45 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/argame"
 	"repro/internal/slicing"
+	"repro/internal/sweep"
+	"repro/internal/sweep/tlv"
 )
 
 func TestValidateFlagsRejectsBadCombinations(t *testing.T) {
 	cases := []struct {
 		name                  string
 		cacheDir              string
+		storeFormat           string
 		compact, compactStore bool
 		workers, reps         int
 		wantErr               string
 	}{
-		{"compact-no-dir", "", true, false, 0, 1, "-compact requires -cache-dir"},
-		{"compact-store-no-dir", "", false, true, 0, 1, "-compact-store requires -cache-dir"},
-		{"both-no-dir", "", true, true, 0, 1, "-compact requires -cache-dir"},
-		{"compact-with-dir", ".c", true, false, 0, 1, ""},
-		{"compact-store-with-dir", ".c", false, true, 0, 1, ""},
-		{"plain", "", false, false, 0, 1, ""},
-		{"negative-workers", "", false, false, -1, 1, "-workers must be >= 0"},
-		{"explicit-workers", "", false, false, 4, 1, ""},
-		{"zero-reps", "", false, false, 0, 0, "-reps must be >= 1"},
-		{"negative-reps", "", false, false, 0, -3, "-reps must be >= 1"},
+		{"compact-no-dir", "", "", true, false, 0, 1, "-compact requires -cache-dir"},
+		{"compact-store-no-dir", "", "", false, true, 0, 1, "-compact-store requires -cache-dir"},
+		{"both-no-dir", "", "", true, true, 0, 1, "-compact requires -cache-dir"},
+		{"compact-with-dir", ".c", "", true, false, 0, 1, ""},
+		{"compact-store-with-dir", ".c", "", false, true, 0, 1, ""},
+		{"plain", "", "", false, false, 0, 1, ""},
+		{"negative-workers", "", "", false, false, -1, 1, "-workers must be >= 0"},
+		{"explicit-workers", "", "", false, false, 4, 1, ""},
+		{"zero-reps", "", "", false, false, 0, 0, "-reps must be >= 1"},
+		{"negative-reps", "", "", false, false, 0, -3, "-reps must be >= 1"},
+		{"format-tlv", ".c", "tlv", false, false, 0, 1, ""},
+		{"format-jsonl", ".c", "jsonl", false, false, 0, 1, ""},
+		{"format-unknown", ".c", "protobuf", false, false, 0, 1, "-store-format must be tlv or jsonl"},
+		{"format-no-dir", "", "tlv", false, false, 0, 1, "-store-format requires -cache-dir"},
 	}
 	for _, c := range cases {
-		err := validateFlags(c.cacheDir, c.compact, c.compactStore, c.workers, c.reps)
+		err := validateFlags(c.cacheDir, c.storeFormat, c.compact, c.compactStore, c.workers, c.reps)
 		if c.wantErr == "" {
 			if err != nil {
 				t.Errorf("%s: unexpected error %v", c.name, err)
@@ -38,6 +49,50 @@ func TestValidateFlagsRejectsBadCombinations(t *testing.T) {
 		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
 			t.Errorf("%s: got %v, want error containing %q", c.name, err, c.wantErr)
 		}
+	}
+}
+
+// TestDecodeTLVStreamRoundTrips: -decode-tlv turns a binary sweep
+// stream back into the canonical JSONL, in stream order, one line per
+// record. Codec exactness is the tlv package's property test; this
+// covers the cmd plumbing (framing, ordering, newline discipline).
+func TestDecodeTLVStreamRoundTrips(t *testing.T) {
+	recs := []sweep.Record{
+		{Scenario: "aa11", Variant: "v1", Seed: 1, Profile: "5G-public",
+			MobileNodes: 3, TargetCells: []string{"B2"}, WiredRounds: 5,
+			Measurements: 10, Factor: 1.5, Cells: []sweep.CellAggregate{}},
+		{Scenario: "bb22", Variant: "v2", Seed: 2, Profile: "6G-target",
+			EdgeUPF: true, MobileNodes: 5, TargetCells: []string{},
+			Measurements: 20, Cells: []sweep.CellAggregate{}},
+	}
+	var stream, want []byte
+	for i := range recs {
+		stream = tlv.AppendRecord(stream, &recs[i])
+		line, err := json.Marshal(&recs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, line...)
+		want = append(want, '\n')
+	}
+	path := filepath.Join(t.TempDir(), "sweep.tlv")
+	if err := os.WriteFile(path, stream, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := decodeTLVStream(path, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Fatalf("decoded JSONL differs:\ngot  %q\nwant %q", out.Bytes(), want)
+	}
+
+	// A stream cut mid-frame must fail loudly, not truncate silently.
+	if err := os.WriteFile(path, stream[:len(stream)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := decodeTLVStream(path, &out); err == nil {
+		t.Fatal("torn stream decoded without error")
 	}
 }
 

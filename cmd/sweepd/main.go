@@ -15,10 +15,13 @@
 //	sweepd -cache-dir .follow -queue-depth -1 -follow http://writer:8080
 //	                                                  # following replica: segment-ships
 //	                                                  # the writer's store, serves reads
+//	sweepd -cache-dir .sweep-cache -store-format jsonl # keep writing v2 JSONL segments
+//	sweepd -tlv-batch-records 128 -tlv-batch-bytes 131072 # TLV stream batching
 //
 // Endpoints: POST /v1/scenario (axes JSON -> record, ETag = scenario
 // ID), POST /v1/sweep (grid JSON -> chunked JSONL, byte-identical to
-// cmd/sweep -out), POST /v1/deltas (grid JSON -> recommendation
+// cmd/sweep -out; Accept: application/x-sweep-tlv negotiates the
+// batched binary stream), POST /v1/deltas (grid JSON -> recommendation
 // deltas), GET /v1/segments + /v1/segments/file (replication feed),
 // GET /healthz, GET /statsz.
 package main
@@ -45,6 +48,9 @@ func main() {
 		gridJobs     = flag.Int("grid-jobs", 0, "concurrent grid requests (/v1/sweep, /v1/deltas) (0 = default 16)")
 		maxGrid      = flag.Int("max-grid", 0, "reject grids expanding past this many scenarios (0 = default 65536)")
 		retryAfter   = flag.Int("retry-after", 0, "Retry-After seconds attached to 429 shed responses (0 = default 1)")
+		storeFormat  = flag.String("store-format", "", "with -cache-dir: record encoding for newly written store segments, tlv (default) or jsonl; existing segments stay readable either way")
+		batchRecs    = flag.Int("tlv-batch-records", 0, "records per flushed batch on negotiated binary /v1/sweep streams (0 = default 64)")
+		batchBytes   = flag.Int("tlv-batch-bytes", 0, "bytes per flushed batch on negotiated binary /v1/sweep streams (0 = default 64KiB)")
 		follow       = flag.String("follow", "", "follow a writer sweepd at this base URL: pull its segment feed into -cache-dir (pair with -queue-depth -1 for a pure read replica)")
 		followEvery  = flag.Duration("follow-interval", 2*time.Second, "with -follow: manifest poll period")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight requests")
@@ -61,21 +67,24 @@ func main() {
 	// the cmd/sweep convention: a silently clamped -sim-workers or a
 	// replica with nothing to serve would run while doing the wrong
 	// thing.
-	if err := validateFlags(*cacheDir, *compact, *simWorkers, *queueDepth, *gridJobs,
-		*maxGrid, *retryAfter, *follow, *followEvery, *drainTimeout); err != nil {
+	if err := validateFlags(*cacheDir, *storeFormat, *compact, *simWorkers, *queueDepth, *gridJobs,
+		*maxGrid, *retryAfter, *batchRecs, *batchBytes, *follow, *followEvery, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "sweepd:", err)
 		fmt.Fprintln(os.Stderr, "run with -h for usage")
 		os.Exit(2)
 	}
 
 	srv, err := sixgedge.NewSweepServer(sixgedge.ServeOptions{
-		CacheDir:         *cacheDir,
-		Compact:          *compact,
-		SimWorkers:       *simWorkers,
-		QueueDepth:       *queueDepth,
-		MaxGridJobs:      *gridJobs,
-		MaxGridScenarios: *maxGrid,
-		RetryAfter:       *retryAfter,
+		CacheDir:           *cacheDir,
+		Compact:            *compact,
+		StoreFormat:        *storeFormat,
+		SimWorkers:         *simWorkers,
+		QueueDepth:         *queueDepth,
+		MaxGridJobs:        *gridJobs,
+		MaxGridScenarios:   *maxGrid,
+		RetryAfter:         *retryAfter,
+		StreamBatchRecords: *batchRecs,
+		StreamBatchBytes:   *batchBytes,
 	})
 	if err != nil {
 		fatal(err)
@@ -139,8 +148,8 @@ func main() {
 }
 
 // validateFlags rejects nonsensical combinations up front.
-func validateFlags(cacheDir string, compact bool, simWorkers, queueDepth, gridJobs,
-	maxGrid, retryAfter int, follow string, followEvery, drainTimeout time.Duration) error {
+func validateFlags(cacheDir, storeFormat string, compact bool, simWorkers, queueDepth, gridJobs,
+	maxGrid, retryAfter, batchRecs, batchBytes int, follow string, followEvery, drainTimeout time.Duration) error {
 	if simWorkers < 0 {
 		return fmt.Errorf("-sim-workers must be >= 0 (0 = GOMAXPROCS), got %d", simWorkers)
 	}
@@ -155,6 +164,20 @@ func validateFlags(cacheDir string, compact bool, simWorkers, queueDepth, gridJo
 	}
 	if retryAfter < 0 {
 		return fmt.Errorf("-retry-after must be >= 0 (0 = default 1s), got %d", retryAfter)
+	}
+	if batchRecs < 0 {
+		return fmt.Errorf("-tlv-batch-records must be >= 0 (0 = default 64), got %d", batchRecs)
+	}
+	if batchBytes < 0 {
+		return fmt.Errorf("-tlv-batch-bytes must be >= 0 (0 = default 64KiB), got %d", batchBytes)
+	}
+	switch storeFormat {
+	case "", "tlv", "jsonl":
+	default:
+		return fmt.Errorf("-store-format must be tlv or jsonl, got %q", storeFormat)
+	}
+	if storeFormat != "" && cacheDir == "" {
+		return fmt.Errorf("-store-format requires -cache-dir (the encoding is a property of the on-disk store)")
 	}
 	if drainTimeout < 0 {
 		return fmt.Errorf("-drain-timeout must be >= 0, got %v", drainTimeout)

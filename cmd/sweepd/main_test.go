@@ -10,38 +10,46 @@ func TestValidateFlagsRejectsNonsense(t *testing.T) {
 	ok := 30 * time.Second
 	poll := 2 * time.Second
 	cases := []struct {
-		name       string
-		cacheDir   string
-		compact    bool
-		simWorkers int
-		queueDepth int
-		gridJobs   int
-		maxGrid    int
-		retryAfter int
-		follow     string
-		followEvr  time.Duration
-		drain      time.Duration
-		wantErr    string
+		name        string
+		cacheDir    string
+		storeFormat string
+		compact     bool
+		simWorkers  int
+		queueDepth  int
+		gridJobs    int
+		maxGrid     int
+		retryAfter  int
+		batchRecs   int
+		batchBytes  int
+		follow      string
+		followEvr   time.Duration
+		drain       time.Duration
+		wantErr     string
 	}{
-		{"defaults", "", false, 0, 0, 0, 0, 0, "", poll, ok, ""},
-		{"full", ".c", true, 8, 128, 4, 1024, 5, "", poll, ok, ""},
-		{"replica", ".c", false, 0, -1, 0, 0, 0, "", poll, ok, ""},
-		{"follower", ".c", false, 0, -1, 0, 0, 0, "http://w:8080", poll, ok, ""},
-		{"negative-sim-workers", "", false, -2, 0, 0, 0, 0, "", poll, ok, "-sim-workers must be >= 0"},
-		{"queue-below-minus-one", "", false, 0, -2, 0, 0, 0, "", poll, ok, "-queue-depth must be >= -1"},
-		{"negative-grid-jobs", "", false, 0, 0, -1, 0, 0, "", poll, ok, "-grid-jobs must be >= 0"},
-		{"negative-max-grid", "", false, 0, 0, 0, -1, 0, "", poll, ok, "-max-grid must be >= 0"},
-		{"negative-retry-after", "", false, 0, 0, 0, 0, -1, "", poll, ok, "-retry-after must be >= 0"},
-		{"negative-drain", "", false, 0, 0, 0, 0, 0, "", poll, -time.Second, "-drain-timeout must be >= 0"},
-		{"compact-no-dir", "", true, 0, 0, 0, 0, 0, "", poll, ok, "-compact requires -cache-dir"},
-		{"replica-no-dir", "", false, 0, -1, 0, 0, 0, "", poll, ok, "-queue-depth -1 (store-only replica) requires -cache-dir"},
-		{"follow-no-dir", "", false, 0, 0, 0, 0, 0, "http://w:8080", poll, ok, "-follow requires -cache-dir"},
-		{"follow-compact", ".c", true, 0, 0, 0, 0, 0, "http://w:8080", poll, ok, "-follow and -compact conflict"},
-		{"follow-bad-interval", ".c", false, 0, 0, 0, 0, 0, "http://w:8080", 0, ok, "-follow-interval must be > 0"},
+		{"defaults", "", "", false, 0, 0, 0, 0, 0, 0, 0, "", poll, ok, ""},
+		{"full", ".c", "tlv", true, 8, 128, 4, 1024, 5, 128, 1 << 17, "", poll, ok, ""},
+		{"replica", ".c", "", false, 0, -1, 0, 0, 0, 0, 0, "", poll, ok, ""},
+		{"follower", ".c", "", false, 0, -1, 0, 0, 0, 0, 0, "http://w:8080", poll, ok, ""},
+		{"format-jsonl", ".c", "jsonl", false, 0, 0, 0, 0, 0, 0, 0, "", poll, ok, ""},
+		{"negative-sim-workers", "", "", false, -2, 0, 0, 0, 0, 0, 0, "", poll, ok, "-sim-workers must be >= 0"},
+		{"queue-below-minus-one", "", "", false, 0, -2, 0, 0, 0, 0, 0, "", poll, ok, "-queue-depth must be >= -1"},
+		{"negative-grid-jobs", "", "", false, 0, 0, -1, 0, 0, 0, 0, "", poll, ok, "-grid-jobs must be >= 0"},
+		{"negative-max-grid", "", "", false, 0, 0, 0, -1, 0, 0, 0, "", poll, ok, "-max-grid must be >= 0"},
+		{"negative-retry-after", "", "", false, 0, 0, 0, 0, -1, 0, 0, "", poll, ok, "-retry-after must be >= 0"},
+		{"negative-batch-records", "", "", false, 0, 0, 0, 0, 0, -1, 0, "", poll, ok, "-tlv-batch-records must be >= 0"},
+		{"negative-batch-bytes", "", "", false, 0, 0, 0, 0, 0, 0, -1, "", poll, ok, "-tlv-batch-bytes must be >= 0"},
+		{"format-unknown", ".c", "protobuf", false, 0, 0, 0, 0, 0, 0, 0, "", poll, ok, "-store-format must be tlv or jsonl"},
+		{"format-no-dir", "", "tlv", false, 0, 0, 0, 0, 0, 0, 0, "", poll, ok, "-store-format requires -cache-dir"},
+		{"negative-drain", "", "", false, 0, 0, 0, 0, 0, 0, 0, "", poll, -time.Second, "-drain-timeout must be >= 0"},
+		{"compact-no-dir", "", "", true, 0, 0, 0, 0, 0, 0, 0, "", poll, ok, "-compact requires -cache-dir"},
+		{"replica-no-dir", "", "", false, 0, -1, 0, 0, 0, 0, 0, "", poll, ok, "-queue-depth -1 (store-only replica) requires -cache-dir"},
+		{"follow-no-dir", "", "", false, 0, 0, 0, 0, 0, 0, 0, "http://w:8080", poll, ok, "-follow requires -cache-dir"},
+		{"follow-compact", ".c", "", true, 0, 0, 0, 0, 0, 0, 0, "http://w:8080", poll, ok, "-follow and -compact conflict"},
+		{"follow-bad-interval", ".c", "", false, 0, 0, 0, 0, 0, 0, 0, "http://w:8080", 0, ok, "-follow-interval must be > 0"},
 	}
 	for _, c := range cases {
-		err := validateFlags(c.cacheDir, c.compact, c.simWorkers, c.queueDepth,
-			c.gridJobs, c.maxGrid, c.retryAfter, c.follow, c.followEvr, c.drain)
+		err := validateFlags(c.cacheDir, c.storeFormat, c.compact, c.simWorkers, c.queueDepth,
+			c.gridJobs, c.maxGrid, c.retryAfter, c.batchRecs, c.batchBytes, c.follow, c.followEvr, c.drain)
 		if c.wantErr == "" {
 			if err != nil {
 				t.Errorf("%s: unexpected error %v", c.name, err)

@@ -139,6 +139,7 @@ func All() []*Analyzer {
 		Determinism,
 		AppendOnlyHash,
 		JSONTags,
+		TLVTags,
 		LockDiscipline,
 		CloseCheck,
 	}

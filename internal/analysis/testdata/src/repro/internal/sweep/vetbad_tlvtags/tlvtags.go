@@ -1,0 +1,16 @@
+// Package vetbad seeds the TLV format-freeze violations: a frozen
+// field constant whose value drifted, a new field reusing a frozen
+// number, and (via the missing fEnvVersion baseline entry) a frozen
+// constant deleted outright — reported on the package clause.
+package vetbad // want "frozen TLV constant fEnvVersion .* was removed or renamed"
+
+const (
+	fRecA = 1
+	fRecB = 2 // want "frozen TLV constant fRecB changed from 3 to 2"
+
+	fRecGhost = 1 // want "new TLV field fRecGhost reuses frozen field number 1"
+	fRecFresh = 9
+
+	// A different group: number 1 is free here (no frozen fCfg fields).
+	fCfgNew = 1
+)

@@ -1,0 +1,197 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"unicode"
+)
+
+// tlvBaselines pins, per package, the frozen v3 TLV constants: every
+// field number the binary record/envelope encoding shipped with, plus
+// the frame layout and record version. A v3 frame written today must
+// decode forever, so a frozen constant may never change value or
+// disappear, and a new field in the same group may never reuse a frozen
+// number — old decoders would misread it as the retired field. New
+// fields take fresh numbers (old readers skip unknown fields cleanly).
+var tlvBaselines = map[string]map[string]int64{
+	"repro/internal/sweep/tlv": {
+		// Frame layout and record version (tlv.go).
+		"RecordVersion":  3,
+		"frameMagic0":    0xD5,
+		"frameMagic1":    0x33,
+		"FrameHeaderLen": 6,
+		"FrameOverhead":  10,
+
+		// sweep.Record stream fields (record.go).
+		"fRecScenario": 1, "fRecVariant": 2, "fRecSeed": 3, "fRecProfile": 4,
+		"fRecLocalPeering": 5, "fRecEdgeUPF": 6, "fRecMobileNodes": 7,
+		"fRecTargetCell": 8, "fRecWiredRounds": 9, "fRecSlicing": 10,
+		"fRecARDeployment": 11, "fRecGhostHits": 12, "fRecGhostRate": 13,
+		"fRecMeasurements": 14, "fRecMobile": 15, "fRecWired": 16,
+		"fRecFactor": 17, "fRecCell": 18,
+
+		// stats.Snapshot nested in records (record.go).
+		"fSnapN": 1, "fSnapMean": 2, "fSnapStd": 3, "fSnapMin": 4, "fSnapMax": 5,
+
+		// sweep.CellAggregate nested in records (record.go).
+		"fAggCell": 1, "fAggN": 2, "fAggMeanMs": 3, "fAggStdMs": 4,
+		"fAggReported": 5, "fAggGhostHits": 6, "fAggGhostRate": 7,
+
+		// Store envelope (envelope.go).
+		"fEnvVersion": 1, "fEnvID": 2, "fEnvResult": 3,
+
+		// campaign.ResultState (envelope.go).
+		"fResConfig": 1, "fResMeasurements": 2, "fResVirtualNs": 3,
+		"fResMobileMean": 4, "fResMobileAll": 5, "fResWired": 6,
+		"fResCell": 7, "fResCompact": 8, "fResARGhosts": 9,
+
+		// campaign.ConfigState (envelope.go).
+		"fCfgSeed": 1, "fCfgMobileNodes": 2, "fCfgProfile": 3,
+		"fCfgLocalPeering": 4, "fCfgEdgeUPF": 5, "fCfgTargetCell": 6,
+		"fCfgWiredRounds": 7, "fCfgSlicing": 8, "fCfgARGame": 9,
+
+		// campaign.SlicingState (envelope.go).
+		"fSliceStrategy": 1, "fSliceSites": 2,
+
+		// campaign.CellState (envelope.go).
+		"fCellCell": 1, "fCellN": 2, "fCellMeanMs": 3, "fCellStdMs": 4,
+		"fCellReported": 5, "fCellGhostHits": 6, "fCellSummary": 7,
+		"fCellSamples": 8,
+
+		// stats.SummaryState (envelope.go).
+		"fSumN": 1, "fSumMean": 2, "fSumM2": 3, "fSumMin": 4, "fSumMax": 5,
+	},
+	// Fixture baseline for the analyzer's own golden test.
+	"repro/internal/sweep/vetbad_tlvtags": {
+		"fRecA": 1, "fRecB": 3, "fEnvVersion": 1,
+	},
+}
+
+// TLVTags enforces the v3 binary record format freeze: the field-number
+// constants in internal/sweep/tlv must match the values they shipped
+// with, and additions must not reuse a retired number.
+var TLVTags = &Analyzer{
+	Name: "tlvtags",
+	Doc: "pin the frozen v3 TLV field numbers, frame layout and record version: " +
+		"a frozen constant may not change or vanish, and new fields in a frozen " +
+		"group may not reuse its numbers, keeping every v3 frame ever written decodable",
+	Run: runTLVTags,
+}
+
+func runTLVTags(pass *Pass) error {
+	base, ok := tlvBaselines[pass.Pkg.Path()]
+	if !ok {
+		return nil
+	}
+
+	type constDecl struct {
+		val int64
+		pos token.Pos
+	}
+	found := make(map[string]constDecl)
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		cn, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		v, exact := constant.Int64Val(constant.ToInt(cn.Val()))
+		if !exact {
+			continue
+		}
+		found[name] = constDecl{val: v, pos: cn.Pos()}
+	}
+
+	// Frozen constants must survive with their shipped values.
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		want := base[name]
+		c, declared := found[name]
+		if !declared {
+			pass.Reportf(packagePos(pass), "frozen TLV constant %s (= %d) was removed or renamed: "+
+				"every v3 frame already on disk still encodes it; restore the constant", name, want)
+			continue
+		}
+		if c.val != want {
+			pass.Reportf(c.pos, "frozen TLV constant %s changed from %d to %d: deployed v3 "+
+				"frames were written with the old value and would decode wrong; field numbers "+
+				"and frame layout are append-only", name, want, c.val)
+		}
+	}
+
+	// New field-number constants must not collide with a frozen number
+	// in their group (the f<Group> prefix).
+	groups := make(map[string]map[int64]string)
+	for name, v := range base {
+		g := fieldGroup(name)
+		if g == "" {
+			continue
+		}
+		if groups[g] == nil {
+			groups[g] = make(map[int64]string)
+		}
+		groups[g][v] = name
+	}
+	foundNames := make([]string, 0, len(found))
+	for name := range found {
+		foundNames = append(foundNames, name)
+	}
+	sort.Strings(foundNames)
+	for _, name := range foundNames {
+		if _, frozen := base[name]; frozen {
+			continue
+		}
+		g := fieldGroup(name)
+		if g == "" {
+			continue
+		}
+		c := found[name]
+		if holder, clash := groups[g][c.val]; clash {
+			pass.Reportf(c.pos, "new TLV field %s reuses frozen field number %d (held by %s): "+
+				"old decoders would read it as the retired field; pick an unused number — "+
+				"unknown fields skip cleanly", name, c.val, holder)
+		}
+	}
+	return nil
+}
+
+// fieldGroup extracts the f<Group> prefix of a TLV field-number
+// constant: the leading "f" plus one capitalized segment, e.g.
+// fRecScenario -> "fRec", fSliceSites -> "fSlice". Non-field constants
+// (frame layout, version) return "".
+func fieldGroup(name string) string {
+	r := []rune(name)
+	if len(r) < 3 || r[0] != 'f' || !unicode.IsUpper(r[1]) {
+		return ""
+	}
+	i := 2
+	for i < len(r) && unicode.IsLower(r[i]) {
+		i++
+	}
+	if i == len(r) { // no field segment follows the group
+		return ""
+	}
+	return string(r[:i])
+}
+
+// packagePos anchors whole-package diagnostics (a deleted constant has
+// no position of its own) on the first file's package clause.
+func packagePos(pass *Pass) token.Pos {
+	var first *ast.File
+	for _, f := range pass.Files {
+		if first == nil || f.Package < first.Package {
+			first = f
+		}
+	}
+	if first == nil {
+		return token.NoPos
+	}
+	return first.Package
+}

@@ -1,0 +1,40 @@
+package sweep
+
+import (
+	"testing"
+
+	"repro/internal/campaign"
+)
+
+// TestAggregateToleratesMissingCellSamples is the regression test for
+// the nil-map-entry panic: a report row whose cell never received
+// merged samples must aggregate as an unreported zero cell, not crash.
+// It lives in-package (unlike the store-backed sweep tests) because it
+// drives the unexported aggregate/runCampaign internals directly.
+func TestAggregateToleratesMissingCellSamples(t *testing.T) {
+	res, err := runCampaign(campaign.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop one reported cell's samples but keep its report row — the
+	// shape a hand-built or partially restored result can take.
+	victim := res.MaxMean.Cell
+	delete(res.Samples, victim)
+	runs := []ScenarioRun{{
+		Scenario: Scenario{ID: "x", Variant: "y", Config: res.Config},
+		Result:   res,
+	}}
+	variants := aggregate(runs) // must not panic
+	if len(variants) != 1 {
+		t.Fatalf("got %d variants, want 1", len(variants))
+	}
+	for _, c := range variants[0].Cells {
+		if c.Cell == victim.String() {
+			if c.Reported || c.N != 0 || c.MeanMs != 0 || c.StdMs != 0 {
+				t.Fatalf("sample-less cell must aggregate as unreported zero, got %+v", c)
+			}
+			return
+		}
+	}
+	t.Fatalf("cell %s missing from the aggregate", victim)
+}

@@ -1,4 +1,4 @@
-package sweep
+package sweep_test
 
 import (
 	"bytes"
@@ -9,6 +9,7 @@ import (
 	"repro/internal/argame"
 	"repro/internal/campaign"
 	"repro/internal/slicing"
+	"repro/internal/sweep"
 	"repro/internal/sweep/store"
 )
 
@@ -31,11 +32,11 @@ func TestScenarioIDGolden(t *testing.T) {
 			"37a0fbfb60c3bcb7", "2cb7e41ea3c71044"},
 	}
 	for _, c := range cases {
-		if got := ScenarioID(c.cfg); got != c.id {
+		if got := sweep.ScenarioID(c.cfg); got != c.id {
 			t.Errorf("ScenarioID(%+v) = %s, want %s (pre-axes caches would stop hitting)",
 				c.cfg, got, c.id)
 		}
-		if got := VariantID(c.cfg); got != c.variant {
+		if got := sweep.VariantID(c.cfg); got != c.variant {
 			t.Errorf("VariantID(%+v) = %s, want %s", c.cfg, got, c.variant)
 		}
 	}
@@ -47,12 +48,12 @@ func TestScenarioIDGolden(t *testing.T) {
 		Slicing: &campaign.SlicingPlacement{Strategy: slicing.StrategyNone},
 		ARGame:  &campaign.ARGameMode{Deployment: argame.DeployNone},
 	}
-	if ScenarioID(explicitNone) != ScenarioID(base) {
+	if sweep.ScenarioID(explicitNone) != sweep.ScenarioID(base) {
 		t.Error("explicit-none slicing/AR settings must hash like their absence")
 	}
 
 	// And non-default values must mint fresh, distinct IDs.
-	ids := map[string]string{ScenarioID(base): "base"}
+	ids := map[string]string{sweep.ScenarioID(base): "base"}
 	for name, cfg := range map[string]campaign.Config{
 		"slicing-latency":    {Seed: 42, Slicing: &campaign.SlicingPlacement{Strategy: slicing.StrategyLatency}},
 		"slicing-resilience": {Seed: 42, Slicing: &campaign.SlicingPlacement{Strategy: slicing.StrategyResilience}},
@@ -61,7 +62,7 @@ func TestScenarioIDGolden(t *testing.T) {
 		"ar-edge":            {Seed: 42, ARGame: &campaign.ARGameMode{Deployment: argame.DeployEdgeUPF}},
 		"wired-7":            {Seed: 42, WiredRounds: 7},
 	} {
-		id := ScenarioID(cfg)
+		id := sweep.ScenarioID(cfg)
 		if prev, dup := ids[id]; dup {
 			t.Errorf("%s collides with %s (%s)", name, prev, id)
 		}
@@ -72,7 +73,7 @@ func TestScenarioIDGolden(t *testing.T) {
 // TestGridNewAxesExpansion checks ordering, sizing and config
 // construction across the three new axes.
 func TestGridNewAxesExpansion(t *testing.T) {
-	g := Grid{
+	g := sweep.Grid{
 		Seeds:             []uint64{1, 2},
 		WiredRounds:       []int{3, 5},
 		SlicingStrategies: []slicing.Strategy{slicing.StrategyNone, slicing.StrategyLatency},
@@ -116,7 +117,7 @@ func TestGridNewAxesExpansion(t *testing.T) {
 // duplicate-scenario guard, including the sneaky 0-vs-explicit-default
 // WiredRounds pair that only collides after canonicalization.
 func TestGridNewAxesRejectDuplicates(t *testing.T) {
-	for name, g := range map[string]Grid{
+	for name, g := range map[string]sweep.Grid{
 		"wired-rounds-repeat":        {WiredRounds: []int{3, 3}},
 		"wired-rounds-zero-and-five": {WiredRounds: []int{0, 5}},
 		"slicing-repeat": {SlicingStrategies: []slicing.Strategy{
@@ -139,7 +140,7 @@ func TestGridSizeOverflow(t *testing.T) {
 	for i := range huge {
 		huge[i] = uint64(i)
 	}
-	g := Grid{
+	g := sweep.Grid{
 		Seeds:          huge,
 		MobileNodes:    make([]int, 1<<16),
 		WiredRounds:    make([]int, 1<<16),
@@ -158,7 +159,7 @@ func TestGridSizeOverflow(t *testing.T) {
 // placement and an AR-mode campaign must export byte-identical JSONL at
 // any worker count.
 func TestSweepNewAxesDeterministicAcrossWorkerCounts(t *testing.T) {
-	grid := Grid{
+	grid := sweep.Grid{
 		Seeds:             []uint64{1},
 		WiredRounds:       []int{3, 5},
 		SlicingStrategies: []slicing.Strategy{slicing.StrategyNone, slicing.StrategyLatency},
@@ -166,7 +167,7 @@ func TestSweepNewAxesDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 	var ref []byte
 	for _, workers := range []int{1, 4, 8} {
-		res, err := Run(grid, Options{Workers: workers, Cache: NewCache()})
+		res, err := sweep.Run(grid, sweep.Options{Workers: workers, Cache: sweep.NewCache()})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -194,11 +195,11 @@ func TestSweepNewAxesDeterministicAcrossWorkerCounts(t *testing.T) {
 // TestDeltasScoreSlicingAxis: a slicing variant pairs against the
 // default-probes twin.
 func TestDeltasScoreSlicingAxis(t *testing.T) {
-	res, err := Run(Grid{
+	res, err := sweep.Run(sweep.Grid{
 		Seeds: []uint64{1},
 		SlicingStrategies: []slicing.Strategy{
 			slicing.StrategyNone, slicing.StrategyLatency, slicing.StrategyResilience},
-	}, Options{Workers: 4})
+	}, sweep.Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,11 +233,11 @@ func TestDeltasScoreSlicingAxis(t *testing.T) {
 // paired on the edge_upf / local_peering axes — those rows would report
 // a meaningless ~0 reduction.
 func TestDeltasSkipFlagAxesForARVariants(t *testing.T) {
-	res, err := Run(Grid{
+	res, err := sweep.Run(sweep.Grid{
 		Seeds:             []uint64{1},
 		EdgeUPF:           []bool{false, true},
 		ARGameDeployments: []argame.Deployment{argame.DeployNone, argame.DeployEdgeUPF},
-	}, Options{Workers: 4})
+	}, sweep.Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,8 +277,8 @@ func TestNewAxesSweepOverOldCacheServesOldScenarios(t *testing.T) {
 	grid := v1Grid
 	grid.SlicingStrategies = []slicing.Strategy{slicing.StrategyNone, slicing.StrategyLatency}
 	grid.ARGameDeployments = []argame.Deployment{argame.DeployNone, argame.DeployEdgeUPF}
-	runs := countRuns(t)
-	res, err := Run(grid, Options{Workers: 4, Cache: NewPersistentCache(st)})
+	runs := sweep.CountRuns(t)
+	res, err := sweep.Run(grid, sweep.Options{Workers: 4, Cache: sweep.NewPersistentCache(st)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,35 +298,4 @@ func TestNewAxesSweepOverOldCacheServesOldScenarios(t *testing.T) {
 	if want := int64(len(res.Scenarios) - old); runs.Load() != want {
 		t.Fatalf("simulated %d scenarios, want exactly the %d new-axis points", runs.Load(), want)
 	}
-}
-
-// TestAggregateToleratesMissingCellSamples is the regression test for
-// the nil-map-entry panic: a report row whose cell never received
-// merged samples must aggregate as an unreported zero cell, not crash.
-func TestAggregateToleratesMissingCellSamples(t *testing.T) {
-	res, err := runCampaign(campaign.Config{Seed: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Drop one reported cell's samples but keep its report row — the
-	// shape a hand-built or partially restored result can take.
-	victim := res.MaxMean.Cell
-	delete(res.Samples, victim)
-	runs := []ScenarioRun{{
-		Scenario: Scenario{ID: "x", Variant: "y", Config: res.Config},
-		Result:   res,
-	}}
-	variants := aggregate(runs) // must not panic
-	if len(variants) != 1 {
-		t.Fatalf("got %d variants, want 1", len(variants))
-	}
-	for _, c := range variants[0].Cells {
-		if c.Cell == victim.String() {
-			if c.Reported || c.N != 0 || c.MeanMs != 0 || c.StdMs != 0 {
-				t.Fatalf("sample-less cell must aggregate as unreported zero, got %+v", c)
-			}
-			return
-		}
-	}
-	t.Fatalf("cell %s missing from the aggregate", victim)
 }

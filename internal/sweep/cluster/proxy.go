@@ -18,6 +18,7 @@ import (
 	"repro/internal/buildinfo"
 	"repro/internal/sweep"
 	"repro/internal/sweep/store"
+	"repro/internal/sweep/tlv"
 )
 
 // DefaultCacheEntries bounds the proxy's response cache when Options
@@ -64,6 +65,13 @@ type Options struct {
 	// MaxGridScenarios rejects larger sweep grids with 413 before
 	// expansion (serve's default when zero).
 	MaxGridScenarios int
+	// StreamBatchRecords / StreamBatchBytes tune the TLV stream batch
+	// thresholds for clients negotiating "Accept:
+	// application/x-sweep-tlv" on /v1/sweep (0 selects
+	// tlv.DefaultBatchRecords / tlv.DefaultBatchBytes). JSONL fan-outs
+	// keep the flush-per-line cadence.
+	StreamBatchRecords int
+	StreamBatchBytes   int
 	// Client performs backend requests (a default client when nil).
 	Client *http.Client
 }
@@ -106,19 +114,22 @@ type Proxy struct {
 	ring     *Ring     // nil with zero replicas
 	byURL    map[string]*member
 
-	client    *http.Client
-	cache     *responseCache // nil when caching is disabled
-	maxGrid   int
-	workers   int
-	interval  time.Duration
-	mux       *http.ServeMux
-	hs        *http.Server
-	start     time.Time
-	stop      chan struct{}
-	stopOnce  sync.Once
-	healthWG  sync.WaitGroup
-	scenarios atomic.Int64
-	sweeps    atomic.Int64
+	client     *http.Client
+	cache      *responseCache // nil when caching is disabled
+	maxGrid    int
+	workers    int
+	batchRecs  int
+	batchBytes int
+	interval   time.Duration
+	mux        *http.ServeMux
+	hs         *http.Server
+	start      time.Time
+	stop       chan struct{}
+	stopOnce   sync.Once
+	healthWG   sync.WaitGroup
+	scenarios  atomic.Int64
+	sweeps     atomic.Int64
+	tlvSweeps  atomic.Int64
 
 	cacheHits, cacheMisses, notModified atomic.Int64
 }
@@ -129,14 +140,20 @@ func NewProxy(opts Options) (*Proxy, error) {
 	if opts.Writer == "" {
 		return nil, fmt.Errorf("cluster: proxy needs a writer URL")
 	}
+	if opts.StreamBatchRecords < 0 || opts.StreamBatchBytes < 0 {
+		return nil, fmt.Errorf("cluster: stream batch thresholds must be >= 0, got %d records / %d bytes",
+			opts.StreamBatchRecords, opts.StreamBatchBytes)
+	}
 	p := &Proxy{
-		writer:  &member{url: strings.TrimRight(opts.Writer, "/")},
-		byURL:   map[string]*member{},
-		client:  opts.Client,
-		maxGrid: opts.MaxGridScenarios,
-		workers: opts.SweepWorkers,
-		start:   time.Now(), //sweepvet:allow(timenow) proxy start time for /statsz uptime; never in record bytes
-		stop:    make(chan struct{}),
+		writer:     &member{url: strings.TrimRight(opts.Writer, "/")},
+		byURL:      map[string]*member{},
+		client:     opts.Client,
+		maxGrid:    opts.MaxGridScenarios,
+		workers:    opts.SweepWorkers,
+		batchRecs:  opts.StreamBatchRecords,
+		batchBytes: opts.StreamBatchBytes,
+		start:      time.Now(), //sweepvet:allow(timenow) proxy start time for /statsz uptime; never in record bytes
+		stop:       make(chan struct{}),
 	}
 	p.writer.healthy.Store(true)
 	p.byURL[p.writer.url] = p.writer
@@ -516,11 +533,28 @@ func (p *Proxy) handleScenario(w http.ResponseWriter, r *http.Request) {
 	w.Write(line)
 }
 
+// acceptsTLV mirrors the serve layer's negotiation: only an Accept
+// header explicitly listing the TLV media type selects the binary
+// stream; absent headers and wildcards keep JSONL.
+func acceptsTLV(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		mt, _, _ := strings.Cut(strings.TrimSpace(part), ";")
+		if strings.EqualFold(strings.TrimSpace(mt), tlv.MediaType) {
+			return true
+		}
+	}
+	return false
+}
+
 // handleSweep fans a grid out scenario by scenario across the ring and
 // merges the responses back in grid order — byte-identical to the same
 // sweep against a single sweepd, because each response line IS one line
 // of that stream. Workers run ahead while earlier lines flush, the same
-// pipelining discipline as the sweep engine's RunEach.
+// pipelining discipline as the sweep engine's RunEach. Clients
+// negotiating "Accept: application/x-sweep-tlv" get the merged stream
+// re-framed as batched v3 TLV: backends answer per-scenario JSON either
+// way, and the record codec is canonical, so the binary stream decodes
+// to exactly the JSONL bytes a non-negotiating client receives.
 func (p *Proxy) handleSweep(w http.ResponseWriter, r *http.Request) {
 	p.sweeps.Add(1)
 	if !requirePost(w, r) {
@@ -587,13 +621,32 @@ func (p *Proxy) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}()
 	}
 
+	// The ResponseWriter need not be an http.Flusher (wrapping
+	// middleware, test recorders): stream without explicit flushes then.
 	flusher, _ := w.(http.Flusher)
+	flushFn := func() {}
+	if flusher != nil {
+		flushFn = flusher.Flush
+	}
+	binary := acceptsTLV(r)
+	var bw *tlv.BatchWriter
 	wroteHeader := false
+	// started reports whether response bytes may have reached the wire —
+	// the point past which errors must abort the connection instead of
+	// writing a status. The batched TLV writer can hold whole records
+	// unwritten, so its threshold is the first flushed batch, not the
+	// first merged line.
+	started := func() bool {
+		if bw != nil {
+			return bw.Batches > 0
+		}
+		return wroteHeader
+	}
 	for i := range cells {
 		<-cells[i].done
 		if cells[i].err != nil {
 			cancel()
-			if !wroteHeader {
+			if !started() {
 				relayError(w, cells[i].err)
 				return
 			}
@@ -602,16 +655,45 @@ func (p *Proxy) handleSweep(w http.ResponseWriter, r *http.Request) {
 			panic(http.ErrAbortHandler)
 		}
 		if !wroteHeader {
-			w.Header().Set("Content-Type", "application/x-ndjson")
+			if binary {
+				w.Header().Set("Content-Type", tlv.MediaType)
+				bw = tlv.NewBatchWriter(w, flushFn, p.batchRecs, p.batchBytes)
+			} else {
+				w.Header().Set("Content-Type", "application/x-ndjson")
+			}
 			wroteHeader = true
+		}
+		if bw != nil {
+			// Re-frame the resolved JSON line as a v3 record. A backend
+			// line that does not decode is a backend bug; surface it like
+			// any other cell failure.
+			var rec sweep.Record
+			if err := json.Unmarshal(cells[i].line, &rec); err != nil {
+				cancel()
+				if !started() {
+					httpError(w, http.StatusBadGateway, fmt.Sprintf("backend line for %s: %v", scs[i].ID, err))
+					return
+				}
+				panic(http.ErrAbortHandler)
+			}
+			if err := bw.WriteRecord(&rec); err != nil {
+				cancel()
+				panic(http.ErrAbortHandler)
+			}
+			continue
 		}
 		if _, err := w.Write(cells[i].line); err != nil {
 			cancel()
 			panic(http.ErrAbortHandler)
 		}
-		if flusher != nil {
-			flusher.Flush()
+		flushFn()
+	}
+	if bw != nil {
+		if err := bw.Flush(); err != nil {
+			cancel()
+			panic(http.ErrAbortHandler)
 		}
+		p.tlvSweeps.Add(1)
 	}
 }
 
@@ -668,6 +750,8 @@ type ProxyStats struct {
 	} `json:"scenario"`
 	Sweep struct {
 		Requests int64 `json:"requests"`
+		// TLVStreams counts sweeps that negotiated the binary framing.
+		TLVStreams int64 `json:"tlv_streams"`
 	} `json:"sweep"`
 	Cache struct {
 		Entries     int   `json:"entries"`
@@ -698,6 +782,7 @@ func (p *Proxy) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	st.Version = buildinfo.Version()
 	st.Scenario.Requests = p.scenarios.Load()
 	st.Sweep.Requests = p.sweeps.Load()
+	st.Sweep.TLVStreams = p.tlvSweeps.Load()
 	if p.cache != nil {
 		st.Cache.Entries = p.cache.len()
 	}

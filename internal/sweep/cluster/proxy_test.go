@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/sweep"
 	"repro/internal/sweep/serve"
+	"repro/internal/sweep/tlv"
 )
 
 // flakyHandler wraps a backend so tests can take it down (every request
@@ -422,5 +424,97 @@ func TestProxyRejectsBadRequests(t *testing.T) {
 	st := proxyStats(t, pts.URL)
 	if st.Writer.Requests != 0 {
 		t.Fatalf("rejected requests reached the writer %d times", st.Writer.Requests)
+	}
+}
+
+// TestProxySweepTLVNegotiation: a sweep through the proxy with the
+// binary media type in Accept comes back as batched v3 TLV frames that
+// decode to exactly the records of the JSONL stream — including with a
+// replica down mid-fan-out — while clients that don't ask keep the
+// byte-identical JSONL contract.
+func TestProxySweepTLVNegotiation(t *testing.T) {
+	g := sweep.Grid{Seeds: []uint64{361, 362}, EdgeUPF: []bool{false, true}}
+	res, err := sweep.Run(g, sweep.Options{Workers: 2, Cache: sweep.NewCache()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonl, err := res.ExportJSONL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []sweep.Record
+	dec := json.NewDecoder(bytes.NewReader(jsonl))
+	for dec.More() {
+		var rec sweep.Record
+		if err := dec.Decode(&rec); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, rec)
+	}
+
+	c := newTestCluster(t, 2)
+	_, pts := c.newProxy(t, Options{StreamBatchRecords: 2})
+	spec := `{"seeds":[361,362],"edge_upf":[false,true]}`
+
+	sweepTLV := func() []sweep.Record {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, pts.URL+"/v1/sweep", strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Accept", tlv.MediaType)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			t.Fatalf("sweep status %d: %s", resp.StatusCode, b)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != tlv.MediaType {
+			t.Fatalf("Content-Type %q, want %q", ct, tlv.MediaType)
+		}
+		sr := tlv.NewStreamReader(resp.Body)
+		var got []sweep.Record
+		for {
+			rec, err := sr.NextRecord()
+			if err == io.EOF {
+				return got
+			}
+			if err != nil {
+				t.Fatalf("decoding proxied TLV stream: %v", err)
+			}
+			got = append(got, rec)
+		}
+	}
+
+	if got := sweepTLV(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("cold proxied TLV sweep decoded to %d records, want %d identical to JSONL", len(got), len(want))
+	}
+	c.sync(t)
+	c.flaky[0].down.Store(true)
+	if got := sweepTLV(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("degraded proxied TLV sweep differs from JSONL records")
+	}
+
+	// Non-negotiating client after TLV traffic: still byte-identical JSONL.
+	resp, err := http.Post(pts.URL+"/v1/sweep", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, jsonl) {
+		t.Fatalf("JSONL sweep after TLV traffic drifted (%d vs %d bytes)", len(b), len(jsonl))
+	}
+
+	st := proxyStats(t, pts.URL)
+	if st.Sweep.TLVStreams != 2 {
+		t.Fatalf("Sweep.TLVStreams = %d, want 2", st.Sweep.TLVStreams)
 	}
 }

@@ -230,8 +230,9 @@ func (r *Replicator) SyncOnce(ctx context.Context) error {
 	}
 
 	type segRef struct {
-		shard string
-		seg   int
+		shard  string
+		seg    int
+		format string
 	}
 	_, localSegs := r.st.Manifest()
 	local := make(map[store.SegmentInfo]bool, len(localSegs))
@@ -241,7 +242,7 @@ func (r *Replicator) SyncOnce(ctx context.Context) error {
 	remote := make(map[segRef]bool, len(man.Segments))
 	var toShip []store.SegmentInfo
 	for _, si := range man.Segments {
-		remote[segRef{si.Shard, si.Seg}] = true
+		remote[segRef{si.Shard, si.Seg, si.Format}] = true
 		if !local[si] {
 			toShip = append(toShip, si)
 		}
@@ -264,12 +265,15 @@ func (r *Replicator) SyncOnce(ctx context.Context) error {
 		r.mu.Unlock()
 	}
 	// Segments the writer no longer lists were compacted away; their
-	// surviving records arrived above in the compacted segment.
+	// surviving records arrived above in the compacted segment. The
+	// format is part of the identity: when the writer's compaction
+	// transcodes a JSONL segment range into TLV, the JSONL files vanish
+	// from the manifest and are dropped here by (shard, seg, format).
 	for _, si := range localSegs {
-		if remote[segRef{si.Shard, si.Seg}] {
+		if remote[segRef{si.Shard, si.Seg, si.Format}] {
 			continue
 		}
-		if err := r.st.DropSegment(si.Shard, si.Seg); err != nil {
+		if err := r.st.DropSegment(si.Shard, si.Seg, si.Format); err != nil {
 			return r.fail(0, err)
 		}
 		r.mu.Lock()
@@ -294,6 +298,9 @@ func (r *Replicator) SyncOnce(ctx context.Context) error {
 // manifest, and those extra committed lines are welcome.
 func (r *Replicator) shipSegment(ctx context.Context, si store.SegmentInfo) error {
 	url := fmt.Sprintf("%s/v1/segments/file?shard=%s&seg=%d", r.writer, si.Shard, si.Seg)
+	if si.Format != "" {
+		url += "&format=" + si.Format
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return err
@@ -319,5 +326,5 @@ func (r *Replicator) shipSegment(ctx context.Context, si store.SegmentInfo) erro
 		return fmt.Errorf("cluster: fetch %s/%d: partial download (%d of %d bytes)",
 			si.Shard, si.Seg, len(data), si.Size)
 	}
-	return r.st.IngestSegment(si.Shard, si.Seg, data)
+	return r.st.IngestSegment(si.Shard, si.Seg, si.Format, data)
 }

@@ -1,0 +1,12 @@
+package sweep
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// CountRuns exposes the countRuns campaign-execution counter to the
+// external sweep_test package, which hosts the store-backed tests: an
+// in-package import of the store would cycle store → tlv → sweep back
+// into the test binary.
+func CountRuns(t *testing.T) *atomic.Int64 { return countRuns(t) }

@@ -1,4 +1,4 @@
-package sweep
+package sweep_test
 
 import (
 	"bytes"
@@ -7,12 +7,13 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/sweep"
 	"repro/internal/sweep/store"
 )
 
 // persistGrid is small enough to run in tests but exercises
 // replications, both recommendation axes, and variant aggregation.
-var persistGrid = Grid{
+var persistGrid = sweep.Grid{
 	Seeds:   []uint64{1, 2},
 	EdgeUPF: []bool{false, true},
 }
@@ -32,7 +33,7 @@ func TestSweepResumesFromDiskAcrossRestart(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			first, err := Run(persistGrid, Options{Workers: 2, Cache: NewPersistentCache(st)})
+			first, err := sweep.Run(persistGrid, sweep.Options{Workers: 2, Cache: sweep.NewPersistentCache(st)})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -46,13 +47,13 @@ func TestSweepResumesFromDiskAcrossRestart(t *testing.T) {
 
 			// "Restart": new store handle, new in-memory cache, and a
 			// campaign counter proving nothing re-simulates.
-			runs := countRuns(t)
+			runs := sweep.CountRuns(t)
 			st2, err := store.Open(dir, store.Options{Compact: mode.compact})
 			if err != nil {
 				t.Fatal(err)
 			}
 			defer st2.Close()
-			second, err := Run(persistGrid, Options{Workers: 2, Cache: NewPersistentCache(st2)})
+			second, err := sweep.Run(persistGrid, sweep.Options{Workers: 2, Cache: sweep.NewPersistentCache(st2)})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -84,11 +85,13 @@ func TestSweepResumesFromDiskAcrossRestart(t *testing.T) {
 }
 
 // findSegmentOf locates the pack segment holding a scenario's record,
-// via the fixed envelope prefix, so tests can damage precise files
+// via the id bytes themselves — a content-hash id appears verbatim in
+// both encodings (quoted in the v2 JSON envelope, as a raw TLV string
+// in v3) and in nothing else — so tests can damage precise files
 // without reaching into store internals.
 func findSegmentOf(t *testing.T, dir, id string) string {
 	t.Helper()
-	needle := []byte(`{"v":1,"id":"` + id + `"`)
+	needle := []byte(id)
 	var found string
 	err := filepath.WalkDir(filepath.Join(dir, "segments"), func(p string, d os.DirEntry, err error) error {
 		if err != nil || d.IsDir() {
@@ -124,7 +127,7 @@ func TestSweepHealsCorruptedCacheRecords(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	first, err := Run(persistGrid, Options{Workers: 2, Cache: NewPersistentCache(st)})
+	first, err := sweep.Run(persistGrid, sweep.Options{Workers: 2, Cache: sweep.NewPersistentCache(st)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,13 +152,13 @@ func TestSweepHealsCorruptedCacheRecords(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	runs := countRuns(t)
+	runs := sweep.CountRuns(t)
 	st2, err := store.Open(dir, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer st2.Close()
-	second, err := Run(persistGrid, Options{Workers: 2, Cache: NewPersistentCache(st2)})
+	second, err := sweep.Run(persistGrid, sweep.Options{Workers: 2, Cache: sweep.NewPersistentCache(st2)})
 	if err != nil {
 		t.Fatalf("corrupted cache must never fail the sweep: %v", err)
 	}
@@ -180,7 +183,7 @@ func TestSweepHealsCorruptedCacheRecords(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer st3.Close()
-	third, err := Run(persistGrid, Options{Workers: 2, Cache: NewPersistentCache(st3)})
+	third, err := sweep.Run(persistGrid, sweep.Options{Workers: 2, Cache: sweep.NewPersistentCache(st3)})
 	if err != nil {
 		t.Fatal(err)
 	}

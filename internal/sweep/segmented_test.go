@@ -1,4 +1,4 @@
-package sweep
+package sweep_test
 
 import (
 	"bytes"
@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"repro/internal/campaign"
+	"repro/internal/sweep"
 	"repro/internal/sweep/store"
 )
 
@@ -25,8 +26,8 @@ func TestSegmentedStoreSingleflightUnderConcurrency(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer st.Close()
-	cache := NewPersistentCache(st)
-	runs := countRuns(t)
+	cache := sweep.NewPersistentCache(st)
+	runs := sweep.CountRuns(t)
 
 	cfgs := []campaign.Config{{Seed: 201}, {Seed: 202}, {Seed: 203}, {Seed: 204}}
 	const workers = 8
@@ -52,7 +53,7 @@ func TestSegmentedStoreSingleflightUnderConcurrency(t *testing.T) {
 				}
 				// Interleave plain Gets; hit or miss both legal while
 				// flights are in progress.
-				cache.Get(ScenarioID(cfg))
+				cache.Get(sweep.ScenarioID(cfg))
 			}
 		}(w)
 	}
@@ -68,10 +69,10 @@ func TestSegmentedStoreSingleflightUnderConcurrency(t *testing.T) {
 
 	// A cold cache over the same store: all four served from segments,
 	// zero simulations.
-	cold := NewPersistentCache(st)
+	cold := sweep.NewPersistentCache(st)
 	for _, cfg := range cfgs {
-		if _, ok := cold.Get(ScenarioID(cfg)); !ok {
-			t.Fatalf("scenario %s not served from the segmented store", ScenarioID(cfg))
+		if _, ok := cold.Get(sweep.ScenarioID(cfg)); !ok {
+			t.Fatalf("scenario %s not served from the segmented store", sweep.ScenarioID(cfg))
 		}
 	}
 	if got := runs.Load(); got != int64(len(cfgs)) {
@@ -90,7 +91,7 @@ func TestGetOrRunFullReSimulatesCompactHit(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := campaign.Config{Seed: 31}
-	warm := NewPersistentCache(st)
+	warm := sweep.NewPersistentCache(st)
 	if _, err := warm.GetOrRun(cfg); err != nil {
 		t.Fatal(err)
 	}
@@ -102,8 +103,8 @@ func TestGetOrRunFullReSimulatesCompactHit(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer st2.Close()
-	cache := NewPersistentCache(st2)
-	runs := countRuns(t)
+	cache := sweep.NewPersistentCache(st2)
+	runs := sweep.CountRuns(t)
 
 	// The summary-only hit is fine for moment consumers...
 	res, err := cache.GetOrRun(cfg)
@@ -156,7 +157,7 @@ func TestSweepNeedRawSamplesOverCompactStore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Run(persistGrid, Options{Workers: 2, Cache: NewPersistentCache(st)}); err != nil {
+	if _, err := sweep.Run(persistGrid, sweep.Options{Workers: 2, Cache: sweep.NewPersistentCache(st)}); err != nil {
 		t.Fatal(err)
 	}
 	st.Close()
@@ -166,8 +167,8 @@ func TestSweepNeedRawSamplesOverCompactStore(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer st2.Close()
-	res, err := Run(persistGrid, Options{Workers: 2,
-		Cache: NewPersistentCache(st2), NeedRawSamples: true})
+	res, err := sweep.Run(persistGrid, sweep.Options{Workers: 2,
+		Cache: sweep.NewPersistentCache(st2), NeedRawSamples: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +190,7 @@ func TestSweepNeedRawSamplesOverCompactStore(t *testing.T) {
 
 // v1Grid is the grid the checked-in testdata/v1layout directory was
 // built from (see TestGenerateV1LayoutTestdata).
-var v1Grid = Grid{
+var v1Grid = sweep.Grid{
 	Seeds:   []uint64{1, 2},
 	EdgeUPF: []bool{false, true},
 }
@@ -237,7 +238,7 @@ func TestV1LayoutMigratesAndServesGoldenJSONL(t *testing.T) {
 	dir := t.TempDir()
 	copyTree(t, src, dir)
 
-	runs := countRuns(t)
+	runs := sweep.CountRuns(t)
 	st, err := store.Open(dir, store.Options{Compact: true})
 	if err != nil {
 		t.Fatal(err)
@@ -250,7 +251,7 @@ func TestV1LayoutMigratesAndServesGoldenJSONL(t *testing.T) {
 		t.Fatalf("segments/ missing after migration: %v", err)
 	}
 
-	res, err := Run(v1Grid, Options{Workers: 2, Cache: NewPersistentCache(st)})
+	res, err := sweep.Run(v1Grid, sweep.Options{Workers: 2, Cache: sweep.NewPersistentCache(st)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +280,7 @@ func TestGenerateV1LayoutTestdata(t *testing.T) {
 	if os.Getenv("GEN_V1_TESTDATA") == "" {
 		t.Skip("set GEN_V1_TESTDATA=1 to regenerate testdata/v1layout")
 	}
-	res, err := Run(v1Grid, Options{Workers: 2})
+	res, err := sweep.Run(v1Grid, sweep.Options{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

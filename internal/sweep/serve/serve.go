@@ -15,7 +15,12 @@
 //	                    If-None-Match requests answer 304 with no body
 //	POST /v1/sweep      grid JSON (sweep.GridSpec) -> chunked JSONL
 //	                    stream in grid order, byte-identical to
-//	                    cmd/sweep -out for the same grid
+//	                    cmd/sweep -out for the same grid; clients
+//	                    sending "Accept: application/x-sweep-tlv"
+//	                    receive the same records as framed binary TLV
+//	                    (record format v3), written in batches of
+//	                    N records / T bytes per flush instead of one
+//	                    write+flush per record
 //	POST /v1/deltas     grid JSON -> recommendation deltas over the
 //	                    completed grid (edge UPF, peering, slicing)
 //	GET  /v1/segments   store segment manifest + generation cursor
@@ -69,6 +74,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/sweep"
 	"repro/internal/sweep/store"
+	"repro/internal/sweep/tlv"
 )
 
 // DefaultQueueDepth is the admission-queue slack beyond the running
@@ -108,6 +114,19 @@ type Options struct {
 	// (meaningful with CacheDir; 0 keeps the store default). Small
 	// values exercise rotation; replication tests lean on it.
 	SegmentBytes int64
+	// StoreFormat selects the encoding for newly written store segments
+	// (meaningful with CacheDir): "" or "tlv" for the v3 binary
+	// encoding, "jsonl" for the v2 JSON-lines encoding. Reads always
+	// handle both.
+	StoreFormat string
+	// StreamBatchRecords / StreamBatchBytes tune the TLV stream batch
+	// thresholds: a batch flushes once it holds this many records or
+	// this many bytes, whichever first (0 selects
+	// tlv.DefaultBatchRecords / tlv.DefaultBatchBytes). JSONL streams
+	// are unaffected — they keep the flush-per-record cadence old
+	// clients' goldens pin.
+	StreamBatchRecords int
+	StreamBatchBytes   int
 	// SimWorkers bounds concurrently running simulations across all
 	// requests (default GOMAXPROCS).
 	SimWorkers int
@@ -196,6 +215,14 @@ type Stats struct {
 		Jobs int   `json:"jobs"`
 		Shed int64 `json:"shed"`
 	} `json:"grid"`
+	// Stream counts TLV-negotiated /v1/sweep responses: streams that
+	// chose the binary encoding, records framed into them, and batches
+	// flushed — batches/records is the realized batching factor.
+	Stream struct {
+		TLVStreams int64 `json:"tlv_streams"`
+		TLVRecords int64 `json:"tlv_records"`
+		TLVBatches int64 `json:"tlv_batches"`
+	} `json:"stream"`
 	// Replication carries the follower's pull-loop stats (segments
 	// behind the writer, bytes shipped) when this process runs in
 	// -follow mode; absent on writers and standalone servers.
@@ -216,6 +243,8 @@ type Server struct {
 	queueDepth int
 	maxGrid    int
 	retryAfter string
+	batchRecs  int
+	batchBytes int
 
 	// replStats, when set (SetReplicationStats), is snapshotted into
 	// Stats.Replication; the follower's replicator installs it.
@@ -232,6 +261,7 @@ type Server struct {
 	scenarioEP, sweepEP, deltasEP, segmentsEP endpoint
 	hits, misses, shed, gridShed              atomic.Int64
 	notModified, inflight, queued             atomic.Int64
+	tlvStreams, tlvRecords, tlvBatches        atomic.Int64
 }
 
 // New builds a Server from opts (see Options for defaults).
@@ -256,6 +286,12 @@ func New(opts Options) (*Server, error) {
 	if opts.RetryAfter < 0 {
 		return nil, fmt.Errorf("serve: RetryAfter must be >= 0, got %d", opts.RetryAfter)
 	}
+	if opts.StreamBatchRecords < 0 || opts.StreamBatchBytes < 0 {
+		return nil, fmt.Errorf("serve: stream batch thresholds must be >= 0, got %d records / %d bytes",
+			opts.StreamBatchRecords, opts.StreamBatchBytes)
+	}
+	s.batchRecs = opts.StreamBatchRecords
+	s.batchBytes = opts.StreamBatchBytes
 	retryAfter := opts.RetryAfter
 	if retryAfter == 0 {
 		retryAfter = 1
@@ -263,7 +299,7 @@ func New(opts Options) (*Server, error) {
 	s.retryAfter = fmt.Sprint(retryAfter)
 	if s.cache == nil {
 		if opts.CacheDir != "" {
-			st, err := store.Open(opts.CacheDir, store.Options{Compact: opts.Compact, SegmentBytes: opts.SegmentBytes})
+			st, err := store.Open(opts.CacheDir, store.Options{Compact: opts.Compact, SegmentBytes: opts.SegmentBytes, Format: opts.StoreFormat})
 			if err != nil {
 				return nil, err
 			}
@@ -527,9 +563,27 @@ func (s *Server) acquireGridJob(w http.ResponseWriter) bool {
 	}
 }
 
-// handleSweep streams a whole grid as JSONL in grid order, flushing
-// record by record, byte-identical to cmd/sweep -out for the same
-// grid. Cache accounting arrives in HTTP trailers (the body is already
+// acceptsTLV reports whether the request negotiates the binary stream:
+// the Accept header lists the TLV media type. Anything else — absent
+// header, */*, application/x-ndjson — keeps the JSONL default, so old
+// clients' bytes never change under them.
+func acceptsTLV(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		mt, _, _ := strings.Cut(strings.TrimSpace(part), ";")
+		if strings.EqualFold(strings.TrimSpace(mt), tlv.MediaType) {
+			return true
+		}
+	}
+	return false
+}
+
+// handleSweep streams a whole grid in grid order. The default body is
+// JSONL, flushed record by record, byte-identical to cmd/sweep -out
+// for the same grid; clients negotiating "Accept:
+// application/x-sweep-tlv" get the same records as framed v3 TLV,
+// written in batches (StreamBatchRecords records or StreamBatchBytes
+// bytes per flush) instead of one write+flush per record. Cache
+// accounting arrives in HTTP trailers either way (the body is already
 // streaming when the totals are known).
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()                                     //sweepvet:allow(timenow) endpoint latency counter
@@ -546,24 +600,59 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	defer func() { <-s.grids }()
 
-	w.Header().Set("Content-Type", "application/x-ndjson")
+	binary := acceptsTLV(r)
+	if binary {
+		w.Header().Set("Content-Type", tlv.MediaType)
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
 	w.Header().Set("Trailer", "X-Sweepd-Cache-Hits, X-Sweepd-Cache-Misses")
+	// The ResponseWriter need not be an http.Flusher (HTTP/2 middleware
+	// wrappers, test recorders): stream without explicit flushes then —
+	// net/http still delivers everything at handler return.
 	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
-	emitted := 0
-	res, err := sweep.RunEach(g, sweep.Options{Workers: s.simWorkers, Cache: s.cache},
-		func(run sweep.ScenarioRun) error {
+	flushFn := func() {}
+	if flusher != nil {
+		flushFn = flusher.Flush
+	}
+
+	var emit func(run sweep.ScenarioRun) error
+	var emitted int
+	var bw *tlv.BatchWriter
+	if binary {
+		bw = tlv.NewBatchWriter(w, flushFn, s.batchRecs, s.batchBytes)
+		emit = func(run sweep.ScenarioRun) error {
+			rec := sweep.RecordOf(run)
+			if err := bw.WriteRecord(&rec); err != nil {
+				return err
+			}
+			emitted++
+			return nil
+		}
+	} else {
+		enc := json.NewEncoder(w)
+		emit = func(run sweep.ScenarioRun) error {
 			if err := enc.Encode(sweep.RecordOf(run)); err != nil {
 				return err
 			}
 			emitted++
-			if flusher != nil {
-				flusher.Flush()
-			}
+			flushFn()
 			return nil
-		})
+		}
+	}
+	res, err := sweep.RunEach(g, sweep.Options{Workers: s.simWorkers, Cache: s.cache}, emit)
+	if err == nil && bw != nil {
+		err = bw.Flush()
+	}
 	if err != nil {
-		if emitted == 0 {
+		// Batched TLV may hold every emitted record unwritten: the
+		// response is clean-failable exactly until the first batch hits
+		// the wire, not until the first record is emitted.
+		started := emitted > 0
+		if bw != nil {
+			started = bw.Batches > 0
+		}
+		if !started {
 			// Nothing streamed yet: a proper status line is still
 			// possible.
 			if errors.Is(err, ErrShed) {
@@ -575,8 +664,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		// Mid-stream failure: the status line is gone; abort the
 		// connection so the client sees truncation, not a clean EOF
-		// that silently passes for a complete grid.
+		// that silently passes for a complete grid. A truncated TLV
+		// stream is equally unambiguous: the reader's final frame cuts
+		// off mid-header or mid-payload.
 		panic(http.ErrAbortHandler)
+	}
+	if bw != nil {
+		s.tlvStreams.Add(1)
+		s.tlvRecords.Add(bw.Records)
+		s.tlvBatches.Add(bw.Batches)
 	}
 	s.hits.Add(int64(res.CacheHits))
 	s.misses.Add(int64(res.CacheMisses))
@@ -691,12 +787,24 @@ func (s *Server) handleSegmentFile(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "seg must be an integer")
 		return
 	}
-	data, err := s.st.ReadSegment(q.Get("shard"), seg)
+	// ?format= names the segment encoding from the manifest entry;
+	// absent means JSONL, the only encoding that existed before formats
+	// traveled on the wire.
+	format := q.Get("format")
+	data, err := s.st.ReadSegment(q.Get("shard"), seg, format)
 	if err != nil {
+		if strings.Contains(err.Error(), "unknown segment format") {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
 		httpError(w, http.StatusNotFound, err.Error())
 		return
 	}
-	w.Header().Set("Content-Type", "application/x-ndjson")
+	if format == store.FormatTLV {
+		w.Header().Set("Content-Type", tlv.MediaType)
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
 	w.Write(data)
 }
 
@@ -757,6 +865,9 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	st.Sim.Shed = s.shed.Load()
 	st.Grid.Jobs = cap(s.grids)
 	st.Grid.Shed = s.gridShed.Load()
+	st.Stream.TLVStreams = s.tlvStreams.Load()
+	st.Stream.TLVRecords = s.tlvRecords.Load()
+	st.Stream.TLVBatches = s.tlvBatches.Load()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(st)
 }

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"runtime"
 	"strings"
 	"sync"
@@ -17,6 +18,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/sweep"
+	"repro/internal/sweep/tlv"
 )
 
 func post(t *testing.T, client *http.Client, url, body string) *http.Response {
@@ -692,12 +694,12 @@ func TestSegmentFeed(t *testing.T) {
 	}
 
 	// Segment bytes round-trip exactly.
-	fresp, err := http.Get(fmt.Sprintf("%s/v1/segments/file?shard=%s&seg=%d", ts.URL, si.Shard, si.Seg))
+	fresp, err := http.Get(fmt.Sprintf("%s/v1/segments/file?shard=%s&seg=%d&format=%s", ts.URL, si.Shard, si.Seg, si.Format))
 	if err != nil {
 		t.Fatal(err)
 	}
 	got := readAll(t, fresp)
-	want, err := srv.Store().ReadSegment(si.Shard, si.Seg)
+	want, err := srv.Store().ReadSegment(si.Shard, si.Seg, si.Format)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -731,5 +733,182 @@ func TestSegmentFeed(t *testing.T) {
 	r.Body.Close()
 	if r.StatusCode != http.StatusNotFound {
 		t.Fatalf("storeless manifest: status %d, want 404", r.StatusCode)
+	}
+}
+
+// decodeTLVBody drains a negotiated binary sweep response into records.
+func decodeTLVBody(t *testing.T, body io.Reader) []sweep.Record {
+	t.Helper()
+	sr := tlv.NewStreamReader(body)
+	var recs []sweep.Record
+	for {
+		rec, err := sr.NextRecord()
+		if err == io.EOF {
+			return recs
+		}
+		if err != nil {
+			t.Fatalf("tlv stream broke after %d records: %v", len(recs), err)
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// TestSweepStreamTLVNegotiation: a client listing the TLV media type in
+// Accept gets the batched binary stream, and its frames decode to
+// exactly the records of the JSONL stream — same grid, same order, same
+// values. Wildcard or absent Accept headers keep the JSONL bytes
+// untouched, so negotiation never changes what old clients see.
+func TestSweepStreamTLVNegotiation(t *testing.T) {
+	// Batch after every 2 records so a single response exercises
+	// multiple flushes.
+	srv, err := New(Options{SimWorkers: 2, StreamBatchRecords: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	grid := `{"seeds":[1,2],"edge_upf":[false,true]}`
+	want, err := sweep.Run(sweep.Grid{Seeds: []uint64{1, 2}, EdgeUPF: []bool{false, true}},
+		sweep.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := want.ExportJSONL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var goldenRecs []sweep.Record
+	dec := json.NewDecoder(bytes.NewReader(golden))
+	for dec.More() {
+		var rec sweep.Record
+		if err := dec.Decode(&rec); err != nil {
+			t.Fatal(err)
+		}
+		goldenRecs = append(goldenRecs, rec)
+	}
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/sweep", strings.NewReader(grid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A realistic Accept list: the TLV type among others, with params.
+	req.Header.Set("Accept", "application/json;q=0.5, "+tlv.MediaType+";q=0.9")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != tlv.MediaType {
+		t.Fatalf("negotiated content type %q, want %q", ct, tlv.MediaType)
+	}
+	got := decodeTLVBody(t, resp.Body)
+	if len(got) != len(goldenRecs) {
+		t.Fatalf("binary stream carried %d records, want %d", len(got), len(goldenRecs))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], goldenRecs[i]) {
+			t.Fatalf("record %d differs between encodings:\ntlv:  %+v\njson: %+v", i, got[i], goldenRecs[i])
+		}
+	}
+	if resp.Trailer.Get("X-Sweepd-Cache-Misses") != "4" {
+		t.Fatalf("trailer misses = %q, want 4", resp.Trailer.Get("X-Sweepd-Cache-Misses"))
+	}
+
+	// The stream stats counted it: one TLV stream, every record framed,
+	// multiple batches (records/batch = 2 forces > 1).
+	var stats Stats
+	sresp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if stats.Stream.TLVStreams != 1 || stats.Stream.TLVRecords != int64(len(goldenRecs)) {
+		t.Fatalf("stream stats = %+v, want 1 stream / %d records", stats.Stream, len(goldenRecs))
+	}
+	if stats.Stream.TLVBatches < 2 {
+		t.Fatalf("2-record batching flushed %d batches for %d records, want >= 2",
+			stats.Stream.TLVBatches, len(goldenRecs))
+	}
+
+	// Non-negotiating clients — absent Accept, wildcards, unrelated
+	// types — keep the byte-identical JSONL default.
+	for _, accept := range []string{"", "*/*", "application/*", "application/x-ndjson"} {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/sweep", strings.NewReader(grid))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+			t.Fatalf("Accept %q: content type %q, want JSONL", accept, ct)
+		}
+		if body := readAll(t, resp); !bytes.Equal(body, golden) {
+			t.Fatalf("Accept %q: JSONL differs from the engine export", accept)
+		}
+	}
+}
+
+// nonFlusher hides the ResponseWriter's Flush method — the shape of an
+// HTTP/2 middleware wrapper or a bare test recorder.
+type nonFlusher struct{ w http.ResponseWriter }
+
+func (n nonFlusher) Header() http.Header         { return n.w.Header() }
+func (n nonFlusher) Write(b []byte) (int, error) { return n.w.Write(b) }
+func (n nonFlusher) WriteHeader(code int)        { n.w.WriteHeader(code) }
+
+// TestSweepStreamSurvivesNonFlusherWriter is the nil-Flusher
+// regression test: a ResponseWriter that is not an http.Flusher must
+// degrade to unflushed writes — full body, correct bytes — never
+// dereference a nil interface, in both encodings.
+func TestSweepStreamSurvivesNonFlusherWriter(t *testing.T) {
+	srv, err := New(Options{SimWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	want, err := sweep.Run(sweep.Grid{Seeds: []uint64{1, 2}}, sweep.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := want.ExportJSONL()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	grid := `{"seeds":[1,2]}`
+	for _, accept := range []string{"", tlv.MediaType} {
+		rr := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/sweep", strings.NewReader(grid))
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		srv.Handler().ServeHTTP(nonFlusher{rr}, req)
+		if rr.Code != http.StatusOK {
+			t.Fatalf("Accept %q: status %d: %s", accept, rr.Code, rr.Body.Bytes())
+		}
+		if accept == "" {
+			if !bytes.Equal(rr.Body.Bytes(), golden) {
+				t.Fatalf("unflushed JSONL differs from the engine export")
+			}
+			continue
+		}
+		recs := decodeTLVBody(t, bytes.NewReader(rr.Body.Bytes()))
+		if len(recs) != len(want.Scenarios) {
+			t.Fatalf("unflushed TLV stream carried %d records, want %d", len(recs), len(want.Scenarios))
+		}
 	}
 }

@@ -30,12 +30,38 @@ import (
 	"sort"
 )
 
-// SegmentInfo describes one on-disk segment file: its shard, number and
-// current committed size in bytes.
+// SegmentInfo describes one on-disk segment file: its shard, number,
+// current committed size in bytes, and encoding ("tlv" for v3 binary
+// segments, omitted for v2 JSONL ones — so manifests of all-JSONL
+// stores keep their exact pre-TLV bytes).
 type SegmentInfo struct {
-	Shard string `json:"shard"`
-	Seg   int    `json:"seg"`
-	Size  int64  `json:"size"`
+	Shard  string `json:"shard"`
+	Seg    int    `json:"seg"`
+	Size   int64  `json:"size"`
+	Format string `json:"format,omitempty"`
+}
+
+// FormatTLV and FormatJSONL name the two segment encodings in wire
+// parameters and manifests; the empty string reads as JSONL everywhere
+// a format travels, so pre-TLV peers interoperate unchanged.
+const (
+	FormatTLV   = formatTLV
+	FormatJSONL = formatJSONL
+)
+
+// parseWireFormat maps a format carried in a manifest entry or query
+// parameter. Unlike Options.Format (where empty selects the TLV
+// default), an absent wire format means JSONL: every segment shipped
+// before formats existed was JSONL.
+func parseWireFormat(format string) (isTLV bool, err error) {
+	switch format {
+	case "", formatJSONL:
+		return false, nil
+	case formatTLV:
+		return true, nil
+	default:
+		return false, fmt.Errorf("store: unknown segment format %q", format)
+	}
 }
 
 // ShardOf reports the shard a scenario id lives in — the id's first two
@@ -81,7 +107,7 @@ func (s *Store) manifestLocked() []SegmentInfo {
 			continue
 		}
 		for _, e := range entries {
-			n, ok := parseSegName(e.Name())
+			n, isTLV, ok := parseSegName(e.Name())
 			if !ok || e.IsDir() {
 				continue
 			}
@@ -89,14 +115,17 @@ func (s *Store) manifestLocked() []SegmentInfo {
 			if err != nil {
 				continue
 			}
-			segs = append(segs, SegmentInfo{Shard: sh.Name(), Seg: n, Size: fi.Size()})
+			segs = append(segs, SegmentInfo{Shard: sh.Name(), Seg: n, Size: fi.Size(), Format: formatName(isTLV)})
 		}
 	}
 	sort.Slice(segs, func(i, j int) bool {
 		if segs[i].Shard != segs[j].Shard {
 			return segs[i].Shard < segs[j].Shard
 		}
-		return segs[i].Seg < segs[j].Seg
+		if segs[i].Seg != segs[j].Seg {
+			return segs[i].Seg < segs[j].Seg
+		}
+		return segs[i].Format < segs[j].Format
 	})
 	return segs
 }
@@ -114,14 +143,18 @@ func validSegmentRef(shard string, seg int) error {
 }
 
 // ReadSegment returns a segment file's current bytes. The snapshot is
-// taken in one ReadFile, so it always ends on a committed line boundary
-// or inside the final append — and a final partial line is exactly what
-// ingestion already tolerates.
-func (s *Store) ReadSegment(shard string, seg int) ([]byte, error) {
+// taken in one ReadFile, so it always ends on a committed record
+// boundary or inside the final append — and a final partial record is
+// exactly what ingestion already tolerates, in either encoding.
+func (s *Store) ReadSegment(shard string, seg int, format string) ([]byte, error) {
 	if err := validSegmentRef(shard, seg); err != nil {
 		return nil, err
 	}
-	data, err := os.ReadFile(s.segPath(shard, seg))
+	isTLV, err := parseWireFormat(format)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(s.segPath(shard, seg, isTLV))
 	if err != nil {
 		return nil, err
 	}
@@ -129,8 +162,8 @@ func (s *Store) ReadSegment(shard string, seg int) ([]byte, error) {
 }
 
 // IngestSegment atomically installs shipped segment bytes as
-// segments/<shard>/seg-NNNN.jsonl and folds the records they hold into
-// the index — the replica-side half of segment shipping. The install is
+// segments/<shard>/seg-NNNN.<format> and folds the records they hold
+// into the index — the replica-side half of segment shipping. The install is
 // temp+rename, so a crash mid-ingest leaves either the old file or the
 // new one, never a splice; the scan that follows derives the same
 // locations the writer's index holds, because the bytes are the same.
@@ -143,14 +176,20 @@ func (s *Store) ReadSegment(shard string, seg int) ([]byte, error) {
 // into the same shard concurrently (the serve layer's store-only
 // replica mode guarantees this — every miss sheds before it reaches a
 // Put).
-func (s *Store) IngestSegment(shard string, seg int, data []byte) error {
+func (s *Store) IngestSegment(shard string, seg int, format string, data []byte) error {
 	if err := validSegmentRef(shard, seg); err != nil {
 		return err
 	}
-	// Seal the shipped bytes exactly like scanShards seals a crashed
+	isTLV, err := parseWireFormat(format)
+	if err != nil {
+		return err
+	}
+	// Seal shipped JSONL bytes exactly like scanShards seals a crashed
 	// tail: a snapshot cut mid-append must read as one garbage line, not
-	// glue onto a future re-ship.
-	if len(data) > 0 && data[len(data)-1] != '\n' {
+	// glue onto a future re-ship. TLV bytes are never sealed — frames
+	// are self-delimiting, and a stray newline would just be garbage the
+	// resync scan steps over, so don't plant one.
+	if !isTLV && len(data) > 0 && data[len(data)-1] != '\n' {
 		data = append(append([]byte(nil), data...), '\n')
 	}
 	if err := os.MkdirAll(s.shardDir(shard), 0o755); err != nil {
@@ -172,7 +211,7 @@ func (s *Store) IngestSegment(shard string, seg int, data []byte) error {
 	// The rename happens under the store mutex deliberately: the install
 	// and the location-map rewrite below must be one atomic step from a
 	// concurrent Get's point of view.
-	if err := os.Rename(tmp.Name(), s.segPath(shard, seg)); err != nil { //sweepvet:allow(iolock) atomic install; one rename, not a transfer
+	if err := os.Rename(tmp.Name(), s.segPath(shard, seg, isTLV)); err != nil { //sweepvet:allow(iolock) atomic install; one rename, not a transfer
 		os.Remove(tmp.Name()) //sweepvet:allow(iolock) cleanup of the failed install's temp
 		return fmt.Errorf("store: ingest %s/%d: %w", shard, seg, err)
 	}
@@ -190,15 +229,16 @@ func (s *Store) IngestSegment(shard string, seg int, data []byte) error {
 	}
 	if seg > ss.tailSeg {
 		ss.tailSeg = seg
+		ss.tailTLV = isTLV
 	}
 	// Recompute this segment's contribution to the location map from the
 	// fresh bytes: forget what pointed here, then fold the scan.
 	for id, l := range s.loc {
-		if l.shard == shard && l.seg == seg {
+		if l.shard == shard && l.seg == seg && l.tlv == isTLV {
 			delete(s.loc, id)
 		}
 	}
-	s.foldSegmentBytesLocked(shard, seg, data)
+	s.foldSegmentBytesLocked(shard, seg, isTLV, data)
 	s.bumpGenLocked(int64(len(data)))
 	return nil
 }
@@ -206,7 +246,15 @@ func (s *Store) IngestSegment(shard string, seg int, data []byte) error {
 // foldSegmentBytesLocked scans shipped segment bytes — the in-memory
 // twin of scanSegment — folding parseable records into the location map
 // and appending their index lines.
-func (s *Store) foldSegmentBytesLocked(shard string, seg int, data []byte) {
+func (s *Store) foldSegmentBytesLocked(shard string, seg int, isTLV bool, data []byte) {
+	if isTLV {
+		s.scanTLVBytes(shard, seg, data, func(id string, l location) {
+			// Best-effort like the JSONL path: a failed index append is
+			// recovered by the next open's rescan.
+			s.appendIndexLocked(id, l) //nolint:errcheck
+		})
+		return
+	}
 	var off int64
 	for len(data) > 0 {
 		line := data
@@ -221,7 +269,7 @@ func (s *Store) foldSegmentBytesLocked(shard string, seg int, data []byte) {
 		if id, ok := parseRecordLine(line, shard); ok {
 			l := location{shard: shard, seg: seg, off: off, n: int64(len(line))}
 			s.loc[id] = l
-			s.appendIndexLocked(id, l)
+			s.appendIndexLocked(id, l) //nolint:errcheck
 		}
 		off += int64(adv)
 		data = data[adv:]
@@ -232,24 +280,28 @@ func (s *Store) foldSegmentBytesLocked(shard string, seg int, data []byte) {
 // replica-side echo of the writer's compaction. Locations pointing into
 // it are forgotten first, so a concurrent Get degrades to a miss, never
 // reads a recycled offset.
-func (s *Store) DropSegment(shard string, seg int) error {
+func (s *Store) DropSegment(shard string, seg int, format string) error {
 	if err := validSegmentRef(shard, seg); err != nil {
+		return err
+	}
+	isTLV, err := parseWireFormat(format)
+	if err != nil {
 		return err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for id, l := range s.loc {
-		if l.shard == shard && l.seg == seg {
+		if l.shard == shard && l.seg == seg && l.tlv == isTLV {
 			delete(s.loc, id)
 		}
 	}
-	if ss := s.shards[shard]; ss != nil && ss.tail != nil && ss.tailSeg == seg {
+	if ss := s.shards[shard]; ss != nil && ss.tail != nil && ss.tailSeg == seg && ss.tailTLV == isTLV {
 		ss.tail.Close() //sweepvet:allow(close) handle names the segment being dropped
 		ss.tail = nil
 	}
 	// Removal stays under the mutex so it cannot interleave with a Get
 	// re-reading a location the loop above just forgot.
-	if err := os.Remove(s.segPath(shard, seg)); err != nil && !os.IsNotExist(err) { //sweepvet:allow(iolock) one unlink, atomic with the location forget
+	if err := os.Remove(s.segPath(shard, seg, isTLV)); err != nil && !os.IsNotExist(err) { //sweepvet:allow(iolock) one unlink, atomic with the location forget
 		return fmt.Errorf("store: drop %s/%d: %w", shard, seg, err)
 	}
 	s.bumpGenLocked(1)

@@ -26,7 +26,10 @@ func TestManifestTracksMutations(t *testing.T) {
 	if len(segs) != 1 || segs[0].Shard != "aa" || segs[0].Seg != 0 || segs[0].Size <= 0 {
 		t.Fatalf("unexpected manifest: %+v", segs)
 	}
-	fi, err := os.Stat(s.segPath("aa", 0))
+	if segs[0].Format != FormatTLV {
+		t.Fatalf("default-format store must list TLV segments, got %q", segs[0].Format)
+	}
+	fi, err := os.Stat(s.segPath("aa", 0, true))
 	if err != nil || fi.Size() != segs[0].Size {
 		t.Fatalf("manifest size %d, file size %v (%v)", segs[0].Size, fi, err)
 	}
@@ -57,11 +60,11 @@ func TestIngestShipsRecordsByteIdentically(t *testing.T) {
 	replica := open(t, t.TempDir(), Options{})
 	_, segs := writer.Manifest()
 	for _, si := range segs {
-		data, err := writer.ReadSegment(si.Shard, si.Seg)
+		data, err := writer.ReadSegment(si.Shard, si.Seg, si.Format)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := replica.IngestSegment(si.Shard, si.Seg, data); err != nil {
+		if err := replica.IngestSegment(si.Shard, si.Seg, si.Format, data); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -80,8 +83,8 @@ func TestIngestShipsRecordsByteIdentically(t *testing.T) {
 	}
 	// Shipped segment files are byte-identical to the writer's.
 	for _, si := range segs {
-		w, _ := writer.ReadSegment(si.Shard, si.Seg)
-		r, err := replica.ReadSegment(si.Shard, si.Seg)
+		w, _ := writer.ReadSegment(si.Shard, si.Seg, si.Format)
+		r, err := replica.ReadSegment(si.Shard, si.Seg, si.Format)
 		if err != nil || !bytes.Equal(w, r) {
 			t.Fatalf("segment %s/%d differs after shipping (%v)", si.Shard, si.Seg, err)
 		}
@@ -97,38 +100,43 @@ func TestIngestShipsRecordsByteIdentically(t *testing.T) {
 	}
 }
 
-// TestIngestSealsAndTolerates a snapshot cut mid-line: the partial tail
-// line reads as garbage, every complete record still serves, and a
-// later re-ingest of the full segment heals the missing record.
+// TestIngestTornSnapshotHeals covers a snapshot cut mid-record in both
+// encodings: the partial tail (a garbage line, or a truncated frame)
+// hides only itself, every complete record still serves, and a later
+// re-ingest of the full segment heals the missing record.
 func TestIngestTornSnapshotHeals(t *testing.T) {
-	writer := open(t, t.TempDir(), Options{})
-	if err := writer.Put("ee11", testResult(t, 3)); err != nil {
-		t.Fatal(err)
-	}
-	if err := writer.Put("ee22", testResult(t, 4)); err != nil {
-		t.Fatal(err)
-	}
-	full, err := writer.ReadSegment("ee", 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	torn := full[:len(full)-10] // cuts into ee22's line
+	for _, format := range []string{FormatJSONL, FormatTLV} {
+		t.Run(format, func(t *testing.T) {
+			writer := open(t, t.TempDir(), Options{Format: format})
+			if err := writer.Put("ee11", testResult(t, 3)); err != nil {
+				t.Fatal(err)
+			}
+			if err := writer.Put("ee22", testResult(t, 4)); err != nil {
+				t.Fatal(err)
+			}
+			full, err := writer.ReadSegment("ee", 0, format)
+			if err != nil {
+				t.Fatal(err)
+			}
+			torn := full[:len(full)-10] // cuts into ee22's record
 
-	replica := open(t, t.TempDir(), Options{})
-	if err := replica.IngestSegment("ee", 0, torn); err != nil {
-		t.Fatal(err)
-	}
-	if !replica.Has("ee11") {
-		t.Fatal("complete record must survive a torn snapshot")
-	}
-	if replica.Has("ee22") {
-		t.Fatal("torn record must not be acknowledged")
-	}
-	if err := replica.IngestSegment("ee", 0, full); err != nil {
-		t.Fatal(err)
-	}
-	if !replica.Has("ee22") {
-		t.Fatal("re-ingest of the full segment must heal the record")
+			replica := open(t, t.TempDir(), Options{Format: format})
+			if err := replica.IngestSegment("ee", 0, format, torn); err != nil {
+				t.Fatal(err)
+			}
+			if !replica.Has("ee11") {
+				t.Fatal("complete record must survive a torn snapshot")
+			}
+			if replica.Has("ee22") {
+				t.Fatal("torn record must not be acknowledged")
+			}
+			if err := replica.IngestSegment("ee", 0, format, full); err != nil {
+				t.Fatal(err)
+			}
+			if !replica.Has("ee22") {
+				t.Fatal("re-ingest of the full segment must heal the record")
+			}
+		})
 	}
 }
 
@@ -140,18 +148,18 @@ func TestDropSegmentForgetsRecords(t *testing.T) {
 	if err := writer.Put("ff77", testResult(t, 9)); err != nil {
 		t.Fatal(err)
 	}
-	data, _ := writer.ReadSegment("ff", 0)
-	if err := replica.IngestSegment("ff", 0, data); err != nil {
+	data, _ := writer.ReadSegment("ff", 0, FormatTLV)
+	if err := replica.IngestSegment("ff", 0, FormatTLV, data); err != nil {
 		t.Fatal(err)
 	}
 	gen1, _ := replica.Manifest()
-	if err := replica.DropSegment("ff", 0); err != nil {
+	if err := replica.DropSegment("ff", 0, FormatTLV); err != nil {
 		t.Fatal(err)
 	}
 	if replica.Has("ff77") {
 		t.Fatal("dropped segment's record still registered")
 	}
-	if _, err := os.Stat(replica.segPath("ff", 0)); !os.IsNotExist(err) {
+	if _, err := os.Stat(replica.segPath("ff", 0, true)); !os.IsNotExist(err) {
 		t.Fatalf("segment file survived the drop: %v", err)
 	}
 	gen2, _ := replica.Manifest()
@@ -160,7 +168,7 @@ func TestDropSegmentForgetsRecords(t *testing.T) {
 	}
 	// Dropping an already-absent segment is not an error (replays of a
 	// manifest diff must be idempotent).
-	if err := replica.DropSegment("ff", 0); err != nil {
+	if err := replica.DropSegment("ff", 0, FormatTLV); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -174,14 +182,24 @@ func TestSegmentRefValidation(t *testing.T) {
 		seg   int
 	}{{"..", 0}, {"a/", 0}, {"abc", 0}, {"A1", 0}, {"ab", -1}, {"", 0}}
 	for _, c := range bad {
-		if _, err := s.ReadSegment(c.shard, c.seg); err == nil {
+		if _, err := s.ReadSegment(c.shard, c.seg, FormatTLV); err == nil {
 			t.Errorf("ReadSegment(%q,%d) accepted", c.shard, c.seg)
 		}
-		if err := s.IngestSegment(c.shard, c.seg, nil); err == nil {
+		if err := s.IngestSegment(c.shard, c.seg, FormatTLV, nil); err == nil {
 			t.Errorf("IngestSegment(%q,%d) accepted", c.shard, c.seg)
 		}
-		if err := s.DropSegment(c.shard, c.seg); err == nil {
+		if err := s.DropSegment(c.shard, c.seg, FormatTLV); err == nil {
 			t.Errorf("DropSegment(%q,%d) accepted", c.shard, c.seg)
 		}
+	}
+	// An unknown format is rejected everywhere a format travels.
+	if _, err := s.ReadSegment("ab", 0, "protobuf"); err == nil {
+		t.Error("ReadSegment accepted an unknown format")
+	}
+	if err := s.IngestSegment("ab", 0, "protobuf", nil); err == nil {
+		t.Error("IngestSegment accepted an unknown format")
+	}
+	if err := s.DropSegment("ab", 0, "protobuf"); err == nil {
+		t.Error("DropSegment accepted an unknown format")
 	}
 }

@@ -14,7 +14,8 @@ import (
 	"repro/internal/campaign"
 )
 
-// countSegments walks segments/ and returns how many pack files exist.
+// countSegments walks segments/ and returns how many pack files exist,
+// in either encoding.
 func countSegments(t *testing.T, dir string) int {
 	t.Helper()
 	n := 0
@@ -22,7 +23,7 @@ func countSegments(t *testing.T, dir string) int {
 		if err != nil {
 			return err
 		}
-		if !d.IsDir() && strings.HasSuffix(p, segSuffix) {
+		if _, _, ok := parseSegName(filepath.Base(p)); !d.IsDir() && ok {
 			n++
 		}
 		return nil
@@ -103,7 +104,7 @@ func TestSegmentRotation(t *testing.T) {
 		}
 	}
 	for i := range ids {
-		if _, err := os.Stat(filepath.Join(dir, segmentsDir, "ab", segName(i))); err != nil {
+		if _, err := os.Stat(filepath.Join(dir, segmentsDir, "ab", segName(i, true))); err != nil {
 			t.Fatalf("expected rotated segment %d: %v", i, err)
 		}
 	}
@@ -182,9 +183,10 @@ func TestStoreCompactionDropsDeadBytes(t *testing.T) {
 		}
 	}
 	// The dead copies are physically gone: each id appears exactly once
-	// across all segments.
+	// across all segments (the id bytes are verbatim in either
+	// encoding).
 	for _, id := range ids {
-		needle := []byte(`{"v":1,"id":"` + id + `"`)
+		needle := []byte(id)
 		count := 0
 		filepath.WalkDir(filepath.Join(dir, segmentsDir), func(p string, d fs.DirEntry, err error) error {
 			if err != nil || d.IsDir() {
@@ -268,6 +270,221 @@ func TestIndexRebuildDeterministic(t *testing.T) {
 	for i := 0; i < 40; i++ {
 		if _, ok := re.Get(hashID(i)); !ok {
 			t.Fatalf("record %d lost across rebuilds", i)
+		}
+	}
+}
+
+// segmentsByExt walks segments/ and buckets pack files by encoding.
+func segmentsByExt(t *testing.T, dir string) (jsonl, tlvSegs []string) {
+	t.Helper()
+	err := filepath.WalkDir(filepath.Join(dir, segmentsDir), func(p string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		if _, isTLV, ok := parseSegName(filepath.Base(p)); ok {
+			if isTLV {
+				tlvSegs = append(tlvSegs, p)
+			} else {
+				jsonl = append(jsonl, p)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jsonl, tlvSegs
+}
+
+// TestStoreMixedFormatsReopenAndCompact is the v2/v3 coexistence
+// contract: a store that accumulated JSONL segments under the legacy
+// format keeps serving them byte-untouched after a reopen in the TLV
+// default, new appends land as v3 frames beside them, and Compact
+// transcodes the whole store to the write format without changing any
+// answer.
+func TestStoreMixedFormatsReopenAndCompact(t *testing.T) {
+	dir := t.TempDir()
+	res := testResult(t, 5)
+	legacy := open(t, dir, Options{Format: FormatJSONL})
+	jsonIDs := []string{"aa01", "ab11"}
+	for _, id := range jsonIDs {
+		if err := legacy.Put(id, res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	legacy.Close()
+	v2Segs, v3Segs := segmentsByExt(t, dir)
+	if len(v2Segs) == 0 || len(v3Segs) != 0 {
+		t.Fatalf("legacy store wrote %d JSONL / %d TLV segments", len(v2Segs), len(v3Segs))
+	}
+	v2Bytes := make(map[string][]byte)
+	for _, p := range v2Segs {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2Bytes[p] = data
+	}
+
+	// Reopen under the TLV default and append more records.
+	s := open(t, dir, Options{})
+	tlvIDs := []string{"aa02", "cd22"}
+	for _, id := range tlvIDs {
+		if err := s.Put(id, res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := append(append([]string{}, jsonIDs...), tlvIDs...)
+	for _, id := range all {
+		if _, ok := s.Get(id); !ok {
+			t.Fatalf("record %s unreadable in the mixed store", id)
+		}
+	}
+	// Both encodings now coexist on disk, and the old v2 bytes are
+	// untouched — old segments serve as-is, no rewrite-on-open.
+	v2Now, v3Now := segmentsByExt(t, dir)
+	if len(v2Now) != len(v2Segs) || len(v3Now) == 0 {
+		t.Fatalf("mixed store has %d JSONL / %d TLV segments", len(v2Now), len(v3Now))
+	}
+	for _, p := range v2Now {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want, ok := v2Bytes[p]; !ok || !strings.HasPrefix(string(data), string(want)) {
+			t.Fatalf("legacy segment %s was rewritten by the TLV reopen", p)
+		}
+	}
+	s.Close()
+
+	// A reopen of the mixed store serves everything, from the index and
+	// from a full rescan.
+	re := open(t, dir, Options{})
+	for _, id := range all {
+		if _, ok := re.Get(id); !ok {
+			t.Fatalf("record %s lost across a mixed reopen", id)
+		}
+	}
+	stats, err := re.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Live != len(all) {
+		t.Fatalf("Compact carried %d live records, want %d", stats.Live, len(all))
+	}
+	v2After, v3After := segmentsByExt(t, dir)
+	if len(v2After) != 0 || len(v3After) == 0 {
+		t.Fatalf("compaction left %d JSONL / %d TLV segments, want 0 / >0", len(v2After), len(v3After))
+	}
+	for _, id := range all {
+		got, ok := re.Get(id)
+		if !ok {
+			t.Fatalf("record %s lost by cross-format compaction", id)
+		}
+		if got.MobileAll != res.MobileAll || got.TotalMeasurements != res.TotalMeasurements {
+			t.Fatalf("compaction changed record %s", id)
+		}
+	}
+	re.Close()
+	if err := os.Remove(filepath.Join(dir, indexName)); err != nil {
+		t.Fatal(err)
+	}
+	re2 := open(t, dir, Options{})
+	for _, id := range all {
+		if _, ok := re2.Get(id); !ok {
+			t.Fatalf("record %s unreadable after compaction + index loss", id)
+		}
+	}
+}
+
+// goldenV2IDs are the records inside testdata/v2-layout, the checked-in
+// golden v2 store no future code change may stop reading.
+var goldenV2IDs = []string{"aa01", "ab11", "cd22"}
+
+// TestGenerateV2LayoutTestdata regenerates testdata/v2-layout with the
+// current JSONL write path. It is generation-gated the way frozen
+// goldens are: run
+//
+//	STORE_WRITE_GOLDEN=1 go test ./internal/sweep/store -run V2Layout
+//
+// and commit the result ONLY alongside a deliberate, documented layout
+// change — the checked-in bytes are the compatibility contract.
+func TestGenerateV2LayoutTestdata(t *testing.T) {
+	if os.Getenv("STORE_WRITE_GOLDEN") == "" {
+		t.Skip("set STORE_WRITE_GOLDEN=1 to regenerate testdata/v2-layout")
+	}
+	dir := t.TempDir()
+	s := open(t, dir, Options{Compact: true, Format: FormatJSONL})
+	for _, id := range goldenV2IDs {
+		if err := s.Put(id, testResult(t, 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	dst := filepath.Join("testdata", "v2-layout")
+	if err := os.RemoveAll(dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.CopyFS(dst, os.DirFS(dir)); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("regenerated %s", dst)
+}
+
+// TestStoreServesGoldenV2Layout opens the checked-in v2 JSONL layout
+// with today's defaults — the v2->v3 migration contract, mirroring the
+// fabricated-directory v1 migration test with bytes frozen in git: the
+// old store serves in place (no eager rewrite), and compaction is the
+// explicit, lossless upgrade to v3.
+func TestStoreServesGoldenV2Layout(t *testing.T) {
+	src := filepath.Join("testdata", "v2-layout")
+	if _, err := os.Stat(src); err != nil {
+		t.Fatalf("golden v2 layout missing (regenerate with STORE_WRITE_GOLDEN=1): %v", err)
+	}
+	dir := t.TempDir()
+	if err := os.CopyFS(dir, os.DirFS(src)); err != nil {
+		t.Fatal(err)
+	}
+	s := open(t, dir, Options{Compact: true})
+	if s.Len() != len(goldenV2IDs) {
+		t.Fatalf("golden layout serves %d records, want %d", s.Len(), len(goldenV2IDs))
+	}
+	before := make(map[string]*campaign.Result)
+	for _, id := range goldenV2IDs {
+		got, ok := s.Get(id)
+		if !ok {
+			t.Fatalf("golden record %s unreadable", id)
+		}
+		before[id] = got
+	}
+	// Serving alone rewrites nothing: the layout is still pure v2.
+	v2Segs, v3Segs := segmentsByExt(t, dir)
+	if len(v2Segs) == 0 || len(v3Segs) != 0 {
+		t.Fatalf("reading the golden rewrote segments: %d JSONL / %d TLV", len(v2Segs), len(v3Segs))
+	}
+	stats, err := s.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Live != len(goldenV2IDs) {
+		t.Fatalf("Compact carried %d live records, want %d", stats.Live, len(goldenV2IDs))
+	}
+	v2After, v3After := segmentsByExt(t, dir)
+	if len(v2After) != 0 || len(v3After) == 0 {
+		t.Fatalf("compaction left %d JSONL / %d TLV segments, want 0 / >0", len(v2After), len(v3After))
+	}
+	for _, id := range goldenV2IDs {
+		got, ok := s.Get(id)
+		if !ok {
+			t.Fatalf("golden record %s lost by the v3 transcode", id)
+		}
+		want := before[id]
+		if got.MobileAll != want.MobileAll || got.Wired != want.Wired ||
+			got.TotalMeasurements != want.TotalMeasurements || got.SummaryOnly != want.SummaryOnly {
+			t.Fatalf("v3 transcode changed golden record %s", id)
 		}
 	}
 }

@@ -12,15 +12,28 @@
 // not:
 //
 //	<dir>/
-//	  segments/<shard>/seg-NNNN.jsonl   append-only pack segments
+//	  segments/<shard>/seg-NNNN.tlv     append-only pack segments (v3 TLV)
+//	  segments/<shard>/seg-NNNN.jsonl   same, in the v2 JSONL encoding
 //	  index.jsonl                       sidecar: id -> byte location
 //
 // The shard is the first two hex characters of the scenario hash (256-way
 // fan-out keeps per-directory entry counts flat; ids that do not start
 // with two hex characters shard through a hash of the id instead). Each
 // shard appends to its highest-numbered segment and rotates to a fresh
-// one once the tail exceeds Options.SegmentBytes. A record is one JSON
-// line: the versioned envelope around a campaign.ResultState.
+// one once the tail exceeds Options.SegmentBytes.
+//
+// A record is one framed TLV envelope (record format v3, the default —
+// see internal/sweep/tlv) or one JSON line (v2, via Options.Format
+// "jsonl"): the versioned envelope around a campaign.ResultState either
+// way. The two encodings never mix inside one segment file — the
+// extension names the format — but they mix freely inside one store:
+// segment numbering is monotonic per shard across both, reads decode
+// whichever format a record's location names, and reopening a JSONL
+// store with TLV writes (the v2→v3 migration) simply rotates each
+// shard's next append into a .tlv segment while the old .jsonl segments
+// keep serving. Compaction converges a mixed shard: records already in
+// the write format carry their exact bytes, records in the other format
+// transcode, so a full pass leaves one format on disk.
 //
 // The sidecar index maps ids to (shard, segment, offset, length), so
 // opens are one sequential read and Gets are one ReadAt — no record is
@@ -32,10 +45,13 @@
 // across platforms) and is written back for the next open.
 //
 // Crash tolerance: a Put interrupted mid-append leaves a partial final
-// line in a tail segment. Partial lines are never acknowledged (Put
-// writes line+\n in one call and returns after it succeeds), parse as
-// garbage during scans, and are sealed off with a newline at the next
-// open so later appends stay line-aligned. Any unreadable, unparsable,
+// record in a tail segment. Partial records are never acknowledged (Put
+// writes the whole record in one call and returns after it succeeds),
+// parse as garbage during scans, and never confuse later appends: JSONL
+// tails are sealed with a newline at the next open so appends stay
+// line-aligned, while TLV frames are self-delimiting — scans
+// resynchronize on the next frame magic whose CRC checks out, so a torn
+// frame needs no sealing at all. Any unreadable, unparsable,
 // wrong-version or mismatched record reads as a cache miss — corruption
 // re-simulates one scenario, it never fails a sweep.
 //
@@ -86,6 +102,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/sweep/tlv"
 )
 
 // FormatVersion is bumped whenever the record encoding changes
@@ -113,6 +130,14 @@ const (
 	indexName    = "index.jsonl"
 	segPrefix    = "seg-"
 	segSuffix    = ".jsonl"
+	segSuffixTLV = ".tlv"
+
+	// formatTLV is the index/manifest name for the v3 binary encoding;
+	// the v2 JSONL encoding is the empty string (and accepts "jsonl"),
+	// so every pre-existing index line and manifest entry keeps meaning
+	// what it always meant.
+	formatTLV   = "tlv"
+	formatJSONL = "jsonl"
 
 	// staleTempAge is how old a put-*.tmp must be before Open treats it
 	// as a crash orphan rather than another process's in-flight write.
@@ -129,6 +154,12 @@ type Options struct {
 	// (DefaultSegmentBytes when zero). Tests use tiny values to force
 	// rotation; production has no reason to change it.
 	SegmentBytes int64
+	// Format selects the encoding for newly written segments: "" or
+	// "tlv" for the v3 binary encoding (the default), "jsonl" for the
+	// v2 JSON-lines encoding. Reading is always format-agnostic — a
+	// store holding both serves both — so the option only matters for
+	// appends and compaction output.
+	Format string
 }
 
 // record is the on-disk envelope around a result state: one JSON line
@@ -141,7 +172,9 @@ type record struct {
 
 // indexEntry is one line of index.jsonl: where an id's newest record
 // lives. Later lines for the same id supersede earlier ones, so the
-// index doubles as an append log.
+// index doubles as an append log. F names the segment's encoding
+// ("tlv"); it is omitted for JSONL segments, so v2 index lines parse
+// unchanged.
 type indexEntry struct {
 	V     int    `json:"v"`
 	ID    string `json:"id"`
@@ -149,20 +182,27 @@ type indexEntry struct {
 	Seg   int    `json:"seg"`
 	Off   int64  `json:"off"`
 	Len   int64  `json:"len"`
+	F     string `json:"f,omitempty"`
 }
 
 // location is where an id's live record starts and how long it is
-// (excluding the trailing newline).
+// (excluding the trailing newline for JSONL records; TLV records have
+// no delimiter — the length covers the whole frame).
 type location struct {
 	shard string
 	seg   int
 	off   int64
 	n     int64
+	tlv   bool
 }
 
-// shardState tracks one shard's append position.
+// shardState tracks one shard's append position. tailTLV records the
+// tail segment's encoding: a store reopened with a different write
+// format rotates the shard's next append into a fresh segment rather
+// than mixing encodings inside one file.
 type shardState struct {
 	tailSeg int      // highest segment number; -1 when the shard is empty
+	tailTLV bool     // tail segment's encoding
 	tail    *os.File // lazily opened append handle for the tail segment
 }
 
@@ -173,6 +213,7 @@ type Store struct {
 	dir      string
 	compact  bool
 	segBytes int64
+	writeTLV bool // new segments use the v3 TLV encoding
 
 	mu     sync.Mutex
 	loc    map[string]location    // id -> live record location
@@ -204,10 +245,15 @@ func Open(dir string, opt Options) (*Store, error) {
 	if segBytes <= 0 {
 		segBytes = DefaultSegmentBytes
 	}
+	writeTLV, err := parseFormat(opt.Format)
+	if err != nil {
+		return nil, err
+	}
 	s := &Store{
 		dir:      dir,
 		compact:  opt.Compact,
 		segBytes: segBytes,
+		writeTLV: writeTLV,
 		loc:      make(map[string]location),
 		shards:   make(map[string]*shardState),
 	}
@@ -291,39 +337,71 @@ func isHexLower(c byte) bool {
 	return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')
 }
 
-func segName(n int) string { return fmt.Sprintf("%s%04d%s", segPrefix, n, segSuffix) }
+// parseFormat maps Options.Format to the TLV flag: empty selects the
+// default (TLV). Wire-level format parameters use parseWireFormat
+// instead, where absence means JSONL for compatibility.
+func parseFormat(format string) (isTLV bool, err error) {
+	switch format {
+	case "", formatTLV:
+		return true, nil
+	case formatJSONL:
+		return false, nil
+	default:
+		return false, fmt.Errorf("store: unknown record format %q (want %q or %q)", format, formatTLV, formatJSONL)
+	}
+}
 
-// parseSegName extracts the segment number, rejecting anything that is
-// not a segment file.
-func parseSegName(name string) (int, bool) {
+// formatName is parseFormat's inverse for index lines and manifests:
+// JSONL is the empty string so pre-TLV readers see unchanged bytes.
+func formatName(isTLV bool) string {
+	if isTLV {
+		return formatTLV
+	}
+	return ""
+}
+
+func segName(n int, isTLV bool) string {
+	if isTLV {
+		return fmt.Sprintf("%s%04d%s", segPrefix, n, segSuffixTLV)
+	}
+	return fmt.Sprintf("%s%04d%s", segPrefix, n, segSuffix)
+}
+
+// parseSegName extracts the segment number and encoding, rejecting
+// anything that is not a segment file.
+func parseSegName(name string) (n int, isTLV bool, ok bool) {
 	num, ok := strings.CutPrefix(name, segPrefix)
 	if !ok {
-		return 0, false
+		return 0, false, false
 	}
-	num, ok = strings.CutSuffix(num, segSuffix)
-	if !ok {
-		return 0, false
+	if rest, tlvOK := strings.CutSuffix(num, segSuffixTLV); tlvOK {
+		num, isTLV = rest, true
+	} else if rest, jsonlOK := strings.CutSuffix(num, segSuffix); jsonlOK {
+		num = rest
+	} else {
+		return 0, false, false
 	}
 	n, err := strconv.Atoi(num)
 	if err != nil || n < 0 {
-		return 0, false
+		return 0, false, false
 	}
-	return n, true
+	return n, isTLV, true
 }
 
 func (s *Store) shardDir(shard string) string {
 	return filepath.Join(s.dir, segmentsDir, shard)
 }
 
-func (s *Store) segPath(shard string, seg int) string {
-	return filepath.Join(s.shardDir(shard), segName(seg))
+func (s *Store) segPath(shard string, seg int, isTLV bool) string {
+	return filepath.Join(s.shardDir(shard), segName(seg, isTLV))
 }
 
 // scanShards discovers the shard directories and each one's tail
-// segment, sealing tails that end mid-line (a crash between a Put's
-// write and its return): appending a newline turns the partial record
+// segment. JSONL tails that end mid-line (a crash between a Put's write
+// and its return) are sealed with a newline, turning the partial record
 // into one garbage line — skipped by every reader — instead of letting
-// the next append glue two records together.
+// the next append glue two records together. TLV tails need no sealing:
+// frames are self-delimiting and scans resync past a torn one.
 func (s *Store) scanShards() error {
 	root := filepath.Join(s.dir, segmentsDir)
 	shards, err := os.ReadDir(root)
@@ -338,19 +416,28 @@ func (s *Store) scanShards() error {
 		if err != nil {
 			continue
 		}
-		tail := -1
+		tail, tailTLV := -1, false
 		for _, e := range segs {
-			if n, ok := parseSegName(e.Name()); ok && !e.IsDir() && n > tail {
-				tail = n
+			n, isTLV, ok := parseSegName(e.Name())
+			if !ok || e.IsDir() {
+				continue
+			}
+			// Same number in both encodings never happens in a healthy
+			// store (numbering is monotonic across formats); if crash
+			// debris produces one, prefer TLV deterministically.
+			if n > tail || (n == tail && isTLV && !tailTLV) {
+				tail, tailTLV = n, isTLV
 			}
 		}
 		if tail < 0 {
 			continue
 		}
-		if err := sealTail(filepath.Join(root, sh.Name(), segName(tail))); err != nil {
-			return err
+		if !tailTLV {
+			if err := sealTail(filepath.Join(root, sh.Name(), segName(tail, false))); err != nil {
+				return err
+			}
 		}
-		s.shards[sh.Name()] = &shardState{tailSeg: tail}
+		s.shards[sh.Name()] = &shardState{tailSeg: tail, tailTLV: tailTLV}
 	}
 	return nil
 }
@@ -393,7 +480,10 @@ func (s *Store) loadIndex() {
 		if e.ID == "" || e.Shard == "" || e.Seg < 0 || e.Off < 0 || e.Len <= 0 {
 			continue
 		}
-		s.loc[e.ID] = location{shard: e.Shard, seg: e.Seg, off: e.Off, n: e.Len}
+		if e.F != "" && e.F != formatTLV {
+			continue
+		}
+		s.loc[e.ID] = location{shard: e.Shard, seg: e.Seg, off: e.Off, n: e.Len, tlv: e.F == formatTLV}
 	}
 }
 
@@ -414,15 +504,24 @@ func (s *Store) rebuild() error {
 		if err != nil {
 			continue
 		}
-		nums := make([]int, 0, len(segs))
+		type segRef struct {
+			n   int
+			tlv bool
+		}
+		refs := make([]segRef, 0, len(segs))
 		for _, e := range segs {
-			if n, ok := parseSegName(e.Name()); ok && !e.IsDir() {
-				nums = append(nums, n)
+			if n, isTLV, ok := parseSegName(e.Name()); ok && !e.IsDir() {
+				refs = append(refs, segRef{n: n, tlv: isTLV})
 			}
 		}
-		sort.Ints(nums)
-		for _, n := range nums {
-			if err := s.scanSegment(sh, n); err != nil {
+		sort.Slice(refs, func(i, j int) bool {
+			if refs[i].n != refs[j].n {
+				return refs[i].n < refs[j].n
+			}
+			return !refs[i].tlv && refs[j].tlv
+		})
+		for _, r := range refs {
+			if err := s.scanSegment(sh, r.n, r.tlv); err != nil {
 				return err
 			}
 		}
@@ -430,11 +529,19 @@ func (s *Store) rebuild() error {
 	return nil
 }
 
-// scanSegment folds one segment's parseable lines into the location
-// map. Garbage lines (crash debris, bit rot) are skipped — their bytes
-// stay dead until compaction.
-func (s *Store) scanSegment(shard string, seg int) error {
-	f, err := os.Open(s.segPath(shard, seg))
+// scanSegment folds one segment's parseable records into the location
+// map. Garbage (crash debris, bit rot) is skipped — its bytes stay dead
+// until compaction.
+func (s *Store) scanSegment(shard string, seg int, isTLV bool) error {
+	if isTLV {
+		data, err := os.ReadFile(s.segPath(shard, seg, true))
+		if err != nil {
+			return fmt.Errorf("store: scan segment: %w", err)
+		}
+		s.scanTLVBytes(shard, seg, data, nil)
+		return nil
+	}
+	f, err := os.Open(s.segPath(shard, seg, false))
 	if err != nil {
 		return fmt.Errorf("store: scan segment: %w", err)
 	}
@@ -463,6 +570,28 @@ func (s *Store) scanSegment(shard string, seg int) error {
 	}
 }
 
+// scanTLVBytes folds one TLV segment's valid frames into the location
+// map, resynchronizing past torn or corrupt frames. Each accepted id is
+// also passed to visit when non-nil (replica ingestion appends index
+// lines there).
+func (s *Store) scanTLVBytes(shard string, seg int, data []byte, visit func(id string, l location)) {
+	off := 0
+	for {
+		payload, start, frameLen, ok := tlv.NextFrame(data, off)
+		if !ok {
+			return
+		}
+		if id, ok := parseRecordFrame(payload, shard); ok {
+			l := location{shard: shard, seg: seg, off: int64(start), n: int64(frameLen), tlv: true}
+			s.loc[id] = l
+			if visit != nil {
+				visit(id, l)
+			}
+		}
+		off = start + frameLen
+	}
+}
+
 // parseRecordLine validates one segment line as a live record of the
 // given shard, returning its id. Garbage lines (crash debris, foreign
 // versions, misfiled ids) report false and stay dead bytes.
@@ -473,6 +602,18 @@ func parseRecordLine(payload []byte, shard string) (string, bool) {
 		return "", false
 	}
 	return rec.ID, true
+}
+
+// parseRecordFrame is parseRecordLine's TLV twin: it validates one
+// frame payload as a live record of the given shard. The frame's CRC
+// already checked out (NextFrame only surfaces valid frames), so this
+// guards the semantic layer: envelope version, id shape, shard match.
+func parseRecordFrame(payload []byte, shard string) (string, bool) {
+	id, _, err := tlv.DecodeEnvelopePayload(payload)
+	if err != nil || validID(id) != nil || shardOf(id) != shard {
+		return "", false
+	}
+	return id, true
 }
 
 // migrateV1 folds a v1 one-file-per-record layout (records/<id>.json)
@@ -512,9 +653,10 @@ func (s *Store) migrateV1() (bool, error) {
 			os.Remove(path)
 			continue
 		}
-		// Re-marshal rather than trusting the file to be newline-free:
-		// the result is the same canonical single line Put writes.
-		line, err := json.Marshal(rec)
+		// Re-encode in the current write format rather than trusting the
+		// file's bytes: the result is the same canonical record Put
+		// writes — under TLV, v1 records migrate straight to v3.
+		line, err := s.encodeRecord(id, &rec.Result)
 		if err != nil {
 			os.Remove(path)
 			continue
@@ -546,9 +688,16 @@ func (s *Store) rewriteIndexLocked() error {
 	var buf strings.Builder
 	for _, id := range ids {
 		l := s.loc[id]
-		line, _ := json.Marshal(indexEntry{
+		line, err := json.Marshal(indexEntry{
 			V: indexVersion, ID: id, Shard: l.shard, Seg: l.seg, Off: l.off, Len: l.n,
+			F: formatName(l.tlv),
 		})
+		if err != nil {
+			// An unmarshalable entry would silently vanish from the
+			// rewritten sidecar and resurface only on a full rescan;
+			// surface it like the record-marshal path does instead.
+			return fmt.Errorf("store: rewrite index: encode entry %s: %w", id, err)
+		}
 		buf.Write(line)
 		buf.WriteByte('\n')
 	}
@@ -644,22 +793,58 @@ func (s *Store) Get(id string) (*campaign.Result, bool) {
 	if !ok {
 		return nil, false
 	}
-	buf, ok := readAtLocation(s.segPath(l.shard, l.seg), l)
+	buf, ok := readAtLocation(s.segPath(l.shard, l.seg, l.tlv), l)
 	if !ok {
 		s.forgetIf(id, l)
 		return nil, false
 	}
-	var rec record
-	if json.Unmarshal(buf, &rec) != nil || rec.V != FormatVersion || rec.ID != id {
+	st, ok := decodeRecord(buf, l.tlv, id)
+	if !ok {
 		s.forgetIf(id, l)
 		return nil, false
 	}
-	res, err := rec.Result.Restore()
+	res, err := st.Restore()
 	if err != nil {
 		s.forgetIf(id, l)
 		return nil, false
 	}
 	return res, true
+}
+
+// decodeRecord validates raw record bytes — one JSONL line or one TLV
+// frame, per the location's encoding — as the record for id, returning
+// its result state. Every failure mode reads as a miss.
+func decodeRecord(buf []byte, isTLV bool, id string) (campaign.ResultState, bool) {
+	if isTLV {
+		payload, n, err := tlv.ParseFrame(buf)
+		if err != nil || n != len(buf) {
+			return campaign.ResultState{}, false
+		}
+		gotID, st, err := tlv.DecodeEnvelopePayload(payload)
+		if err != nil || gotID != id {
+			return campaign.ResultState{}, false
+		}
+		return st, true
+	}
+	var rec record
+	if json.Unmarshal(buf, &rec) != nil || rec.V != FormatVersion || rec.ID != id {
+		return campaign.ResultState{}, false
+	}
+	return rec.Result, true
+}
+
+// encodeRecord produces the on-disk bytes for a record in the store's
+// write format: a framed TLV envelope (v3) or one canonical JSON line
+// (v2).
+func (s *Store) encodeRecord(id string, st *campaign.ResultState) ([]byte, error) {
+	if s.writeTLV {
+		return tlv.AppendEnvelope(nil, id, st), nil
+	}
+	line, err := json.Marshal(record{V: FormatVersion, ID: id, Result: *st})
+	if err != nil {
+		return nil, fmt.Errorf("store: encode %s: %w", id, err)
+	}
+	return line, nil
 }
 
 // forgetIf drops an id's slot only if it still points at the location
@@ -673,20 +858,22 @@ func (s *Store) forgetIf(id string, l location) {
 	s.mu.Unlock()
 }
 
-// Put persists a completed result under its scenario id: marshal to one
-// line, append it to the id's shard tail segment, then append the index
-// line. The segment append is the commit point — Put returns only after
-// the whole line is down, and readers locate records by exact byte
-// range, so a torn write is never served. A crash between the two
-// appends loses only an unacknowledged record: it re-simulates once and
-// its dead bytes vanish at the next compaction.
+// Put persists a completed result under its scenario id: encode to one
+// record (TLV frame or JSON line per the write format), append it to
+// the id's shard tail segment, then append the index line. The segment
+// append is the commit point — Put returns only after the whole record
+// is down, and readers locate records by exact byte range, so a torn
+// write is never served. A crash between the two appends loses only an
+// unacknowledged record: it re-simulates once and its dead bytes vanish
+// at the next compaction.
 func (s *Store) Put(id string, res *campaign.Result) error {
 	if err := validID(id); err != nil {
 		return err
 	}
-	line, err := json.Marshal(record{V: FormatVersion, ID: id, Result: res.State(s.compact)})
+	st := res.State(s.compact)
+	line, err := s.encodeRecord(id, &st)
 	if err != nil {
-		return fmt.Errorf("store: encode %s: %w", id, err)
+		return err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -694,31 +881,45 @@ func (s *Store) Put(id string, res *campaign.Result) error {
 	if err != nil {
 		return fmt.Errorf("store: commit %s: %w", id, err)
 	}
-	s.appendIndexLocked(id, l)
+	if err := s.appendIndexLocked(id, l); err != nil {
+		// The record is committed and serves this process either way,
+		// but an entry that cannot even marshal would stay invisible to
+		// every future Open until a full rescan — surface it.
+		return err
+	}
 	s.loc[id] = l
 	return nil
 }
 
 // appendIndexLocked appends one sidecar line for a freshly located
-// record. A failed append is tolerated: the record is committed and
-// serves this process; the next Open misses it and re-simulates (or,
-// on a replica, re-ingests).
-func (s *Store) appendIndexLocked(id string, l location) {
+// record. A failed file append is tolerated: the record is committed
+// and serves this process; the next Open misses it and re-simulates
+// (or, on a replica, re-ingests). A failed marshal is not — that entry
+// would never reach any index, so it propagates like the record-marshal
+// path's errors do.
+func (s *Store) appendIndexLocked(id string, l location) error {
 	if s.index == nil {
-		return
+		return nil
 	}
-	ie, _ := json.Marshal(indexEntry{
+	ie, err := json.Marshal(indexEntry{
 		V: indexVersion, ID: id, Shard: l.shard, Seg: l.seg, Off: l.off, Len: l.n,
+		F: formatName(l.tlv),
 	})
+	if err != nil {
+		return fmt.Errorf("store: encode index entry %s: %w", id, err)
+	}
 	s.index.Write(append(ie, '\n'))
+	return nil
 }
 
-// appendLocked writes one record line to the id's shard tail segment
-// and returns where it landed, rotating the tail once it outgrows the
-// threshold. The write offset comes from a stat, not a running counter,
-// so foreign bytes (another process, crash debris sealed at open) never
-// skew locations.
-func (s *Store) appendLocked(id string, line []byte) (location, error) {
+// appendLocked writes one encoded record (a write-format TLV frame or
+// JSON line, no delimiter) to the id's shard tail segment and returns
+// where it landed, rotating the tail once it outgrows the threshold. A
+// tail in the other encoding — a JSONL store reopened with TLV writes —
+// also rotates, so one segment file never mixes formats. The write
+// offset comes from a stat, not a running counter, so foreign bytes
+// (another process, crash debris sealed at open) never skew locations.
+func (s *Store) appendLocked(id string, blob []byte) (location, error) {
 	shard := shardOf(id)
 	ss := s.shards[shard]
 	if ss == nil {
@@ -732,41 +933,53 @@ func (s *Store) appendLocked(id string, line []byte) (location, error) {
 		if err := os.MkdirAll(s.shardDir(shard), 0o755); err != nil {
 			return location{}, err
 		}
-		if ss.tailSeg < 0 {
+		switch {
+		case ss.tailSeg < 0:
 			ss.tailSeg = 0
+			ss.tailTLV = s.writeTLV
+		case ss.tailTLV != s.writeTLV:
+			ss.tailSeg++
+			ss.tailTLV = s.writeTLV
 		}
-		f, err := os.OpenFile(s.segPath(shard, ss.tailSeg),
+		f, err := os.OpenFile(s.segPath(shard, ss.tailSeg, ss.tailTLV),
 			os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return location{}, err
 		}
 		ss.tail = f
 	}
+	// Locations cover the encoded record; the newline a JSONL record is
+	// delimited by is not part of it. TLV frames are self-delimiting.
+	n := int64(len(blob))
+	if !s.writeTLV {
+		blob = append(blob, '\n')
+	}
 	fi, err := ss.tail.Stat()
 	if err != nil {
 		return location{}, err
 	}
 	off := fi.Size()
-	if _, err := ss.tail.Write(append(line, '\n')); err != nil {
-		// A partial line may be down. Trim it so the next append starts
-		// clean; if even that fails, seal it with a newline so it reads
-		// as one garbage line instead of corrupting a neighbour.
-		if ss.tail.Truncate(off) != nil {
+	if _, err := ss.tail.Write(blob); err != nil {
+		// A partial record may be down. Trim it so the next append
+		// starts clean; if even that fails, a JSONL tail is sealed with
+		// a newline so it reads as one garbage line — a TLV tail needs
+		// nothing, the frame scan resyncs past partial bytes.
+		if ss.tail.Truncate(off) != nil && !s.writeTLV {
 			ss.tail.Write([]byte{'\n'})
 		}
 		return location{}, err
 	}
-	l := location{shard: shard, seg: ss.tailSeg, off: off, n: int64(len(line))}
-	s.bumpGenLocked(int64(len(line)) + 1)
-	if off+int64(len(line))+1 >= s.segBytes {
+	l := location{shard: shard, seg: ss.tailSeg, off: off, n: n, tlv: s.writeTLV}
+	s.bumpGenLocked(int64(len(blob)))
+	if off+int64(len(blob)) >= s.segBytes {
 		cerr := ss.tail.Close()
 		ss.tail = nil
 		ss.tailSeg++
 		if cerr != nil {
 			// A failed close can be deferred write-back failing, which
-			// means the line just written may not be safe. Fail the Put so
-			// the caller re-simulates; the appended bytes degrade to crash
-			// debris, which every rescan already tolerates.
+			// means the record just written may not be safe. Fail the Put
+			// so the caller re-simulates; the appended bytes degrade to
+			// crash debris, which every rescan already tolerates.
 			return location{}, fmt.Errorf("store: rotate %s/%d: %w", shard, ss.tailSeg-1, cerr)
 		}
 	}
@@ -896,7 +1109,7 @@ func (s *Store) compactShard(shard string, stats *CompactStats) (oldSegs []strin
 		return nil, 0, fmt.Errorf("store: compact %s: %w", shard, err)
 	}
 	for _, e := range segEntries {
-		if _, ok := parseSegName(e.Name()); !ok || e.IsDir() {
+		if _, _, ok := parseSegName(e.Name()); !ok || e.IsDir() {
 			continue
 		}
 		stats.SegmentsBefore++
@@ -918,12 +1131,19 @@ func (s *Store) compactShard(shard string, stats *CompactStats) (oldSegs []strin
 	// Read live records back and pack them into fresh segments numbered
 	// after the current tail, flushing at the rotation threshold so
 	// memory stays bounded at one segment regardless of how large a
-	// shard has grown. Locations update only after a segment's rename —
+	// shard has grown. Output is always the store's write format:
+	// records already in it carry their exact bytes, records in the
+	// other encoding transcode — this is how a mixed v2/v3 shard
+	// converges to v3. Locations update only after a segment's rename —
 	// a failed flush leaves every location pointing at the old, intact
 	// copy.
 	type liveRec struct {
 		id   string
-		line []byte
+		blob []byte // encoded in the write format, no delimiter
+	}
+	delim := int64(1)
+	if s.writeTLV {
+		delim = 0
 	}
 	seg := ss.tailSeg + 1
 	var pending []liveRec
@@ -938,12 +1158,16 @@ func (s *Store) compactShard(shard string, stats *CompactStats) (oldSegs []strin
 		}
 		var off int64
 		for _, r := range pending {
-			if _, err := tmp.Write(append(r.line, '\n')); err != nil {
+			blob := r.blob
+			if !s.writeTLV {
+				blob = append(append([]byte(nil), blob...), '\n')
+			}
+			if _, err := tmp.Write(blob); err != nil {
 				tmp.Close() //sweepvet:allow(close) cleanup of a temp being discarded
 				os.Remove(tmp.Name())
 				return err
 			}
-			off += int64(len(r.line)) + 1
+			off += int64(len(r.blob)) + delim
 		}
 		// The pass deletes the superseded segments once it completes, so
 		// the fresh segment must be durable before the rename makes it the
@@ -958,18 +1182,19 @@ func (s *Store) compactShard(shard string, stats *CompactStats) (oldSegs []strin
 			os.Remove(tmp.Name())
 			return err
 		}
-		if err := os.Rename(tmp.Name(), s.segPath(shard, seg)); err != nil {
+		if err := os.Rename(tmp.Name(), s.segPath(shard, seg, s.writeTLV)); err != nil {
 			os.Remove(tmp.Name())
 			return err
 		}
 		off = 0
 		for _, r := range pending {
-			s.loc[r.id] = location{shard: shard, seg: seg, off: off, n: int64(len(r.line))}
-			off += int64(len(r.line)) + 1
+			s.loc[r.id] = location{shard: shard, seg: seg, off: off, n: int64(len(r.blob)), tlv: s.writeTLV}
+			off += int64(len(r.blob)) + delim
 		}
 		stats.SegmentsAfter++
 		stats.BytesAfter += off
 		ss.tailSeg = seg
+		ss.tailTLV = s.writeTLV
 		seg++
 		pending = pending[:0]
 		pendingBytes = 0
@@ -977,16 +1202,30 @@ func (s *Store) compactShard(shard string, stats *CompactStats) (oldSegs []strin
 	}
 	for _, id := range ids {
 		l := s.loc[id]
-		buf, ok := readAtLocation(s.segPath(l.shard, l.seg), l)
-		var rec record
-		if !ok || json.Unmarshal(buf, &rec) != nil ||
-			rec.V != FormatVersion || rec.ID != id {
+		buf, ok := readAtLocation(s.segPath(l.shard, l.seg, l.tlv), l)
+		if !ok {
 			stats.Dropped++
 			delete(s.loc, id)
 			continue
 		}
-		pending = append(pending, liveRec{id: id, line: buf})
-		pendingBytes += int64(len(buf)) + 1
+		st, ok := decodeRecord(buf, l.tlv, id)
+		if !ok {
+			stats.Dropped++
+			delete(s.loc, id)
+			continue
+		}
+		blob := buf
+		if l.tlv != s.writeTLV {
+			// Cross-format record: transcode into the write format.
+			var err error
+			if blob, err = s.encodeRecord(id, &st); err != nil {
+				stats.Dropped++
+				delete(s.loc, id)
+				continue
+			}
+		}
+		pending = append(pending, liveRec{id: id, blob: blob})
+		pendingBytes += int64(len(blob)) + delim
 		carried++
 		if pendingBytes >= s.segBytes {
 			if err := flush(); err != nil {
@@ -1002,6 +1241,7 @@ func (s *Store) compactShard(shard string, stats *CompactStats) (oldSegs []strin
 		// segment about to be deleted; advance past it so a later Put
 		// never appends to a file the deletion sweep then removes.
 		ss.tailSeg = seg
+		ss.tailTLV = s.writeTLV
 	}
 	stats.Live += carried
 	return oldSegs, carried, nil

@@ -1,0 +1,85 @@
+package tlv
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+// benchRecord is a representative stream record: AR variant with
+// slicing, four traversed cells, ghost accounting — the fat end of what
+// a sweep emits, so the measured ratio is conservative.
+func benchRecord() []byte {
+	rng := rand.New(rand.NewSource(42))
+	for {
+		rec := randRecord(rng)
+		if len(rec.Cells) >= 3 && rec.Slicing != "" && rec.ARDeployment != "" {
+			return AppendRecordPayload(nil, &rec)
+		}
+	}
+}
+
+func BenchmarkEncodeTLV(b *testing.B) {
+	payload := benchRecord()
+	rec, err := DecodeRecordPayload(payload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendRecord(buf[:0], &rec)
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+func BenchmarkDecodeTLV(b *testing.B) {
+	payload := benchRecord()
+	b.ReportAllocs()
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeRecordPayload(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeJSON(b *testing.B) {
+	rec, err := DecodeRecordPayload(benchRecord())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var out []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out, err = json.Marshal(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(out)))
+}
+
+func BenchmarkDecodeJSON(b *testing.B) {
+	rec, err := DecodeRecordPayload(benchRecord())
+	if err != nil {
+		b.Fatal(err)
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(line)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var got sweep.Record
+		if err := json.Unmarshal(line, &got); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

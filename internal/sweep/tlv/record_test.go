@@ -1,0 +1,168 @@
+package tlv
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/sweep"
+)
+
+// randRecord builds a record exercising every axis: slicing/AR/ghost
+// fields toggle on and off, target-cell and cell lists vary in length
+// (including empty), and floats include negatives, subnormal-ish tiny
+// values, and exact integers.
+func randRecord(rng *rand.Rand) sweep.Record {
+	rec := sweep.Record{
+		Scenario:     fmt.Sprintf("s%04d/mn=%d", rng.Intn(10000), rng.Intn(64)),
+		Variant:      []string{"baseline", "local_peering", "edge_upf", "slicing", "ar"}[rng.Intn(5)],
+		Seed:         rng.Uint64(),
+		Profile:      []string{"urban-macro", "rural", "indoor-hotspot"}[rng.Intn(3)],
+		LocalPeering: rng.Intn(2) == 0,
+		EdgeUPF:      rng.Intn(2) == 0,
+		MobileNodes:  rng.Intn(100),
+		TargetCells:  []string{},
+		WiredRounds:  rng.Intn(50),
+		Measurements: rng.Intn(1 << 20),
+		Mobile:       randSnapshot(rng),
+		Wired:        randSnapshot(rng),
+		Factor:       randFloat(rng),
+		Cells:        []sweep.CellAggregate{},
+	}
+	for i := rng.Intn(4); i > 0; i-- {
+		rec.TargetCells = append(rec.TargetCells, fmt.Sprintf("cell-%d", rng.Intn(16)))
+	}
+	if rng.Intn(2) == 0 {
+		rec.Slicing = fmt.Sprintf("latency/%d", 1+rng.Intn(8))
+	}
+	if rng.Intn(2) == 0 {
+		rec.ARDeployment = []string{"5G-edge-upf", "5G-core", "4G"}[rng.Intn(3)]
+		rec.GhostHits = rng.Intn(1000)
+		if rec.Measurements > 0 {
+			rec.GhostRate = float64(rec.GhostHits) / float64(rec.Measurements)
+		}
+	}
+	for i := rng.Intn(5); i > 0; i-- {
+		agg := sweep.CellAggregate{
+			Cell:     fmt.Sprintf("cell-%d", rng.Intn(16)),
+			N:        rng.Intn(10000),
+			MeanMs:   randFloat(rng),
+			StdMs:    math.Abs(randFloat(rng)),
+			Reported: rng.Intn(2) == 0,
+		}
+		if rng.Intn(2) == 0 {
+			agg.GhostHits = 1 + rng.Intn(100)
+			if agg.N > 0 {
+				agg.GhostRate = float64(agg.GhostHits) / float64(agg.N)
+			}
+		}
+		rec.Cells = append(rec.Cells, agg)
+	}
+	return rec
+}
+
+func randSnapshot(rng *rand.Rand) stats.Snapshot {
+	return stats.Snapshot{
+		N:    rng.Intn(100000),
+		Mean: randFloat(rng),
+		Std:  math.Abs(randFloat(rng)),
+		Min:  randFloat(rng),
+		Max:  randFloat(rng),
+	}
+}
+
+func randFloat(rng *rand.Rand) float64 {
+	switch rng.Intn(4) {
+	case 0:
+		return 0
+	case 1:
+		return float64(rng.Intn(1000)) // exact integer
+	case 2:
+		return rng.NormFloat64() * 1e-9 // tiny
+	default:
+		return rng.NormFloat64() * 100
+	}
+}
+
+// TestRecordRoundTripProperty is the encoding property test: every
+// encoded record must decode to the exact record — structurally equal
+// AND marshalling to the identical JSONL bytes, the invariant the
+// serve-path compatibility view depends on.
+func TestRecordRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		rec := randRecord(rng)
+		frame := AppendRecord(nil, &rec)
+		payload, n, err := ParseFrame(frame)
+		if err != nil {
+			t.Fatalf("iter %d: ParseFrame: %v", i, err)
+		}
+		if n != len(frame) {
+			t.Fatalf("iter %d: frame len %d, parsed %d", i, len(frame), n)
+		}
+		got, err := DecodeRecordPayload(payload)
+		if err != nil {
+			t.Fatalf("iter %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, rec) {
+			t.Fatalf("iter %d: decoded record differs:\n got %+v\nwant %+v", i, got, rec)
+		}
+		wantJSON, _ := json.Marshal(rec)
+		gotJSON, _ := json.Marshal(got)
+		if !bytes.Equal(gotJSON, wantJSON) {
+			t.Fatalf("iter %d: JSON bytes differ:\n got %s\nwant %s", i, gotJSON, wantJSON)
+		}
+	}
+}
+
+// TestRecordEncodeDeterministic pins that two encodes of one record are
+// byte-identical — required for the proxy's response cache and for
+// cmp-based CI checks.
+func TestRecordEncodeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rec := randRecord(rng)
+	a := AppendRecord(nil, &rec)
+	b := AppendRecord(nil, &rec)
+	if !bytes.Equal(a, b) {
+		t.Fatal("two encodes of one record differ")
+	}
+}
+
+// TestRecordZeroValue pins the omitempty mirror: a zero record encodes
+// only the always-present fields and decodes back with the non-nil
+// empty slices RecordOf guarantees.
+func TestRecordZeroValue(t *testing.T) {
+	rec := sweep.Record{TargetCells: []string{}, Cells: []sweep.CellAggregate{}}
+	payload := AppendRecordPayload(nil, &rec)
+	got, err := DecodeRecordPayload(payload)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, rec) {
+		t.Fatalf("zero record round trip:\n got %+v\nwant %+v", got, rec)
+	}
+	if got.TargetCells == nil || got.Cells == nil {
+		t.Fatal("decoded slices must be non-nil empty")
+	}
+}
+
+// TestRecordSkipsUnknownFields pins forward compatibility: a payload
+// carrying a field number this decoder has never heard of must decode
+// the fields it does know and ignore the rest.
+func TestRecordSkipsUnknownFields(t *testing.T) {
+	rec := sweep.Record{Scenario: "s1", TargetCells: []string{}, Cells: []sweep.CellAggregate{}}
+	payload := AppendRecordPayload(nil, &rec)
+	payload = appendString(payload, 9999, "from-the-future")
+	got, err := DecodeRecordPayload(payload)
+	if err != nil {
+		t.Fatalf("decode with unknown field: %v", err)
+	}
+	if got.Scenario != "s1" {
+		t.Fatalf("known field lost: %+v", got)
+	}
+}

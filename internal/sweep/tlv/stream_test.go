@@ -1,0 +1,126 @@
+package tlv
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+func TestStreamRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var recs []sweep.Record
+	for i := 0; i < 200; i++ {
+		recs = append(recs, randRecord(rng))
+	}
+
+	var buf bytes.Buffer
+	flushes := 0
+	bw := NewBatchWriter(&buf, func() { flushes++ }, 16, 0)
+	for i := range recs {
+		if err := bw.WriteRecord(&recs[i]); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatalf("final flush: %v", err)
+	}
+	if bw.Records != int64(len(recs)) {
+		t.Fatalf("Records = %d, want %d", bw.Records, len(recs))
+	}
+	if bw.Batches == 0 || bw.Batches > int64(len(recs)) {
+		t.Fatalf("Batches = %d out of range", bw.Batches)
+	}
+	if flushes != int(bw.Batches) {
+		t.Fatalf("flush callback ran %d times, batches %d", flushes, bw.Batches)
+	}
+	// 200 records at 16 per batch: far fewer writes than records.
+	if bw.Batches != 13 {
+		t.Fatalf("Batches = %d, want 13", bw.Batches)
+	}
+
+	sr := NewStreamReader(&buf)
+	for i := range recs {
+		got, err := sr.NextRecord()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, recs[i]) {
+			t.Fatalf("record %d differs:\n got %+v\nwant %+v", i, got, recs[i])
+		}
+	}
+	if _, err := sr.NextRecord(); err != io.EOF {
+		t.Fatalf("end of stream: err = %v, want io.EOF", err)
+	}
+}
+
+func TestBatchWriterByteThreshold(t *testing.T) {
+	var buf bytes.Buffer
+	bw := NewBatchWriter(&buf, nil, 1<<30, 256)
+	rec := sweep.Record{Scenario: "s", TargetCells: []string{}, Cells: []sweep.CellAggregate{}}
+	for i := 0; i < 100; i++ {
+		if err := bw.WriteRecord(&rec); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if bw.Batches == 0 {
+		t.Fatal("byte threshold never triggered a flush")
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatalf("final flush: %v", err)
+	}
+
+	sr := NewStreamReader(&buf)
+	n := 0
+	for {
+		_, err := sr.NextRecord()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("read %d: %v", n, err)
+		}
+		n++
+	}
+	if n != 100 {
+		t.Fatalf("read %d records, want 100", n)
+	}
+}
+
+func TestStreamReaderCutMidFrame(t *testing.T) {
+	rec := sweep.Record{Scenario: "s", TargetCells: []string{}, Cells: []sweep.CellAggregate{}}
+	frame := AppendRecord(nil, &rec)
+	sr := NewStreamReader(bytes.NewReader(frame[:len(frame)-3]))
+	if _, err := sr.Next(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("cut mid-frame: err = %v, want io.ErrUnexpectedEOF", err)
+	}
+
+	// Cut mid-header is equally abnormal.
+	sr = NewStreamReader(bytes.NewReader(frame[:3]))
+	if _, err := sr.Next(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("cut mid-header: err = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestStreamReaderRejectsGarbage(t *testing.T) {
+	sr := NewStreamReader(bytes.NewReader([]byte("{\"scenario\":\"s\"}\n")))
+	if _, err := sr.Next(); !errors.Is(err, ErrFrameMagic) {
+		t.Fatalf("JSONL body: err = %v, want ErrFrameMagic", err)
+	}
+}
+
+func TestBatchWriterPropagatesWriteError(t *testing.T) {
+	bw := NewBatchWriter(failWriter{}, nil, 1, 0)
+	rec := sweep.Record{TargetCells: []string{}, Cells: []sweep.CellAggregate{}}
+	if err := bw.WriteRecord(&rec); err == nil {
+		t.Fatal("write error swallowed")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("sink closed") }
