@@ -1,7 +1,8 @@
 // Command sweepvet runs the repo's invariant analyzers (package
 // repro/internal/analysis): determinism, appendonlyhash, jsontags,
-// lockdiscipline and closecheck. It is both a standalone checker and a
-// vettool speaking the go command's unit-check protocol.
+// tlvtags, lockdiscipline, closecheck, hotpath, goroutineleak and
+// atomicdiscipline. It is both a standalone checker and a vettool
+// speaking the go command's unit-check protocol.
 //
 // Usage:
 //
@@ -9,6 +10,8 @@
 //	sweepvet -json ./internal/sweep/...       # machine-readable findings
 //	sweepvet -run determinism,closecheck ./...
 //	sweepvet -list                            # describe the suite
+//	sweepvet -allows ./...                    # audit //sweepvet:allow markers
+//	sweepvet -hotpath-baseline ./...          # regenerate the escape baseline
 //	go vet -vettool=$(which sweepvet) ./...   # as the vet tool
 //
 // Exit status: 0 clean, 1 findings, 2 usage error.
@@ -16,8 +19,11 @@
 // The standalone driver type-checks from source, so it must run from
 // inside the module it analyzes (the source importer resolves module
 // import paths through the go command, relative to the working
-// directory). Under -vettool the go command hands over export data
-// per compilation unit instead, and no source re-checking happens.
+// directory). Only the standalone driver runs the hotpath analyzer's
+// compiler escape cross-check — it drives `go build -gcflags=-m=2`,
+// which needs that same module-rooted go command. Under -vettool the
+// go command hands over export data per compilation unit instead, no
+// source re-checking happens, and hotpath runs its AST layer alone.
 package main
 
 import (
@@ -40,12 +46,14 @@ import (
 
 func main() {
 	var (
-		jsonOut = flag.Bool("json", false, "emit findings as a JSON array on stdout")
-		run     = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
-		list    = flag.Bool("list", false, "list the analyzers and exit")
-		version = flag.Bool("version", false, "print the build version and exit")
-		vFlag   = flag.String("V", "", "go tool version protocol (-V=full)")
-		flagsFl = flag.Bool("flags", false, "go vet flag-discovery protocol: print the flag schema and exit")
+		jsonOut  = flag.Bool("json", false, "emit findings as a JSON array on stdout")
+		run      = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+		list     = flag.Bool("list", false, "list the analyzers and exit")
+		allows   = flag.Bool("allows", false, "audit //sweepvet:allow markers: list each with file:line, checks and reason; exit 1 on any empty reason")
+		baseline = flag.Bool("hotpath-baseline", false, "regenerate the hotpath escape baseline on stdout (redirect into internal/analysis/hotpath.baseline)")
+		version  = flag.Bool("version", false, "print the build version and exit")
+		vFlag    = flag.String("V", "", "go tool version protocol (-V=full)")
+		flagsFl  = flag.Bool("flags", false, "go vet flag-discovery protocol: print the flag schema and exit")
 	)
 	flag.Parse()
 
@@ -66,7 +74,7 @@ func main() {
 		return
 	}
 
-	if err := validateFlags(*version, *list, *jsonOut, *run, flag.Args()); err != nil {
+	if err := validateFlags(*version, *list, *jsonOut, *allows, *baseline, *run, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "sweepvet:", err)
 		fmt.Fprintln(os.Stderr, "run with -h for usage")
 		os.Exit(2)
@@ -84,6 +92,12 @@ func main() {
 		}
 		return
 	}
+	if *allows {
+		os.Exit(auditAllows(flag.Args()))
+	}
+	if *baseline {
+		os.Exit(printHotpathBaseline(flag.Args()))
+	}
 
 	args := flag.Args()
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
@@ -94,8 +108,8 @@ func main() {
 
 // validateFlags rejects nonsensical combinations up front, in the
 // cmd/sweep convention: exit 2 before any work happens.
-func validateFlags(version, list, jsonOut bool, run string, args []string) error {
-	if version && (list || jsonOut || run != "" || len(args) > 0) {
+func validateFlags(version, list, jsonOut, allows, baseline bool, run string, args []string) error {
+	if version && (list || jsonOut || allows || baseline || run != "" || len(args) > 0) {
 		return fmt.Errorf("-version stands alone")
 	}
 	if _, err := analysis.ByName(run); err != nil {
@@ -104,16 +118,74 @@ func validateFlags(version, list, jsonOut bool, run string, args []string) error
 	if list && len(args) > 0 {
 		return fmt.Errorf("-list takes no package patterns")
 	}
+	if allows && (list || jsonOut || baseline || run != "") {
+		return fmt.Errorf("-allows combines only with package patterns")
+	}
+	if baseline && (list || jsonOut || run != "") {
+		return fmt.Errorf("-hotpath-baseline combines only with package patterns")
+	}
 	cfgs := 0
 	for _, a := range args {
 		if strings.HasSuffix(a, ".cfg") {
 			cfgs++
 		}
 	}
+	if cfgs > 0 && (allows || baseline) {
+		return fmt.Errorf("unit-check mode does not combine with -allows or -hotpath-baseline")
+	}
 	if cfgs > 0 && len(args) != 1 {
 		return fmt.Errorf("unit-check mode takes exactly one .cfg argument, got %d arguments", len(args))
 	}
 	return nil
+}
+
+// auditAllows lists every active //sweepvet:allow marker and fails if
+// any carries no reason: a suppression that doesn't argue for itself
+// has rotted.
+func auditAllows(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweepvet:", err)
+		return 2
+	}
+	missing := 0
+	for _, s := range analysis.CollectAllows(pkgs) {
+		reason := s.Reason
+		if reason == "" {
+			reason = "MISSING REASON"
+			missing++
+		}
+		fmt.Printf("%s:%d: allow(%s): %s\n", s.File, s.Line, strings.Join(s.Checks, ","), reason)
+	}
+	if missing > 0 {
+		fmt.Fprintf(os.Stderr, "sweepvet: %d allow marker(s) with no reason: every suppression must argue for itself\n", missing)
+		return 1
+	}
+	return 0
+}
+
+// printHotpathBaseline regenerates the hotpath escape baseline from the
+// current tree onto stdout.
+func printHotpathBaseline(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	analysis.EnableEscapeCheck()
+	pkgs, err := analysis.Load(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweepvet:", err)
+		return 2
+	}
+	out, err := analysis.HotpathBaseline(pkgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweepvet:", err)
+		return 2
+	}
+	fmt.Print(out)
+	return 0
 }
 
 // finding is the -json output shape, one element per diagnostic.
@@ -133,6 +205,10 @@ func standalone(patterns []string, analyzers []*analysis.Analyzer, jsonOut bool)
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	// The standalone driver is module-rooted by contract, so it can
+	// drive the compiler's escape analysis for the hotpath baseline
+	// cross-check (the vettool path cannot and runs AST checks only).
+	analysis.EnableEscapeCheck()
 	pkgs, err := analysis.Load(patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweepvet:", err)
@@ -244,15 +320,13 @@ func unitCheck(cfgPath string, analyzers []*analysis.Analyzer) int {
 	// with its _test.go files folded in). The invariants live in shipped
 	// code, and test files use wall clocks and best-effort closes
 	// routinely, so test files are dropped here — the same line the
-	// standalone driver draws by analyzing only non-test GoFiles. A
-	// purely-test unit (external _test package) has nothing left and is
-	// skipped outright.
-	goFiles := cfg.GoFiles[:0:0]
-	for _, name := range cfg.GoFiles {
-		if !strings.HasSuffix(name, "_test.go") {
-			goFiles = append(goFiles, name)
-		}
-	}
+	// standalone driver draws by analyzing only non-test GoFiles. Build
+	// constraints are honored the same way: the unit is filtered to the
+	// file set `go list` would report, so a .cfg naming a tag-excluded
+	// file (hand-built, or built under different GOFLAGS) cannot smuggle
+	// it past one driver and not the other. A purely-test unit (external
+	// _test package) has nothing left and is skipped outright.
+	goFiles := analysis.SelectUnitFiles(cfg.GoFiles)
 	if len(goFiles) == 0 {
 		return 0
 	}

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An AllowSite is one active //sweepvet:allow marker: where it is, what
+// checks it silences, and the reason argued for the suppression.
+type AllowSite struct {
+	File   string
+	Line   int
+	Checks []string
+	Reason string
+}
+
+// allowSiteRE matches a full allow marker including the free-text
+// reason that follows the check list. It deliberately shares its check
+// grammar with allowRE so audit and suppression can never disagree on
+// what counts as a marker.
+var allowSiteRE = regexp.MustCompile(`//sweepvet:allow\(([a-z, ]+)\)\s*(.*)$`)
+
+// docComments returns the file's doc comment groups (package doc and
+// declaration docs): markers quoted there are documentation examples,
+// not active suppressions, and must not appear in the audit.
+func docComments(f *ast.File) map[*ast.CommentGroup]bool {
+	docs := make(map[*ast.CommentGroup]bool)
+	if f.Doc != nil {
+		docs[f.Doc] = true
+	}
+	for _, d := range f.Decls {
+		switch d := d.(type) {
+		case *ast.FuncDecl:
+			if d.Doc != nil {
+				docs[d.Doc] = true
+			}
+		case *ast.GenDecl:
+			if d.Doc != nil {
+				docs[d.Doc] = true
+			}
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.ValueSpec:
+					if s.Doc != nil {
+						docs[s.Doc] = true
+					}
+				case *ast.TypeSpec:
+					if s.Doc != nil {
+						docs[s.Doc] = true
+					}
+				}
+			}
+		}
+	}
+	return docs
+}
+
+// CollectAllows scans the packages' comments for every active allow
+// marker, in (file, line) order. Doc comments are skipped — a marker
+// quoted in documentation is an example, not a suppression. Duplicate
+// sites (a file shared between a package and its importer's source
+// re-check) collapse.
+func CollectAllows(pkgs []*Package) []AllowSite {
+	seen := make(map[string]bool)
+	var sites []AllowSite
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			docs := docComments(f)
+			for _, cg := range f.Comments {
+				if docs[cg] {
+					continue
+				}
+				for _, c := range cg.List {
+					m := allowSiteRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+					var checks []string
+					for _, tok := range strings.Split(m[1], ",") {
+						if tok = strings.TrimSpace(tok); tok != "" {
+							checks = append(checks, tok)
+						}
+					}
+					sites = append(sites, AllowSite{
+						File:   pos.Filename,
+						Line:   pos.Line,
+						Checks: checks,
+						Reason: strings.TrimSpace(m[2]),
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(sites, func(i, j int) bool {
+		if sites[i].File != sites[j].File {
+			return sites[i].File < sites[j].File
+		}
+		return sites[i].Line < sites[j].Line
+	})
+	return sites
+}

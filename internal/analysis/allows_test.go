@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func parseAllowFixture(t *testing.T, name, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CollectAllows walks comments only; no type information needed.
+	return &Package{Fset: fset, Files: []*ast.File{f}}
+}
+
+func TestCollectAllows(t *testing.T) {
+	pkg := parseAllowFixture(t, "fixture.go", `package fx
+
+import "time"
+
+// a shows the marker idiom, e.g.:
+//
+//	x() //sweepvet:allow(timenow) quoted example, not a suppression
+func a() {
+	_ = time.Now() //sweepvet:allow(timenow) latency counter, never folded into records
+}
+
+func b() {
+	//sweepvet:allow(maporder, iolock)
+	_ = 0
+}
+
+func c() {
+	_ = 0 //sweepvet:allow(hotpath) cold branch
+}
+`)
+	sites := CollectAllows([]*Package{pkg})
+	if len(sites) != 3 {
+		t.Fatalf("got %d sites, want 3 (doc-comment example must be excluded): %+v", len(sites), sites)
+	}
+	if sites[0].Reason != "latency counter, never folded into records" {
+		t.Errorf("site 0 reason = %q", sites[0].Reason)
+	}
+	if len(sites[1].Checks) != 2 || sites[1].Checks[0] != "maporder" || sites[1].Checks[1] != "iolock" {
+		t.Errorf("site 1 checks = %v, want [maporder iolock]", sites[1].Checks)
+	}
+	if sites[1].Reason != "" {
+		t.Errorf("site 1 reason = %q, want empty (the audit's failure case)", sites[1].Reason)
+	}
+	if sites[2].Checks[0] != "hotpath" || sites[2].Reason != "cold branch" {
+		t.Errorf("site 2 = %+v", sites[2])
+	}
+	for i := 1; i < len(sites); i++ {
+		if sites[i].Line <= sites[i-1].Line {
+			t.Errorf("sites not in line order: %+v", sites)
+		}
+	}
+}

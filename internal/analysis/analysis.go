@@ -23,7 +23,10 @@
 //	t0 := time.Now() //sweepvet:allow(timenow) serve latency counter, never folded into records
 //
 // The marker names the check it silences — timenow, maporder, iolock,
-// close — so an annotation never suppresses more than it argues for.
+// close, hotpath, goroutineleak, atomics — so an annotation never
+// suppresses more than it argues for. The reason text after the marker
+// is mandatory: `sweepvet -allows` audits every active marker and fails
+// on an empty reason, so suppressions cannot rot silently.
 package analysis
 
 import (
@@ -142,6 +145,9 @@ func All() []*Analyzer {
 		TLVTags,
 		LockDiscipline,
 		CloseCheck,
+		Hotpath,
+		GoroutineLeak,
+		AtomicDiscipline,
 	}
 }
 

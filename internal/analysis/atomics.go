@@ -1,0 +1,208 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AtomicDiscipline enforces all-or-nothing atomicity per variable: a
+// field or variable that is ever passed by address to a sync/atomic
+// function must never be read or written plainly anywhere else in the
+// package, and must be accessed at a single width — mixing the 32- and
+// 64-bit families on one word is rejected outright. A plain load next
+// to atomic stores is exactly the torn-counter bug the statsz
+// hit/miss/shed counters would otherwise be one refactor away from.
+//
+// The typed atomics (atomic.Int64 and friends) make this discipline
+// structural and are the preferred fix; this analyzer polices the
+// function-style escape hatch for code that still carries raw words.
+var AtomicDiscipline = &Analyzer{
+	Name: "atomicdiscipline",
+	Doc: "reject plain reads/writes of variables that are accessed through sync/atomic " +
+		"elsewhere, and mixed 32/64-bit atomic access widths on one variable",
+	Run: runAtomicDiscipline,
+}
+
+// atomicWidth classifies a sync/atomic function name by the word width
+// it operates on; 0 means not an atomic access function.
+func atomicWidth(name string) int {
+	switch {
+	case strings.HasSuffix(name, "Int32") || strings.HasSuffix(name, "Uint32"):
+		return 32
+	case strings.HasSuffix(name, "Int64") || strings.HasSuffix(name, "Uint64"):
+		return 64
+	case strings.HasSuffix(name, "Uintptr") || strings.HasSuffix(name, "Pointer"):
+		return 1 // pointer-width family, distinct from both integer families
+	}
+	return 0
+}
+
+// atomicUse is one &x argument to a sync/atomic call.
+type atomicUse struct {
+	obj   types.Object
+	width int
+	pos   token.Pos
+	// expr is the addressed operand; identifiers inside it are
+	// sanctioned and must not be re-flagged as plain accesses.
+	expr ast.Expr
+}
+
+func runAtomicDiscipline(pass *Pass) error {
+	uses := collectAtomicUses(pass)
+	if len(uses) == 0 {
+		return nil
+	}
+	widths := make(map[types.Object]map[int]token.Pos)
+	sanctioned := make(map[ast.Expr]bool)
+	for _, u := range uses {
+		if widths[u.obj] == nil {
+			widths[u.obj] = make(map[int]token.Pos)
+		}
+		if _, ok := widths[u.obj][u.width]; !ok {
+			widths[u.obj][u.width] = u.pos
+		}
+		sanctioned[u.expr] = true
+	}
+
+	// Mixed widths: report once per object at the later-width site.
+	var mixedObjs []types.Object
+	for obj, ws := range widths {
+		if len(ws) > 1 {
+			mixedObjs = append(mixedObjs, obj)
+		}
+	}
+	sort.Slice(mixedObjs, func(i, j int) bool { return mixedObjs[i].Pos() < mixedObjs[j].Pos() })
+	for _, obj := range mixedObjs {
+		ws := widths[obj]
+		pos := token.Pos(0)
+		for _, p := range ws {
+			if p > pos {
+				pos = p
+			}
+		}
+		if !pass.Allowed(pos, "atomics") {
+			pass.Reportf(pos, "%s is accessed through sync/atomic at mixed widths: pick one "+
+				"width (or a typed atomic) — mixed-family operations on one word are not atomic "+
+				"with respect to each other", obj.Name())
+		}
+	}
+
+	// Plain accesses: any use of an atomically-accessed object outside a
+	// sanctioned &x operand.
+	for _, file := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil || widths[obj] == nil {
+				return true
+			}
+			for _, anc := range stack {
+				if e, ok := anc.(ast.Expr); ok && sanctioned[e] {
+					return true
+				}
+			}
+			if pass.Allowed(id.Pos(), "atomics") {
+				return true
+			}
+			pass.Reportf(id.Pos(), "plain access of %s, which is accessed through sync/atomic "+
+				"elsewhere: a non-atomic read can observe a torn or stale value; use the atomic "+
+				"accessors everywhere (or migrate the field to a typed atomic), or annotate "+
+				"//sweepvet:allow(atomics) <reason>", obj.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// collectAtomicUses finds every &x handed to a sync/atomic package
+// function and resolves x to the variable or field object addressed.
+func collectAtomicUses(pass *Pass) []atomicUse {
+	var out []atomicUse
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			// Methods on the typed atomics are the structural fix, not a
+			// hazard; only package-level functions take raw words.
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			w := atomicWidth(fn.Name())
+			if w == 0 || len(call.Args) == 0 {
+				return true
+			}
+			u := unwrapAddr(call.Args[0])
+			if u == nil {
+				return true
+			}
+			if obj := addressedObject(pass, u.X); obj != nil {
+				out = append(out, atomicUse{obj: obj, width: w, pos: call.Pos(), expr: u.X})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// unwrapAddr digs the &x operand out of an atomic call argument,
+// looking through parentheses and single-argument conversions — the
+// (*uint32)(unsafe.Pointer(&c.word)) cast is exactly the width-mixing
+// idiom this analyzer exists to reject, so the cast must not hide the
+// addressed word from it.
+func unwrapAddr(x ast.Expr) *ast.UnaryExpr {
+	for {
+		switch e := x.(type) {
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				return e
+			}
+			return nil
+		case *ast.ParenExpr:
+			x = e.X
+		case *ast.CallExpr:
+			if len(e.Args) != 1 {
+				return nil
+			}
+			x = e.Args[0]
+		default:
+			return nil
+		}
+	}
+}
+
+// addressedObject resolves the variable or struct field named by an
+// address-of operand: a bare identifier, or the final field of a
+// selector chain.
+func addressedObject(pass *Pass, x ast.Expr) types.Object {
+	switch x := x.(type) {
+	case *ast.Ident:
+		return pass.Info.Uses[x]
+	case *ast.SelectorExpr:
+		return pass.Info.Uses[x.Sel]
+	case *ast.IndexExpr:
+		return addressedObject(pass, x.X)
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestAtomicDiscipline(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), analysis.AtomicDiscipline,
+		"repro/internal/vetbad_atomics")
+}

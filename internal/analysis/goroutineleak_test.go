@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestGoroutineLeak(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), analysis.GoroutineLeak,
+		"repro/internal/sweep/serve/vetbad_leak")
+}

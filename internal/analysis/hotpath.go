@@ -1,0 +1,663 @@
+package analysis
+
+import (
+	"bufio"
+	"bytes"
+	_ "embed"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Hotpath enforces the zero-heap-allocation contract on functions
+// annotated //sweepvet:hotpath: the DES event loop, the Welford
+// observe/merge pair, and the TLV encode/decode payload paths. Two
+// layers check the contract. An AST pass rejects the constructs that
+// reliably allocate or wreck inlining — map iteration, capturing
+// closures, boxing a non-pointer value into an interface, fmt calls,
+// append into a buffer the function does not own, defer inside a loop,
+// and a literal nil scratch buffer passed where a caller-owned []byte
+// belongs. Independently, the real compiler's escape diagnostics
+// (go build -gcflags=-m=2) are diffed against the checked-in
+// per-function baseline hotpath.baseline, so a refactor that introduces
+// a new escape fails vet instead of silently regressing allocs/op.
+//
+// The escape cross-check needs the go command and a module-rooted
+// working directory, so only the standalone driver enables it (see
+// EnableEscapeCheck); under -vettool and in the analysistest harness
+// the AST layer runs alone.
+var Hotpath = &Analyzer{
+	Name: "hotpath",
+	Doc: "enforce the zero-allocation contract on //sweepvet:hotpath functions: " +
+		"reject allocating constructs by AST and diff compiler escape diagnostics " +
+		"against the checked-in per-function baseline",
+	Run: runHotpath,
+}
+
+// hotpathMarker is the annotation that opts a function into the
+// contract, written as a directive in the function's doc comment.
+const hotpathMarker = "//sweepvet:hotpath"
+
+//go:embed hotpath.baseline
+var hotpathBaselineData string
+
+// escapeFinding is one normalized compiler escape diagnostic: the base
+// filename and line it was reported at, and the message with position
+// prefix and the -m=2 trailing colon stripped.
+type escapeFinding struct {
+	File string
+	Line int
+	Msg  string
+}
+
+// hotpathEscapes produces the compiler escape diagnostics for one
+// package, or nil when the escape cross-check is disabled (the default:
+// vettool units and the analysistest harness have no module-rooted go
+// command to drive). The standalone driver enables the real source via
+// EnableEscapeCheck; tests substitute fakes.
+var hotpathEscapes func(pkgPath string) ([]escapeFinding, error)
+
+// EnableEscapeCheck switches the hotpath analyzer's escape cross-check
+// on, driving `go build -gcflags=-m=2` per analyzed package. The
+// process working directory must be inside the module under analysis.
+func EnableEscapeCheck() {
+	hotpathEscapes = compilerEscapes
+}
+
+// compilerEscapes runs the gc escape analysis over one package and
+// parses the heap-allocation diagnostics out of its stderr. Repeat runs
+// replay the diagnostics from the build cache, so this is cheap after
+// the first build.
+func compilerEscapes(pkgPath string) ([]escapeFinding, error) {
+	cmd := exec.Command("go", "build", "-gcflags=-m=2", pkgPath)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m=2 %s: %v\n%s", pkgPath, err, stderr.String())
+	}
+	return parseEscapes(stderr.String()), nil
+}
+
+// parseEscapes extracts the allocation diagnostics ("escapes to heap",
+// "moved to heap") from -m=2 output. The verbose mode prints each
+// escape twice — once with a trailing colon introducing indented flow
+// lines — so messages are normalized and deduplicated.
+func parseEscapes(out string) []escapeFinding {
+	var found []escapeFinding
+	seen := make(map[escapeFinding]bool)
+	sc := bufio.NewScanner(strings.NewReader(out))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		// path/file.go:LINE:COL: MSG
+		parts := strings.SplitN(line, ":", 4)
+		if len(parts) != 4 {
+			continue
+		}
+		msg := strings.TrimSpace(parts[3])
+		if strings.HasPrefix(msg, "flow:") || strings.HasPrefix(msg, "from ") {
+			continue
+		}
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		msg = strings.TrimSuffix(msg, ":")
+		var ln int
+		fmt.Sscanf(parts[1], "%d", &ln)
+		f := escapeFinding{File: filepath.Base(parts[0]), Line: ln, Msg: msg}
+		if !seen[f] {
+			seen[f] = true
+			found = append(found, f)
+		}
+	}
+	return found
+}
+
+// parseBaseline reads hotpath.baseline: one tab-separated line per
+// (function, escape message) pair, or "<func>\t-" recording an
+// explicitly empty escape set. Blank lines and #-comments are skipped.
+func parseBaseline(data string) map[string]map[string]bool {
+	base := make(map[string]map[string]bool)
+	for _, line := range strings.Split(data, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fn, msg, ok := strings.Cut(line, "\t")
+		if !ok {
+			continue
+		}
+		if base[fn] == nil {
+			base[fn] = make(map[string]bool)
+		}
+		if msg != "-" {
+			base[fn][msg] = true
+		}
+	}
+	return base
+}
+
+// funcKey names a function the way the baseline file does:
+// pkgpath.Func or pkgpath.(*Recv).Method.
+func funcKey(pkgPath string, decl *ast.FuncDecl) string {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return pkgPath + "." + decl.Name.Name
+	}
+	recv := decl.Recv.List[0].Type
+	if star, ok := recv.(*ast.StarExpr); ok {
+		return fmt.Sprintf("%s.(*%s).%s", pkgPath, types.ExprString(star.X), decl.Name.Name)
+	}
+	return fmt.Sprintf("%s.%s.%s", pkgPath, types.ExprString(recv), decl.Name.Name)
+}
+
+// isHotpath reports whether the declaration carries the hotpath marker.
+func isHotpath(decl *ast.FuncDecl) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if strings.TrimSpace(c.Text) == hotpathMarker {
+			return true
+		}
+	}
+	return false
+}
+
+// hotFunc is one annotated function with the source extent the escape
+// diff attributes compiler diagnostics by.
+type hotFunc struct {
+	key      string
+	decl     *ast.FuncDecl
+	file     string // base filename
+	from, to int    // line range, inclusive
+}
+
+func runHotpath(pass *Pass) error {
+	var hot []hotFunc
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || !isHotpath(decl) || decl.Body == nil {
+				continue
+			}
+			start := pass.Fset.Position(decl.Pos())
+			end := pass.Fset.Position(decl.End())
+			hot = append(hot, hotFunc{
+				key:  funcKey(pass.Pkg.Path(), decl),
+				decl: decl,
+				file: filepath.Base(start.Filename),
+				from: start.Line,
+				to:   end.Line,
+			})
+			checkHotBody(pass, decl)
+		}
+	}
+	if hotpathEscapes == nil {
+		return nil
+	}
+	base := parseBaseline(hotpathBaselineData)
+	reportOrphanEntries(pass, base, hot)
+	if len(hot) == 0 {
+		return nil
+	}
+	return diffEscapes(pass, hot, base)
+}
+
+// reportOrphanEntries flags baseline entries claiming this package's
+// import path whose function is no longer annotated (or no longer
+// exists) — otherwise dropping a //sweepvet:hotpath marker would leave
+// the entry behind and the baseline would quietly stop tracking
+// reality. Runs even when the package has no annotated functions left.
+func reportOrphanEntries(pass *Pass, base map[string]map[string]bool, hot []hotFunc) {
+	prefix := pass.Pkg.Path() + "."
+	live := make(map[string]bool, len(hot))
+	for _, h := range hot {
+		live[h.key] = true
+	}
+	var orphans []string
+	for key := range base {
+		if strings.HasPrefix(key, prefix) && !live[key] {
+			orphans = append(orphans, key)
+		}
+	}
+	sort.Strings(orphans)
+	for _, key := range orphans {
+		pass.Report(Diagnostic{
+			Pos:      token.Position{Filename: pass.Pkg.Path()},
+			Analyzer: pass.Analyzer.Name,
+			Message: fmt.Sprintf("orphaned escape baseline entry for %s: no such annotated "+
+				"hot path in this package; regenerate internal/analysis/hotpath.baseline "+
+				"with sweepvet -hotpath-baseline", key),
+		})
+	}
+}
+
+// checkHotBody runs the AST layer over one annotated function.
+func checkHotBody(pass *Pass, decl *ast.FuncDecl) {
+	report := func(pos token.Pos, format string, args ...any) {
+		if pass.Allowed(pos, "hotpath") {
+			return
+		}
+		msg := fmt.Sprintf(format, args...)
+		pass.Reportf(pos, "hot path %s: %s (fix it, or annotate a deliberate cold "+
+			"branch with //sweepvet:allow(hotpath) <reason>)", decl.Name.Name, msg)
+	}
+	var loopDepth int
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if _, isMap := pass.Info.TypeOf(n.X).Underlying().(*types.Map); isMap {
+				report(n.Pos(), "range over a map: iteration order is nondeterministic and the hash walk defeats inlining")
+			}
+			loopDepth++
+			ast.Inspect(n.Body, walk)
+			loopDepth--
+			walkSkipBody(n, walk)
+			return false
+		case *ast.ForStmt:
+			loopDepth++
+			ast.Inspect(n.Body, walk)
+			loopDepth--
+			walkSkipBody(n, walk)
+			return false
+		case *ast.DeferStmt:
+			if loopDepth > 0 {
+				report(n.Pos(), "defer inside a loop: each iteration allocates a deferred frame that only runs at return")
+			}
+		case *ast.FuncLit:
+			if capt := captured(pass, decl, n); capt != "" {
+				report(n.Pos(), "closure captures %s: the captured variable and the closure both move to the heap", capt)
+			}
+			// The literal's own body is not part of the annotated
+			// function's synchronous hot path.
+			return false
+		case *ast.CallExpr:
+			checkHotCall(pass, decl, n, report)
+		case *ast.AssignStmt:
+			checkIfaceAssign(pass, n, report)
+		case *ast.ReturnStmt:
+			checkIfaceReturn(pass, decl, n, report)
+		}
+		return true
+	}
+	ast.Inspect(decl.Body, walk)
+}
+
+// walkSkipBody re-visits a loop statement's non-body children (init,
+// condition, post, range expression) under the parent walker, since the
+// main walk returned false to manage loop depth around the body.
+func walkSkipBody(loop ast.Node, walk func(ast.Node) bool) {
+	switch n := loop.(type) {
+	case *ast.ForStmt:
+		for _, c := range []ast.Node{n.Init, n.Cond, n.Post} {
+			if c != nil {
+				ast.Inspect(c, walk)
+			}
+		}
+	case *ast.RangeStmt:
+		if n.X != nil {
+			ast.Inspect(n.X, walk)
+		}
+	}
+}
+
+// captured returns the name of a variable the literal captures from the
+// enclosing function, or "". A closure with no captures compiles to a
+// static func value and stays off the heap; one capture heap-allocates
+// both the closure and the variable.
+func captured(pass *Pass, encl *ast.FuncDecl, lit *ast.FuncLit) string {
+	name := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		// Captured iff declared inside the enclosing function but
+		// outside the literal.
+		if obj.Pos() >= encl.Pos() && obj.Pos() < encl.End() &&
+			(obj.Pos() < lit.Pos() || obj.Pos() >= lit.End()) {
+			name = obj.Name()
+			return false
+		}
+		return true
+	})
+	return name
+}
+
+// pointerShaped reports whether values of t occupy a single pointer
+// word, so converting one to an interface stores it directly with no
+// heap allocation.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	return false
+}
+
+// checkHotCall flags fmt calls, append misuse, nil scratch buffers, and
+// value-to-interface boxing at call arguments.
+func checkHotCall(pass *Pass, decl *ast.FuncDecl, call *ast.CallExpr, report func(token.Pos, string, ...any)) {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if fn, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			report(call.Pos(), "call to fmt.%s: interface boxing of every argument plus formatting allocations", fn.Name())
+			return
+		}
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok && pass.Info.Uses[id] == types.Universe.Lookup("append") {
+		checkAppend(pass, decl, call, report)
+		return
+	}
+	// panic never returns to the hot path: its argument boxing is cold
+	// by construction, and the compiler's escape diagnostics (tracked by
+	// the baseline) still account for the panic value's allocation.
+	if id, ok := call.Fun.(*ast.Ident); ok && pass.Info.Uses[id] == types.Universe.Lookup("panic") {
+		return
+	}
+	sig := callSignature(pass, call)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramType(sig, i, call.Ellipsis.IsValid())
+		if pt == nil {
+			continue
+		}
+		if id, ok := arg.(*ast.Ident); ok && id.Name == "nil" && pass.Info.Uses[id] == types.Universe.Lookup("nil") {
+			if _, isSlice := pt.Underlying().(*types.Slice); isSlice {
+				report(arg.Pos(), "nil scratch buffer passed for a %s parameter: the callee grows a fresh heap slice per call; thread the caller-owned buffer through instead", pt)
+			}
+			continue
+		}
+		checkBoxing(pass, arg, pt, report)
+	}
+}
+
+// callSignature resolves the signature of a call's callee, or nil for
+// builtins and type conversions.
+func callSignature(pass *Pass, call *ast.CallExpr) *types.Signature {
+	t := pass.Info.TypeOf(call.Fun)
+	if t == nil {
+		return nil
+	}
+	sig, _ := t.Underlying().(*types.Signature)
+	return sig
+}
+
+// paramType returns the declared type of argument i, expanding the
+// variadic tail; nil when the call itself spreads a slice (arg...).
+func paramType(sig *types.Signature, i int, ellipsis bool) types.Type {
+	n := sig.Params().Len()
+	if sig.Variadic() && i >= n-1 {
+		if ellipsis {
+			return nil // the spread slice is passed as-is, no boxing
+		}
+		return sig.Params().At(n - 1).Type().(*types.Slice).Elem()
+	}
+	if i >= n {
+		return nil
+	}
+	return sig.Params().At(i).Type()
+}
+
+// checkBoxing flags an implicit conversion of a non-pointer-shaped
+// concrete value into an interface-typed slot.
+func checkBoxing(pass *Pass, expr ast.Expr, target types.Type, report func(token.Pos, string, ...any)) {
+	if target == nil {
+		return
+	}
+	if _, isIface := target.Underlying().(*types.Interface); !isIface {
+		return
+	}
+	at := pass.Info.TypeOf(expr)
+	if at == nil {
+		return
+	}
+	if _, already := at.Underlying().(*types.Interface); already {
+		return
+	}
+	if at == types.Typ[types.UntypedNil] || pointerShaped(at) {
+		return
+	}
+	report(expr.Pos(), "%s boxed into %s: a non-pointer value converted to an interface allocates", at, target)
+}
+
+// checkAppend accepts the two non-allocating append idioms — growing a
+// buffer the statement assigns back (`b = append(b, ...)`) or handing
+// the grown buffer straight back to the caller (`return append(dst,
+// ...)`) — and flags everything else as growth of a buffer the hot
+// path does not own. Ownership is what makes the growth amortized: a
+// reused caller buffer reaches steady-state capacity and stops
+// allocating.
+func checkAppend(pass *Pass, decl *ast.FuncDecl, call *ast.CallExpr, report func(token.Pos, string, ...any)) {
+	if len(call.Args) == 0 {
+		return
+	}
+	if appendIsOwned(pass, decl.Body, call) {
+		return
+	}
+	report(call.Pos(), "append result is neither assigned back to its first operand nor returned: the grown buffer has no owner to amortize it")
+}
+
+func appendIsOwned(pass *Pass, body *ast.BlockStmt, call *ast.CallExpr) bool {
+	owned := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if owned {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if rhs == ast.Expr(call) && i < len(n.Lhs) && sameSliceExpr(pass, n.Lhs[i], call.Args[0]) {
+					owned = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if r == ast.Expr(call) {
+					owned = true
+				}
+			}
+		}
+		return true
+	})
+	return owned
+}
+
+// sameSliceExpr reports whether two expressions denote the same
+// variable or the same field chain off the same variable.
+func sameSliceExpr(pass *Pass, a, b ast.Expr) bool {
+	switch a := a.(type) {
+	case *ast.Ident:
+		bid, ok := b.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		ao := pass.Info.Uses[a]
+		if ao == nil {
+			ao = pass.Info.Defs[a]
+		}
+		bo := pass.Info.Uses[bid]
+		if bo == nil {
+			bo = pass.Info.Defs[bid]
+		}
+		return ao != nil && ao == bo
+	case *ast.SelectorExpr:
+		bsel, ok := b.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		return a.Sel.Name == bsel.Sel.Name && sameSliceExpr(pass, a.X, bsel.X)
+	}
+	return false
+}
+
+// checkIfaceAssign flags boxing at assignments whose target is
+// interface-typed.
+func checkIfaceAssign(pass *Pass, assign *ast.AssignStmt, report func(token.Pos, string, ...any)) {
+	if len(assign.Lhs) != len(assign.Rhs) {
+		return
+	}
+	for i := range assign.Rhs {
+		checkBoxing(pass, assign.Rhs[i], pass.Info.TypeOf(assign.Lhs[i]), report)
+	}
+}
+
+// checkIfaceReturn flags boxing at returns into interface-typed
+// results.
+func checkIfaceReturn(pass *Pass, decl *ast.FuncDecl, ret *ast.ReturnStmt, report func(token.Pos, string, ...any)) {
+	sig, ok := pass.Info.TypeOf(decl.Name).(*types.Signature)
+	if !ok || sig.Results().Len() != len(ret.Results) {
+		return
+	}
+	for i, r := range ret.Results {
+		checkBoxing(pass, r, sig.Results().At(i).Type(), report)
+	}
+}
+
+// diffEscapes cross-checks the compiler's escape diagnostics for this
+// package against the checked-in baseline, attributing each diagnostic
+// to the annotated function whose source range contains it.
+func diffEscapes(pass *Pass, hot []hotFunc, base map[string]map[string]bool) error {
+	escapes, err := hotpathEscapes(pass.Pkg.Path())
+	if err != nil {
+		return err
+	}
+	got := make(map[string]map[string]bool, len(hot))
+	for _, h := range hot {
+		got[h.key] = make(map[string]bool)
+	}
+	for _, e := range escapes {
+		for _, h := range hot {
+			if e.File == h.file && e.Line >= h.from && e.Line <= h.to {
+				got[h.key][e.Msg] = true
+				if !base[h.key][e.Msg] {
+					pass.Report(Diagnostic{
+						Pos:      token.Position{Filename: e.File, Line: e.Line},
+						Analyzer: pass.Analyzer.Name,
+						Message: fmt.Sprintf("new escape in hot path %s: %q is not in the "+
+							"checked-in baseline; eliminate the allocation or regenerate "+
+							"internal/analysis/hotpath.baseline with sweepvet -hotpath-baseline", h.key, e.Msg),
+					})
+				}
+				break
+			}
+		}
+	}
+	for _, h := range hot {
+		want, ok := base[h.key]
+		if !ok {
+			pass.Reportf(h.decl.Pos(), "hot path %s has no escape baseline entry; "+
+				"regenerate internal/analysis/hotpath.baseline with sweepvet -hotpath-baseline", h.key)
+			continue
+		}
+		var stale []string
+		for msg := range want {
+			if !got[h.key][msg] {
+				stale = append(stale, msg)
+			}
+		}
+		sort.Strings(stale)
+		for _, msg := range stale {
+			pass.Reportf(h.decl.Pos(), "stale escape baseline entry for %s: %q is no longer "+
+				"reported by the compiler; regenerate internal/analysis/hotpath.baseline", h.key, msg)
+		}
+	}
+	return nil
+}
+
+// HotpathBaseline renders the current escape baseline for every
+// annotated function in the given packages, in the hotpath.baseline
+// file format, using the enabled escape source. It is the generator
+// behind `sweepvet -hotpath-baseline`.
+func HotpathBaseline(pkgs []*Package) (string, error) {
+	if hotpathEscapes == nil {
+		return "", fmt.Errorf("escape source disabled: baseline generation needs the standalone driver")
+	}
+	type entry struct{ key, msg string }
+	var entries []entry
+	for _, pkg := range pkgs {
+		var hot []hotFunc
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				decl, ok := d.(*ast.FuncDecl)
+				if !ok || !isHotpath(decl) || decl.Body == nil {
+					continue
+				}
+				start := pkg.Fset.Position(decl.Pos())
+				end := pkg.Fset.Position(decl.End())
+				hot = append(hot, hotFunc{
+					key:  funcKey(pkg.Pkg.Path(), decl),
+					file: filepath.Base(start.Filename),
+					from: start.Line,
+					to:   end.Line,
+				})
+			}
+		}
+		if len(hot) == 0 {
+			continue
+		}
+		escapes, err := hotpathEscapes(pkg.Pkg.Path())
+		if err != nil {
+			return "", err
+		}
+		msgs := make(map[string][]string)
+		for _, e := range escapes {
+			for _, h := range hot {
+				if e.File == h.file && e.Line >= h.from && e.Line <= h.to {
+					msgs[h.key] = append(msgs[h.key], e.Msg)
+					break
+				}
+			}
+		}
+		for _, h := range hot {
+			es := msgs[h.key]
+			if len(es) == 0 {
+				entries = append(entries, entry{h.key, "-"})
+				continue
+			}
+			sort.Strings(es)
+			seen := ""
+			for _, m := range es {
+				if m == seen {
+					continue
+				}
+				seen = m
+				entries = append(entries, entry{h.key, m})
+			}
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].key != entries[j].key {
+			return entries[i].key < entries[j].key
+		}
+		return entries[i].msg < entries[j].msg
+	})
+	var sb strings.Builder
+	sb.WriteString("# Escape baseline for //sweepvet:hotpath functions.\n")
+	sb.WriteString("# One line per (function, compiler escape message); \"-\" records an\n")
+	sb.WriteString("# empty set. Regenerate: go run ./cmd/sweepvet -hotpath-baseline ./...\n")
+	for _, e := range entries {
+		sb.WriteString(e.key)
+		sb.WriteByte('\t')
+		sb.WriteString(e.msg)
+		sb.WriteByte('\n')
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestHotpathAST(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), analysis.Hotpath,
+		"repro/internal/vethot_ast")
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -81,6 +82,32 @@ func Load(patterns []string) ([]*Package, error) {
 		pkgs = append(pkgs, &Package{Fset: fset, Files: files, Pkg: tpkg, Info: info})
 	}
 	return pkgs, nil
+}
+
+// SelectUnitFiles filters a vet compilation unit's file list down to
+// the set the standalone driver analyzes: non-test files whose build
+// constraints (//go:build lines and _GOOS/_GOARCH filename suffixes)
+// match the current build context. The standalone path gets exactly
+// this set for free from `go list` GoFiles; applying the same rule to
+// the unit-check path keeps the two drivers from disagreeing about
+// tag-excluded files — a .cfg that names one (hand-built, or built
+// under other GOFLAGS) must not smuggle it into analysis.
+//
+// A file the build context cannot read is kept: the parser downstream
+// will produce the real error instead of a silent skip.
+func SelectUnitFiles(goFiles []string) []string {
+	var out []string
+	for _, path := range goFiles {
+		if strings.HasSuffix(path, "_test.go") {
+			continue
+		}
+		dir, name := filepath.Split(path)
+		ok, err := build.Default.MatchFile(dir, name)
+		if err != nil || ok {
+			out = append(out, path)
+		}
+	}
+	return out
 }
 
 // NewInfo allocates the types.Info maps every analyzer relies on.

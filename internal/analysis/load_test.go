@@ -1,0 +1,42 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// TestSelectUnitFiles pins the unit-check file selection to the go list
+// rule set: test files out, tag-excluded files out, everything else in.
+func TestSelectUnitFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, src string) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	plain := write("plain.go", "package p\n")
+	test := write("plain_test.go", "package p\n")
+	tagged := write("tagged.go", "//go:build neverenabledtag\n\npackage p\n")
+	otherOS := "windows"
+	if runtime.GOOS == "windows" {
+		otherOS = "linux"
+	}
+	osFile := write("impl_"+otherOS+".go", "package p\n")
+	sameOS := write("impl2_"+runtime.GOOS+".go", "package p\n")
+
+	got := SelectUnitFiles([]string{plain, test, tagged, osFile, sameOS})
+	want := map[string]bool{plain: true, sameOS: true}
+	if len(got) != len(want) {
+		t.Fatalf("SelectUnitFiles = %v, want exactly %v", got, want)
+	}
+	for _, f := range got {
+		if !want[f] {
+			t.Errorf("SelectUnitFiles kept %s; test and tag-excluded files must be dropped", f)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Package vetbad_leak seeds goroutine spawns with and without provable
+// exit paths for the goroutineleak analyzer: the leaky shapes must be
+// flagged, the disciplined replicator/health-probe/fan-out/daemon
+// shapes must not.
+package vetbad_leak
+
+import "sync"
+
+func compute() int { return 1 }
+
+func leakForever() {
+	go func() { // want "no provable exit path"
+		for {
+			compute()
+		}
+	}()
+}
+
+func leakUnbufferedSend(res chan int) {
+	go func() { // want "no provable exit path"
+		res <- compute()
+	}()
+}
+
+func leakBareReceive(done chan struct{}) {
+	go func() { // want "no provable exit path"
+		<-done
+		compute()
+	}()
+}
+
+func leakOpaque(f func()) {
+	go f() // want "not visible from this package"
+}
+
+func allowedOpaque(f func()) {
+	go f() //sweepvet:allow(goroutineleak) caller owns the lifetime and joins at shutdown
+}
+
+// okStopSelect is the replicator shape: a loop whose select receives
+// the stop channel and returns.
+func okStopSelect(stop chan struct{}, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case w := <-work:
+				_ = w
+			}
+		}
+	}()
+}
+
+// okRangeClosed is the bounded fan-out shape: the worker ranges over a
+// channel the spawner fills and closes before the spawn.
+func okRangeClosed(items []int) {
+	idx := make(chan int, len(items))
+	for i := range items {
+		idx <- i
+	}
+	close(idx)
+	go func() {
+		for range idx {
+			compute()
+		}
+	}()
+}
+
+// okWaitGroup is the health-probe shape: Add before spawn, deferred
+// Done inside, Wait at the drain.
+func okWaitGroup(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			compute()
+		}()
+	}
+	wg.Wait()
+}
+
+// okBufferedSend is the daemon shape: a straight-line body whose only
+// send targets a channel the spawner made with capacity one.
+func okBufferedSend() chan int {
+	errc := make(chan int, 1)
+	go func() {
+		errc <- compute()
+	}()
+	return errc
+}
+
+type pump struct {
+	stop chan struct{}
+}
+
+// run carries its own exit select; start spawns it as a method value
+// resolved through the package's declarations.
+func (p *pump) run() {
+	for {
+		select {
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+func (p *pump) start() {
+	go p.run()
+}

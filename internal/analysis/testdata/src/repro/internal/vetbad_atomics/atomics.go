@@ -1,0 +1,48 @@
+// Package vetbad_atomics seeds the two atomicdiscipline hazards: plain
+// reads/writes of words that are accessed through sync/atomic
+// elsewhere, and one word accessed at two widths through an unsafe
+// cast.
+package vetbad_atomics
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+type counters struct {
+	hits   int64
+	misses int64
+	word   uint64
+	clean  int64
+}
+
+// bump is the sanctioned access pattern: every touch goes through
+// sync/atomic.
+func bump(c *counters) {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.StoreInt64(&c.misses, 0)
+	_ = atomic.LoadInt64(&c.misses)
+}
+
+func readPlain(c *counters) int64 {
+	return c.hits // want "plain access of hits"
+}
+
+func writePlain(c *counters) {
+	c.misses++ // want "plain access of misses"
+}
+
+func allowedReset(c *counters) {
+	c.hits = 0 //sweepvet:allow(atomics) constructor-time reset before any goroutine exists
+}
+
+// plainOnly is untouched by sync/atomic anywhere: plain access is fine.
+func plainOnly(c *counters) int64 {
+	c.clean++
+	return c.clean
+}
+
+func mixWidths(c *counters) uint32 {
+	atomic.AddUint64(&c.word, 1)
+	return atomic.LoadUint32((*uint32)(unsafe.Pointer(&c.word))) // want "mixed widths"
+}

@@ -1,0 +1,104 @@
+// Package vethot_ast seeds every construct the hotpath analyzer's AST
+// layer rejects inside //sweepvet:hotpath functions, next to the
+// accepted idioms it must stay quiet about.
+package vethot_ast
+
+import "fmt"
+
+type rec struct {
+	vals map[string]int
+}
+
+func encode(dst []byte, v int) []byte {
+	return append(dst, byte(v))
+}
+
+// unannotated functions are out of contract: none of this is flagged.
+func coldEverything(r *rec) string {
+	total := 0
+	for _, v := range r.vals {
+		total += v
+	}
+	return fmt.Sprint(total)
+}
+
+//sweepvet:hotpath
+func hotMapRange(r *rec) int {
+	total := 0
+	for _, v := range r.vals { // want "range over a map"
+		total += v
+	}
+	return total
+}
+
+//sweepvet:hotpath
+func hotClosure(xs []int) func() int {
+	total := 0
+	return func() int { // want "closure captures"
+		for _, x := range xs {
+			total += x
+		}
+		return total
+	}
+}
+
+//sweepvet:hotpath
+func hotBox(x int) any {
+	return x // want "boxed into"
+}
+
+//sweepvet:hotpath
+func hotBoxArg(x int) {
+	sink(x) // want "boxed into"
+}
+
+func sink(v any) { _ = v }
+
+//sweepvet:hotpath
+func hotFmt(x int) string {
+	return fmt.Sprintf("%d", x) // want "call to fmt.Sprintf"
+}
+
+//sweepvet:hotpath
+func hotAppendUnowned(dst []byte, b byte) []byte {
+	tmp := append(dst, b) // want "append result is neither assigned back"
+	return tmp
+}
+
+//sweepvet:hotpath
+func hotNilScratch(v int) []byte {
+	return encode(nil, v) // want "nil scratch buffer"
+}
+
+//sweepvet:hotpath
+func hotDeferLoop(fns []func()) {
+	for _, f := range fns {
+		defer f() // want "defer inside a loop"
+	}
+}
+
+// The accepted idioms: self-assigned and returned appends, pointer
+// values into interfaces, defer outside loops, an annotated cold
+// branch.
+
+//sweepvet:hotpath
+func hotAppendOwned(dst []byte, b byte) []byte {
+	dst = append(dst, b)
+	return append(dst, b)
+}
+
+//sweepvet:hotpath
+func hotPointerBox(r *rec) any {
+	return r // pointer-shaped: stored directly in the interface word
+}
+
+//sweepvet:hotpath
+func hotDeferOnce(f func()) {
+	defer f()
+}
+
+//sweepvet:hotpath
+func hotAllowedColdBranch(x int) string {
+	//sweepvet:allow(hotpath) cold error branch, formatting cost accepted
+	return fmt.Sprint(x)
+}

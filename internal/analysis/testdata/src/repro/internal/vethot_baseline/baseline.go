@@ -1,0 +1,24 @@
+// Package vethot_baseline is the fixture for the hotpath analyzer's
+// escape-baseline drift tests: the test harness injects a fake compiler
+// escape source over these functions and baselines that variously
+// match, omit an escape, or carry a stale one.
+package vethot_baseline
+
+type node struct {
+	next *node
+	v    int
+}
+
+//sweepvet:hotpath
+func grow(v int) *node {
+	return &node{v: v}
+}
+
+//sweepvet:hotpath
+func sum(ns []*node) int {
+	t := 0
+	for _, n := range ns {
+		t += n.v
+	}
+	return t
+}

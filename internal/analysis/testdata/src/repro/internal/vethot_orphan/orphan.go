@@ -1,0 +1,12 @@
+// Package vethot_orphan models a package that once carried a
+// //sweepvet:hotpath annotation: the marker has since been removed,
+// but the test stubs in a baseline that still lists the function. The
+// analyzer must flag the lingering entry even though no annotated
+// functions remain in the package.
+package vethot_orphan
+
+func cold() int {
+	return 1
+}
+
+var _ = cold

@@ -21,6 +21,8 @@ type Summary struct {
 }
 
 // Add folds one observation into the summary.
+//
+//sweepvet:hotpath
 func (s *Summary) Add(x float64) {
 	s.n++
 	d := x - s.mean
@@ -41,6 +43,8 @@ func (s *Summary) AddDuration(d time.Duration) {
 }
 
 // Merge folds another summary into s (parallel Welford combination).
+//
+//sweepvet:hotpath
 func (s *Summary) Merge(o Summary) {
 	if o.n == 0 {
 		return

@@ -75,27 +75,69 @@ const (
 var ErrEnvelopeVersion = errors.New("tlv: envelope version mismatch")
 
 // AppendEnvelope encodes a store record (id + result state) as a
-// complete frame appended to dst.
+// complete frame appended to dst. Like AppendRecord, the payload is
+// encoded in place: with a capacity-sufficient dst the whole frame
+// costs zero allocations.
+//
+//sweepvet:hotpath
 func AppendEnvelope(dst []byte, id string, st *campaign.ResultState) []byte {
-	return AppendFrame(dst, AppendEnvelopePayload(nil, id, st))
+	start := len(dst)
+	dst = beginFrame(dst)
+	dst = AppendEnvelopePayload(dst, id, st)
+	return finishFrame(dst, start)
 }
 
 // AppendEnvelopePayload encodes the envelope's TLV payload (no frame).
+//
+//sweepvet:hotpath
 func AppendEnvelopePayload(dst []byte, id string, st *campaign.ResultState) []byte {
 	dst = appendUint(dst, fEnvVersion, RecordVersion)
 	dst = appendString(dst, fEnvID, id)
-	return appendBytes(dst, fEnvResult, appendResultState(nil, st))
+	dst = appendUvarint(dst, fEnvResult)
+	dst = appendUvarint(dst, uint64(resultStateSize(st)))
+	return appendResultState(dst, st)
 }
 
+//sweepvet:hotpath
+func resultStateSize(st *campaign.ResultState) int {
+	n := bytesFieldSize(fResConfig, configStateSize(&st.Config)) +
+		intFieldSize(fResMeasurements, int64(st.Measurements)) +
+		intFieldSize(fResVirtualNs, st.VirtualNs) +
+		bytesFieldSize(fResMobileMean, summaryStateSize(st.MobileMean)) +
+		bytesFieldSize(fResMobileAll, summaryStateSize(st.MobileAll)) +
+		bytesFieldSize(fResWired, summaryStateSize(st.Wired))
+	for i := range st.Cells {
+		n += bytesFieldSize(fResCell, cellStateSize(&st.Cells[i]))
+	}
+	if st.Compact {
+		n += boolFieldSize(fResCompact)
+	}
+	if st.ARGhosts {
+		n += boolFieldSize(fResARGhosts)
+	}
+	return n
+}
+
+//sweepvet:hotpath
 func appendResultState(dst []byte, st *campaign.ResultState) []byte {
-	dst = appendBytes(dst, fResConfig, appendConfigState(nil, &st.Config))
+	dst = appendUvarint(dst, fResConfig)
+	dst = appendUvarint(dst, uint64(configStateSize(&st.Config)))
+	dst = appendConfigState(dst, &st.Config)
 	dst = appendInt(dst, fResMeasurements, int64(st.Measurements))
 	dst = appendInt(dst, fResVirtualNs, st.VirtualNs)
-	dst = appendBytes(dst, fResMobileMean, appendSummaryState(nil, st.MobileMean))
-	dst = appendBytes(dst, fResMobileAll, appendSummaryState(nil, st.MobileAll))
-	dst = appendBytes(dst, fResWired, appendSummaryState(nil, st.Wired))
+	dst = appendUvarint(dst, fResMobileMean)
+	dst = appendUvarint(dst, uint64(summaryStateSize(st.MobileMean)))
+	dst = appendSummaryState(dst, st.MobileMean)
+	dst = appendUvarint(dst, fResMobileAll)
+	dst = appendUvarint(dst, uint64(summaryStateSize(st.MobileAll)))
+	dst = appendSummaryState(dst, st.MobileAll)
+	dst = appendUvarint(dst, fResWired)
+	dst = appendUvarint(dst, uint64(summaryStateSize(st.Wired)))
+	dst = appendSummaryState(dst, st.Wired)
 	for i := range st.Cells {
-		dst = appendBytes(dst, fResCell, appendCellState(nil, &st.Cells[i]))
+		dst = appendUvarint(dst, fResCell)
+		dst = appendUvarint(dst, uint64(cellStateSize(&st.Cells[i])))
+		dst = appendCellState(dst, &st.Cells[i])
 	}
 	if st.Compact {
 		dst = appendBool(dst, fResCompact, true)
@@ -106,6 +148,26 @@ func appendResultState(dst []byte, st *campaign.ResultState) []byte {
 	return dst
 }
 
+//sweepvet:hotpath
+func configStateSize(c *campaign.ConfigState) int {
+	n := uintFieldSize(fCfgSeed, c.Seed) +
+		intFieldSize(fCfgMobileNodes, int64(c.MobileNodes)) +
+		stringFieldSize(fCfgProfile, len(c.Profile)) +
+		boolFieldSize(fCfgLocalPeering) + boolFieldSize(fCfgEdgeUPF) +
+		intFieldSize(fCfgWiredRounds, int64(c.WiredRounds))
+	for _, cell := range c.TargetCells {
+		n += stringFieldSize(fCfgTargetCell, len(cell))
+	}
+	if c.Slicing != nil {
+		n += bytesFieldSize(fCfgSlicing, slicingStateSize(c.Slicing))
+	}
+	if c.ARGame != "" {
+		n += stringFieldSize(fCfgARGame, len(c.ARGame))
+	}
+	return n
+}
+
+//sweepvet:hotpath
 func appendConfigState(dst []byte, c *campaign.ConfigState) []byte {
 	dst = appendUint(dst, fCfgSeed, c.Seed)
 	dst = appendInt(dst, fCfgMobileNodes, int64(c.MobileNodes))
@@ -117,10 +179,10 @@ func appendConfigState(dst []byte, c *campaign.ConfigState) []byte {
 	}
 	dst = appendInt(dst, fCfgWiredRounds, int64(c.WiredRounds))
 	if c.Slicing != nil {
-		var s []byte
-		s = appendString(s, fSliceStrategy, c.Slicing.Strategy)
-		s = appendInt(s, fSliceSites, int64(c.Slicing.Sites))
-		dst = appendBytes(dst, fCfgSlicing, s)
+		dst = appendUvarint(dst, fCfgSlicing)
+		dst = appendUvarint(dst, uint64(slicingStateSize(c.Slicing)))
+		dst = appendString(dst, fSliceStrategy, c.Slicing.Strategy)
+		dst = appendInt(dst, fSliceSites, int64(c.Slicing.Sites))
 	}
 	if c.ARGame != "" {
 		dst = appendString(dst, fCfgARGame, c.ARGame)
@@ -128,6 +190,20 @@ func appendConfigState(dst []byte, c *campaign.ConfigState) []byte {
 	return dst
 }
 
+//sweepvet:hotpath
+func slicingStateSize(s *campaign.SlicingState) int {
+	return stringFieldSize(fSliceStrategy, len(s.Strategy)) +
+		intFieldSize(fSliceSites, int64(s.Sites))
+}
+
+//sweepvet:hotpath
+func summaryStateSize(s stats.SummaryState) int {
+	return intFieldSize(fSumN, int64(s.N)) +
+		f64FieldSize(fSumMean) + f64FieldSize(fSumM2) +
+		f64FieldSize(fSumMin) + f64FieldSize(fSumMax)
+}
+
+//sweepvet:hotpath
 func appendSummaryState(dst []byte, s stats.SummaryState) []byte {
 	dst = appendInt(dst, fSumN, int64(s.N))
 	dst = appendF64(dst, fSumMean, s.Mean)
@@ -136,6 +212,23 @@ func appendSummaryState(dst []byte, s stats.SummaryState) []byte {
 	return appendF64(dst, fSumMax, s.Max)
 }
 
+//sweepvet:hotpath
+func cellStateSize(c *campaign.CellState) int {
+	n := stringFieldSize(fCellCell, len(c.Cell)) +
+		intFieldSize(fCellN, int64(c.N)) +
+		f64FieldSize(fCellMeanMs) + f64FieldSize(fCellStdMs) +
+		boolFieldSize(fCellReported) +
+		bytesFieldSize(fCellSummary, summaryStateSize(c.Summary))
+	if c.GhostHits != 0 {
+		n += intFieldSize(fCellGhostHits, int64(c.GhostHits))
+	}
+	if len(c.Samples) > 0 {
+		n += f64PackedFieldSize(fCellSamples, len(c.Samples))
+	}
+	return n
+}
+
+//sweepvet:hotpath
 func appendCellState(dst []byte, c *campaign.CellState) []byte {
 	dst = appendString(dst, fCellCell, c.Cell)
 	dst = appendInt(dst, fCellN, int64(c.N))
@@ -145,7 +238,9 @@ func appendCellState(dst []byte, c *campaign.CellState) []byte {
 	if c.GhostHits != 0 {
 		dst = appendInt(dst, fCellGhostHits, int64(c.GhostHits))
 	}
-	dst = appendBytes(dst, fCellSummary, appendSummaryState(nil, c.Summary))
+	dst = appendUvarint(dst, fCellSummary)
+	dst = appendUvarint(dst, uint64(summaryStateSize(c.Summary)))
+	dst = appendSummaryState(dst, c.Summary)
 	if len(c.Samples) > 0 {
 		dst = appendF64Packed(dst, fCellSamples, c.Samples)
 	}

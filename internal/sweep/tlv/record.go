@@ -57,13 +57,22 @@ const (
 // AppendRecord encodes one stream record as a complete frame appended
 // to dst. The encoding is deterministic: fields in frozen-number order,
 // floats as exact bits, so two encodes of one record are byte-identical
-// wherever they run.
+// wherever they run. The payload is encoded in place — with a
+// capacity-sufficient dst the whole frame costs zero allocations.
+//
+//sweepvet:hotpath
 func AppendRecord(dst []byte, rec *sweep.Record) []byte {
-	return AppendFrame(dst, AppendRecordPayload(nil, rec))
+	start := len(dst)
+	dst = beginFrame(dst)
+	dst = AppendRecordPayload(dst, rec)
+	return finishFrame(dst, start)
 }
 
 // AppendRecordPayload encodes the record's TLV payload (no frame) into
-// dst.
+// dst. Nested structs precompute their sizes and encode directly into
+// dst; the bytes are identical to the old scratch-buffer composition.
+//
+//sweepvet:hotpath
 func AppendRecordPayload(dst []byte, rec *sweep.Record) []byte {
 	dst = appendString(dst, fRecScenario, rec.Scenario)
 	dst = appendString(dst, fRecVariant, rec.Variant)
@@ -89,15 +98,29 @@ func AppendRecordPayload(dst []byte, rec *sweep.Record) []byte {
 		dst = appendF64(dst, fRecGhostRate, rec.GhostRate)
 	}
 	dst = appendInt(dst, fRecMeasurements, int64(rec.Measurements))
-	dst = appendBytes(dst, fRecMobile, appendSnapshot(nil, rec.Mobile))
-	dst = appendBytes(dst, fRecWired, appendSnapshot(nil, rec.Wired))
+	dst = appendUvarint(dst, fRecMobile)
+	dst = appendUvarint(dst, uint64(snapshotSize(rec.Mobile)))
+	dst = appendSnapshot(dst, rec.Mobile)
+	dst = appendUvarint(dst, fRecWired)
+	dst = appendUvarint(dst, uint64(snapshotSize(rec.Wired)))
+	dst = appendSnapshot(dst, rec.Wired)
 	dst = appendF64(dst, fRecFactor, rec.Factor)
 	for i := range rec.Cells {
-		dst = appendBytes(dst, fRecCell, appendCellAggregate(nil, &rec.Cells[i]))
+		dst = appendUvarint(dst, fRecCell)
+		dst = appendUvarint(dst, uint64(cellAggregateSize(&rec.Cells[i])))
+		dst = appendCellAggregate(dst, &rec.Cells[i])
 	}
 	return dst
 }
 
+//sweepvet:hotpath
+func snapshotSize(s stats.Snapshot) int {
+	return intFieldSize(fSnapN, int64(s.N)) +
+		f64FieldSize(fSnapMean) + f64FieldSize(fSnapStd) +
+		f64FieldSize(fSnapMin) + f64FieldSize(fSnapMax)
+}
+
+//sweepvet:hotpath
 func appendSnapshot(dst []byte, s stats.Snapshot) []byte {
 	dst = appendInt(dst, fSnapN, int64(s.N))
 	dst = appendF64(dst, fSnapMean, s.Mean)
@@ -106,6 +129,22 @@ func appendSnapshot(dst []byte, s stats.Snapshot) []byte {
 	return appendF64(dst, fSnapMax, s.Max)
 }
 
+//sweepvet:hotpath
+func cellAggregateSize(c *sweep.CellAggregate) int {
+	n := stringFieldSize(fAggCell, len(c.Cell)) +
+		intFieldSize(fAggN, int64(c.N)) +
+		f64FieldSize(fAggMeanMs) + f64FieldSize(fAggStdMs) +
+		boolFieldSize(fAggReported)
+	if c.GhostHits != 0 {
+		n += intFieldSize(fAggGhostHits, int64(c.GhostHits))
+	}
+	if c.GhostRate != 0 {
+		n += f64FieldSize(fAggGhostRate)
+	}
+	return n
+}
+
+//sweepvet:hotpath
 func appendCellAggregate(dst []byte, c *sweep.CellAggregate) []byte {
 	dst = appendString(dst, fAggCell, c.Cell)
 	dst = appendInt(dst, fAggN, int64(c.N))
