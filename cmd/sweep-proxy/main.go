@@ -17,13 +17,15 @@
 //	sweep-proxy -addr :9000 -writer http://w:8080 -replicas http://r1:8081 -health-interval 5s
 //
 // Endpoints: POST /v1/scenario, POST /v1/sweep, POST /v1/deltas
-// (forwarded to the writer), GET /healthz, GET /statsz.
+// (forwarded to the writer), GET /healthz, GET /statsz, GET /metricsz
+// (Prometheus text).
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -31,6 +33,7 @@ import (
 	"time"
 
 	sixgedge "repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -45,6 +48,10 @@ func main() {
 		batchRecs      = flag.Int("tlv-batch-records", 0, "records per flushed batch on negotiated binary /v1/sweep streams (0 = default 64)")
 		batchBytes     = flag.Int("tlv-batch-bytes", 0, "bytes per flushed batch on negotiated binary /v1/sweep streams (0 = default 64KiB)")
 		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight requests")
+		opsAddr        = flag.String("ops-addr", "", "serve pprof, /metricsz and /statsz on this out-of-band listener (empty disables)")
+		traceOut       = flag.String("trace-out", "", "append sampled request spans as JSONL to this file (decode with: sweep -decode-trace)")
+		traceSample    = flag.Int("trace-sample", 1, "with -trace-out: head-sample 1 in N traces (1 = every trace)")
+		slowMs         = flag.Int("slow-ms", 0, "log a structured warning, with trace ID, for requests slower than this many milliseconds (0 disables)")
 		version        = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -56,10 +63,32 @@ func main() {
 
 	replicaURLs := splitURLs(*replicas)
 	if err := validateFlags(*writer, replicaURLs, *healthInterval, *cacheEntries,
-		*sweepWorkers, *maxGrid, *batchRecs, *batchBytes, *drainTimeout); err != nil {
+		*sweepWorkers, *maxGrid, *batchRecs, *batchBytes, *drainTimeout,
+		*traceOut, *traceSample, *slowMs); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep-proxy:", err)
 		fmt.Fprintln(os.Stderr, "run with -h for usage")
 		os.Exit(2)
+	}
+
+	// Tracing exists only when asked for; a nil tracer keeps span calls
+	// inert. The proxy's spans carry the same trace IDs its backend hops
+	// do, so one -trace-out per tier joins into one cross-tier trace.
+	var tracer *obs.Tracer
+	if *traceOut != "" || *slowMs > 0 {
+		var spanW *os.File
+		if *traceOut != "" {
+			var err error
+			spanW, err = os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fatal(err)
+			}
+			defer spanW.Close()
+		}
+		to := obs.TracerOptions{Service: "sweep-proxy", SampleN: *traceSample, SlowMs: *slowMs}
+		if spanW != nil {
+			to.Writer = spanW
+		}
+		tracer = obs.NewTracer(to)
 	}
 
 	p, err := sixgedge.NewSweepProxy(sixgedge.ProxyOptions{
@@ -71,6 +100,7 @@ func main() {
 		MaxGridScenarios:   *maxGrid,
 		StreamBatchRecords: *batchRecs,
 		StreamBatchBytes:   *batchBytes,
+		Tracer:             tracer,
 	})
 	if err != nil {
 		fatal(err)
@@ -84,12 +114,25 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- p.ListenAndServe(*addr) }()
 
+	// Out-of-band ops listener: pprof, /metricsz and /statsz stay
+	// reachable even when the request port is saturated.
+	opsErrc := make(chan error, 1)
+	if *opsAddr != "" {
+		opsSrv := &http.Server{Addr: *opsAddr, Handler: p.OpsHandler()}
+		defer opsSrv.Close()
+		go func() { opsErrc <- opsSrv.ListenAndServe() }()
+		fmt.Fprintf(os.Stderr, "sweep-proxy: ops listener on %s\n", *opsAddr)
+	}
+
 	select {
 	case err := <-errc:
 		p.Close()
 		if err != nil {
 			fatal(err)
 		}
+	case err := <-opsErrc:
+		p.Close()
+		fatal(fmt.Errorf("ops listener: %w", err))
 	case <-ctx.Done():
 		stop()
 		fmt.Fprintln(os.Stderr, "sweep-proxy: draining (signal received)")
@@ -117,7 +160,8 @@ func splitURLs(s string) []string {
 // validateFlags rejects nonsensical combinations up front, exit 2,
 // before any socket binds — the sweepd convention.
 func validateFlags(writer string, replicas []string, healthInterval time.Duration,
-	cacheEntries, sweepWorkers, maxGrid, batchRecs, batchBytes int, drainTimeout time.Duration) error {
+	cacheEntries, sweepWorkers, maxGrid, batchRecs, batchBytes int, drainTimeout time.Duration,
+	traceOut string, traceSample, slowMs int) error {
 	if writer == "" {
 		return fmt.Errorf("-writer is required (the proxy has no simulator of its own)")
 	}
@@ -152,6 +196,15 @@ func validateFlags(writer string, replicas []string, healthInterval time.Duratio
 	}
 	if drainTimeout < 0 {
 		return fmt.Errorf("-drain-timeout must be >= 0, got %v", drainTimeout)
+	}
+	if traceSample < 0 {
+		return fmt.Errorf("-trace-sample must be >= 0 (1 = every trace, 0 = none), got %d", traceSample)
+	}
+	if traceSample != 1 && traceOut == "" {
+		return fmt.Errorf("-trace-sample requires -trace-out (sampling selects which spans export)")
+	}
+	if slowMs < 0 {
+		return fmt.Errorf("-slow-ms must be >= 0 (0 disables), got %d", slowMs)
 	}
 	return nil
 }

@@ -20,6 +20,8 @@
 //	sweep -cache-dir .sweepcache -store-format jsonl    # keep writing v2 JSONL segments
 //	curl -sN -H 'Accept: application/x-sweep-tlv' ... | sweep -decode-tlv -
 //	                                                # binary sweep stream -> canonical JSONL
+//	cat proxy.jsonl sweepd.jsonl | sweep -decode-trace -
+//	                                                # exported spans -> per-hop latency tables
 package main
 
 import (
@@ -35,6 +37,7 @@ import (
 	sixgedge "repro"
 	"repro/internal/argame"
 	"repro/internal/buildinfo"
+	"repro/internal/obs"
 	"repro/internal/ran"
 	"repro/internal/slicing"
 	"repro/internal/sweep"
@@ -63,6 +66,7 @@ func main() {
 		compactStore = flag.Bool("compact-store", false, "with -cache-dir: compact the on-disk store (drop superseded and corrupt entries, rewrite live records into fresh segments) and exit")
 		storeFormat  = flag.String("store-format", "", "with -cache-dir: record encoding for newly written segments, "+store.FormatTLV+" (default) or "+store.FormatJSONL+"; existing segments stay readable either way")
 		decodeTLV    = flag.String("decode-tlv", "", "decode a binary sweep stream ("+tlv.MediaType+") from this file (\"-\" for stdin) to JSONL on stdout and exit")
+		decodeTrace  = flag.String("decode-trace", "", "render JSONL span exports (sweepd/sweep-proxy -trace-out) from this file (\"-\" for stdin) as per-trace hop tables and exit")
 		version      = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -85,6 +89,13 @@ func main() {
 
 	if *decodeTLV != "" {
 		if err := decodeTLVStream(*decodeTLV, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *decodeTrace != "" {
+		if err := decodeTraceFile(*decodeTrace, os.Stdout); err != nil {
 			fatal(err)
 		}
 		return
@@ -272,6 +283,27 @@ func decodeTLVStream(path string, w io.Writer) error {
 			return err
 		}
 	}
+}
+
+// decodeTraceFile renders one or more concatenated -trace-out JSONL
+// exports as per-trace hop tables: concatenating each tier's file
+// (proxy + backends) joins a propagated request into one table, hop by
+// hop, with its per-stage breakdown.
+func decodeTraceFile(path string, w io.Writer) error {
+	in := io.Reader(os.Stdin)
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	recs, err := obs.ReadSpans(in)
+	if err != nil {
+		return fmt.Errorf("decode trace: %w", err)
+	}
+	return obs.WriteTraceTable(w, recs)
 }
 
 func buildGrid(seeds string, reps int, baseSeed uint64, profiles, peering, edgeUPF,

@@ -96,6 +96,39 @@ func TestDecodeTLVStreamRoundTrips(t *testing.T) {
 	}
 }
 
+// TestDecodeTraceFile: -decode-trace renders a concatenated pair of
+// -trace-out exports (proxy + backend tiers) as one per-trace hop
+// table. Rendering detail is the obs package's test; this covers the
+// cmd plumbing (file reading, error surfacing).
+func TestDecodeTraceFile(t *testing.T) {
+	spans := `{"trace":"4bf92f3577b34da6a3ce929d0e0e4736","span":"00f067aa0ba902b7","service":"sweep-proxy","name":"scenario","start_unix_ns":1000000,"duration_us":900}
+{"trace":"4bf92f3577b34da6a3ce929d0e0e4736","span":"b7ad6b7169203331","parent":"00f067aa0ba902b7","service":"sweepd","name":"scenario","start_unix_ns":1200000,"duration_us":500,"stages_us":{"store_read":120}}
+`
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	if err := os.WriteFile(path, []byte(spans), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := decodeTraceFile(path, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"4bf92f3577b34da6a3ce929d0e0e4736", "sweep-proxy", "sweepd", "store_read=120"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("trace table missing %q:\n%s", want, got)
+		}
+	}
+
+	// Torn JSON must fail loudly with its line number, not render a
+	// partial table.
+	if err := os.WriteFile(path, []byte(spans[:len(spans)-10]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := decodeTraceFile(path, &out); err == nil {
+		t.Fatal("torn span export decoded without error")
+	}
+}
+
 func TestBuildGridParsesNewAxes(t *testing.T) {
 	g, err := buildGrid("", 1, 42, "", "off", "off", "", "",
 		"3, 5", "none, latency ,resilience", "none,5G-edge-upf")

@@ -17,25 +17,30 @@
 //	                                                  # the writer's store, serves reads
 //	sweepd -cache-dir .sweep-cache -store-format jsonl # keep writing v2 JSONL segments
 //	sweepd -tlv-batch-records 128 -tlv-batch-bytes 131072 # TLV stream batching
+//	sweepd -ops-addr :6060 -trace-out spans.jsonl -trace-sample 1 -slow-ms 250
+//	                                                  # pprof/metrics listener, span
+//	                                                  # export, slow-request logs
 //
 // Endpoints: POST /v1/scenario (axes JSON -> record, ETag = scenario
 // ID), POST /v1/sweep (grid JSON -> chunked JSONL, byte-identical to
 // cmd/sweep -out; Accept: application/x-sweep-tlv negotiates the
 // batched binary stream), POST /v1/deltas (grid JSON -> recommendation
 // deltas), GET /v1/segments + /v1/segments/file (replication feed),
-// GET /healthz, GET /statsz.
+// GET /healthz, GET /statsz, GET /metricsz (Prometheus text).
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	sixgedge "repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -54,6 +59,10 @@ func main() {
 		follow       = flag.String("follow", "", "follow a writer sweepd at this base URL: pull its segment feed into -cache-dir (pair with -queue-depth -1 for a pure read replica)")
 		followEvery  = flag.Duration("follow-interval", 2*time.Second, "with -follow: manifest poll period")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight requests")
+		opsAddr      = flag.String("ops-addr", "", "serve pprof, /metricsz and /statsz on this out-of-band listener (empty disables)")
+		traceOut     = flag.String("trace-out", "", "append sampled request spans as JSONL to this file (decode with: sweep -decode-trace)")
+		traceSample  = flag.Int("trace-sample", 1, "with -trace-out: head-sample 1 in N traces (1 = every trace)")
+		slowMs       = flag.Int("slow-ms", 0, "log a structured warning, with trace ID, for requests slower than this many milliseconds (0 disables)")
 		version      = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -68,10 +77,32 @@ func main() {
 	// replica with nothing to serve would run while doing the wrong
 	// thing.
 	if err := validateFlags(*cacheDir, *storeFormat, *compact, *simWorkers, *queueDepth, *gridJobs,
-		*maxGrid, *retryAfter, *batchRecs, *batchBytes, *follow, *followEvery, *drainTimeout); err != nil {
+		*maxGrid, *retryAfter, *batchRecs, *batchBytes, *follow, *followEvery, *drainTimeout,
+		*traceOut, *traceSample, *slowMs); err != nil {
 		fmt.Fprintln(os.Stderr, "sweepd:", err)
 		fmt.Fprintln(os.Stderr, "run with -h for usage")
 		os.Exit(2)
+	}
+
+	// Tracing is per-request overhead, so the tracer exists only when an
+	// operator asked for an export file or slow-request logs; a nil
+	// tracer keeps every span call inert.
+	var tracer *obs.Tracer
+	if *traceOut != "" || *slowMs > 0 {
+		var spanW *os.File
+		if *traceOut != "" {
+			var err error
+			spanW, err = os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fatal(err)
+			}
+			defer spanW.Close()
+		}
+		to := obs.TracerOptions{Service: "sweepd", SampleN: *traceSample, SlowMs: *slowMs}
+		if spanW != nil {
+			to.Writer = spanW
+		}
+		tracer = obs.NewTracer(to)
 	}
 
 	srv, err := sixgedge.NewSweepServer(sixgedge.ServeOptions{
@@ -85,6 +116,7 @@ func main() {
 		RetryAfter:         *retryAfter,
 		StreamBatchRecords: *batchRecs,
 		StreamBatchBytes:   *batchBytes,
+		Tracer:             tracer,
 	})
 	if err != nil {
 		fatal(err)
@@ -105,6 +137,8 @@ func main() {
 		// the proxy (or an operator) can see how far each replica
 		// trails the writer.
 		srv.SetReplicationStats(func() any { return rep.Stats() })
+		// The same lag, as a scrapeable gauge on /metricsz.
+		srv.SetReplicationLag(func() float64 { return float64(rep.Stats().SegmentsBehind) })
 		rep.Start()
 	}
 
@@ -122,6 +156,18 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe(*addr) }()
 
+	// The ops listener is out of band: pprof, /metricsz and /statsz stay
+	// reachable even when the request port is saturated. A failed ops
+	// bind is fatal — an operator who asked for it should not silently
+	// fly blind.
+	opsErrc := make(chan error, 1)
+	if *opsAddr != "" {
+		opsSrv := &http.Server{Addr: *opsAddr, Handler: srv.OpsHandler()}
+		defer opsSrv.Close()
+		go func() { opsErrc <- opsSrv.ListenAndServe() }()
+		fmt.Fprintf(os.Stderr, "sweepd: ops listener on %s\n", *opsAddr)
+	}
+
 	select {
 	case err := <-errc:
 		if rep != nil {
@@ -131,6 +177,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+	case err := <-opsErrc:
+		if rep != nil {
+			rep.Stop()
+		}
+		srv.Close()
+		fatal(fmt.Errorf("ops listener: %w", err))
 	case <-ctx.Done():
 		stop()
 		fmt.Fprintln(os.Stderr, "sweepd: draining (signal received)")
@@ -149,7 +201,8 @@ func main() {
 
 // validateFlags rejects nonsensical combinations up front.
 func validateFlags(cacheDir, storeFormat string, compact bool, simWorkers, queueDepth, gridJobs,
-	maxGrid, retryAfter, batchRecs, batchBytes int, follow string, followEvery, drainTimeout time.Duration) error {
+	maxGrid, retryAfter, batchRecs, batchBytes int, follow string, followEvery, drainTimeout time.Duration,
+	traceOut string, traceSample, slowMs int) error {
 	if simWorkers < 0 {
 		return fmt.Errorf("-sim-workers must be >= 0 (0 = GOMAXPROCS), got %d", simWorkers)
 	}
@@ -196,6 +249,15 @@ func validateFlags(cacheDir, storeFormat string, compact bool, simWorkers, queue
 	}
 	if follow != "" && followEvery <= 0 {
 		return fmt.Errorf("-follow-interval must be > 0, got %v", followEvery)
+	}
+	if traceSample < 0 {
+		return fmt.Errorf("-trace-sample must be >= 0 (1 = every trace, 0 = none), got %d", traceSample)
+	}
+	if traceSample != 1 && traceOut == "" {
+		return fmt.Errorf("-trace-sample requires -trace-out (sampling selects which spans export)")
+	}
+	if slowMs < 0 {
+		return fmt.Errorf("-slow-ms must be >= 0 (0 disables), got %d", slowMs)
 	}
 	return nil
 }

@@ -42,6 +42,13 @@ var recordBaselines = map[string]map[string]bool{
 	"repro/internal/sweep/store.record":      set("V", "ID", "Result"),
 	"repro/internal/sweep/store.indexEntry":  set("V", "ID", "Shard", "Seg", "Off", "Len"),
 	"repro/internal/sweep/store.SegmentInfo": set("Shard", "Seg", "Size"),
+	// /statsz payloads: fleet tooling scrapes them across mixed-version
+	// fleets, so fields added after these snapshots froze must be
+	// omitempty (latency quantiles on EndpointStats, probe detail on
+	// MemberStats).
+	"repro/internal/sweep/serve.EndpointStats": set("Requests", "LatencyUsTotal", "LatencyUsMax"),
+	"repro/internal/sweep/cluster.MemberStats": set("URL", "Healthy", "BackingOff",
+		"Requests", "Errors", "Shed", "Ejects", "Readmits"),
 	// Fixture baseline for the analyzer's own golden test.
 	"repro/internal/sweep/vetbad_jsontags.FrozenRecord": set("A", "B"),
 }

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// ReadSpans decodes a JSONL span export (one SpanRecord per line, as
+// written by a Tracer) from r. Blank lines are skipped; a malformed
+// line is an error carrying its line number.
+func ReadSpans(r io.Reader) ([]SpanRecord, error) {
+	var out []SpanRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var rec SpanRecord
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			return nil, fmt.Errorf("trace line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteTraceTable renders exported spans as per-trace latency tables
+// in the spirit of the paper's ten-hop breakdown: one block per trace
+// ID, hops ordered by start time, each row carrying the hop's service,
+// span name, offset from the trace's first span, total duration, and
+// any non-zero stage durations. Spans from several processes' trace
+// files can be concatenated before decoding; they join on trace ID.
+func WriteTraceTable(w io.Writer, recs []SpanRecord) error {
+	byTrace := make(map[string][]SpanRecord)
+	for _, r := range recs {
+		byTrace[r.Trace] = append(byTrace[r.Trace], r)
+	}
+	traces := make([]string, 0, len(byTrace))
+	for id := range byTrace {
+		traces = append(traces, id)
+	}
+	// Order traces by their earliest span so the table reads in
+	// arrival order; tie-break on ID for determinism.
+	sort.Slice(traces, func(i, j int) bool {
+		a, b := earliest(byTrace[traces[i]]), earliest(byTrace[traces[j]])
+		if a != b {
+			return a < b
+		}
+		return traces[i] < traces[j]
+	})
+	for _, id := range traces {
+		spans := byTrace[id]
+		sort.Slice(spans, func(i, j int) bool {
+			if spans[i].StartNs != spans[j].StartNs {
+				return spans[i].StartNs < spans[j].StartNs
+			}
+			return spans[i].Span < spans[j].Span
+		})
+		base := spans[0].StartNs
+		if _, err := fmt.Fprintf(w, "trace %s (%d hops)\n", id, len(spans)); err != nil {
+			return err
+		}
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "  SERVICE\tSPAN\tHOP\tSTART(+µs)\tDUR(µs)\tSTAGES")
+		for _, s := range spans {
+			fmt.Fprintf(tw, "  %s\t%s\t%s\t%d\t%d\t%s\n",
+				s.Service, s.Name, s.Span, (s.StartNs-base)/1000, s.DurUs, stageSummary(s.Stages))
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	if len(traces) == 0 {
+		_, err := fmt.Fprintln(w, "no spans")
+		return err
+	}
+	return nil
+}
+
+// stageSummary renders the non-zero stage durations as
+// "stage=µs stage=µs", in the canonical stage order.
+func stageSummary(stages map[string]int64) string {
+	if len(stages) == 0 {
+		return "-"
+	}
+	var b strings.Builder
+	for st := Stage(0); st < NumStages; st++ {
+		us, ok := stages[st.String()]
+		if !ok {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", st.String(), us)
+	}
+	if b.Len() == 0 {
+		return "-"
+	}
+	return b.String()
+}
+
+func earliest(spans []SpanRecord) int64 {
+	min := spans[0].StartNs
+	for _, s := range spans[1:] {
+		if s.StartNs < min {
+			min = s.StartNs
+		}
+	}
+	return min
+}

@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewOpsMux builds the ops-listener mux every daemon serves on its
+// -ops-addr: the full net/http/pprof surface under /debug/pprof/, the
+// Prometheus scrape at /metricsz, the JSON stats snapshot at /statsz
+// (when the daemon provides one), and a liveness /healthz. Profiling
+// and scraping stay off the request port, so an operator attaching a
+// 30-second CPU profile never competes with request traffic for the
+// listener and the request port never leaks pprof to clients.
+func NewOpsMux(reg *Registry, statsz http.Handler) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if reg != nil {
+		mux.Handle("/metricsz", reg.Handler())
+	}
+	if statsz != nil {
+		mux.Handle("/statsz", statsz)
+	}
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"status":"ok"}` + "\n"))
+	})
+	return mux
+}

@@ -4,8 +4,10 @@ import (
 	"container/list"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 )
 
 // BackingStore is a persistent layer under a Cache: the disk store
@@ -38,13 +40,18 @@ const DefaultSharedLimit = 1024
 // reporting failure, inserts persist before returning. The zero value
 // is not usable; construct with NewCache or NewPersistentCache.
 type Cache struct {
-	mu        sync.Mutex
-	m         map[string]*list.Element // id → lru element holding *entry
-	lru       *list.List               // front = most recently used
-	limit     int                      // ≤ 0 means unbounded
-	store     BackingStore
-	inflight  map[string]*flight
-	runner    func(campaign.Config) (*campaign.Result, error) // nil means campaign.Run
+	mu       sync.Mutex
+	m        map[string]*list.Element // id → lru element holding *entry
+	lru      *list.List               // front = most recently used
+	limit    int                      // ≤ 0 means unbounded
+	store    BackingStore
+	inflight map[string]*flight
+	runner   func(campaign.Config) (*campaign.Result, error) // nil means campaign.Run
+	// runnerObs, when set, wins over runner and receives the caller's
+	// per-request stage observer so the serving layer can attribute
+	// admission-queue wait and simulation time to the request that
+	// paid for them.
+	runnerObs func(campaign.Config, obs.StageObserver) (*campaign.Result, error)
 	storeErrs atomic.Int64
 }
 
@@ -251,12 +258,22 @@ func (c *Cache) SetRunner(run func(campaign.Config) (*campaign.Result, error)) {
 	c.runner = run
 }
 
+// SetObservedRunner is SetRunner for runners that report per-stage
+// timings (admission wait, simulation) to the requesting caller's
+// stage observer. When set it wins over SetRunner; the observer passed
+// through GetOrRunReportObserved (or Options.Stages on a sweep)
+// reaches the runner unchanged, and may be nil for unobserved callers.
+// Same caveat as SetRunner: set before traffic, not synchronized.
+func (c *Cache) SetObservedRunner(run func(campaign.Config, obs.StageObserver) (*campaign.Result, error)) {
+	c.runnerObs = run
+}
+
 // GetOrRun returns the result for cfg's scenario hash, running the
 // campaign on a miss. Concurrent misses on the same key are
 // de-duplicated: exactly one caller simulates, the rest wait and share
 // the outcome. Every caller gets an independent copy.
 func (c *Cache) GetOrRun(cfg campaign.Config) (*campaign.Result, error) {
-	res, _, err := c.getOrRun(cfg, false)
+	res, _, err := c.getOrRun(cfg, false, nil)
 	return res, err
 }
 
@@ -269,7 +286,7 @@ func (c *Cache) GetOrRun(cfg campaign.Config) (*campaign.Result, error) {
 // it summary-only, so over a compact store such callers re-simulate
 // once per process rather than once per call.
 func (c *Cache) GetOrRunFull(cfg campaign.Config) (*campaign.Result, error) {
-	res, _, err := c.getOrRun(cfg, true)
+	res, _, err := c.getOrRun(cfg, true, nil)
 	return res, err
 }
 
@@ -280,18 +297,31 @@ func (c *Cache) GetOrRunFull(cfg campaign.Config) (*campaign.Result, error) {
 // layers that resolve one scenario at a time (no grid) and account
 // hits and misses per request.
 func (c *Cache) GetOrRunReport(cfg campaign.Config) (res *campaign.Result, cached bool, err error) {
-	return c.getOrRun(cfg, false)
+	return c.getOrRun(cfg, false, nil)
+}
+
+// GetOrRunReportObserved is GetOrRunReport with a per-request stage
+// observer: the cache attributes its internal phases — store/cache
+// read time, time spent waiting on another caller's in-flight
+// simulation — to the observer, and hands it to an observed runner
+// (SetObservedRunner) so admission wait and simulation time join the
+// same request timeline. A nil observer degrades to GetOrRunReport.
+func (c *Cache) GetOrRunReportObserved(cfg campaign.Config, so obs.StageObserver) (res *campaign.Result, cached bool, err error) {
+	return c.getOrRun(cfg, false, so)
 }
 
 // getOrRun is GetOrRun plus a hit report: cached is true when the
 // result was served — from memory, disk, or another caller's completed
 // flight — without this call simulating. The sweep executor uses it so
 // its misses join the same de-duplication as every other cache user.
-// With needRaw set, summary-only entries never count as hits.
-func (c *Cache) getOrRun(cfg campaign.Config, needRaw bool) (res *campaign.Result, cached bool, err error) {
+// With needRaw set, summary-only entries never count as hits. A
+// non-nil stage observer receives the read and singleflight-wait
+// phases; observation is off the determinism-sensitive path (timings
+// feed metrics and traces, never results).
+func (c *Cache) getOrRun(cfg campaign.Config, needRaw bool, so obs.StageObserver) (res *campaign.Result, cached bool, err error) {
 	id := ScenarioID(cfg)
 	for {
-		if res, ok := c.get(id, needRaw); ok {
+		if res, ok := c.getObserved(id, needRaw, so); ok {
 			return res, true, nil
 		}
 		c.mu.Lock()
@@ -301,7 +331,9 @@ func (c *Cache) getOrRun(cfg campaign.Config, needRaw bool) (res *campaign.Resul
 			// (In the pathological case where the entry was already
 			// evicted again, the loop simply elects a new leader.)
 			c.mu.Unlock()
+			waitStart := stageStart(so)
 			<-f.done
+			stageDone(so, obs.StageSingleflightWait, waitStart)
 			if f.err != nil {
 				return nil, false, f.err
 			}
@@ -323,13 +355,17 @@ func (c *Cache) getOrRun(cfg campaign.Config, needRaw bool) (res *campaign.Resul
 
 		// Leader: re-check the cache (a racing Put may have landed
 		// between our miss and claiming the flight), then simulate.
-		res, ok := c.get(id, needRaw)
+		res, ok := c.getObserved(id, needRaw, so)
 		if !ok {
-			run := c.runner
-			if run == nil {
-				run = runCampaign
+			if runObs := c.runnerObs; runObs != nil {
+				res, err = runObs(cfg, so)
+			} else {
+				run := c.runner
+				if run == nil {
+					run = runCampaign
+				}
+				res, err = run(cfg)
 			}
-			res, err = run(cfg)
 			if err == nil {
 				c.Put(id, res)
 			}
@@ -337,4 +373,30 @@ func (c *Cache) getOrRun(cfg campaign.Config, needRaw bool) (res *campaign.Resul
 		}
 		return res, ok, err
 	}
+}
+
+// getObserved is get with the read time attributed to the caller's
+// stage observer (memory lookup plus any disk ReadAt + decode).
+func (c *Cache) getObserved(id string, needRaw bool, so obs.StageObserver) (*campaign.Result, bool) {
+	start := stageStart(so)
+	res, ok := c.get(id, needRaw)
+	stageDone(so, obs.StageStoreRead, start)
+	return res, ok
+}
+
+// stageStart and stageDone bracket one observed stage; both collapse
+// to nothing for unobserved callers, so the plain GetOrRun path never
+// touches the clock.
+func stageStart(so obs.StageObserver) time.Time {
+	if so == nil {
+		return time.Time{}
+	}
+	return time.Now() //sweepvet:allow(timenow) stage timer: feeds metrics/traces only, never results
+}
+
+func stageDone(so obs.StageObserver, st obs.Stage, start time.Time) {
+	if so == nil {
+		return
+	}
+	so.ObserveStage(st, time.Since(start)) //sweepvet:allow(timenow) stage timer: feeds metrics/traces only, never results
 }

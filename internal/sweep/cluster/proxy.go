@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/buildinfo"
+	"repro/internal/obs"
 	"repro/internal/sweep"
 	"repro/internal/sweep/store"
 	"repro/internal/sweep/tlv"
@@ -74,6 +75,11 @@ type Options struct {
 	StreamBatchBytes   int
 	// Client performs backend requests (a default client when nil).
 	Client *http.Client
+	// Tracer, when non-nil, traces every proxied request: incoming
+	// traceparent headers are honoured, every backend hop carries the
+	// request's trace context, sampled spans export as JSONL, and slow
+	// requests log with their trace ID.
+	Tracer *obs.Tracer
 }
 
 // member is one routed-to backend with its health and backoff state.
@@ -87,13 +93,19 @@ type member struct {
 
 	requests, errs, shed atomic.Int64
 	ejects, readmits     atomic.Int64
+
+	// Probe detail for statsz/metrics: the last /healthz probe's
+	// outcome and time, and how many probes in a row have failed.
+	lastProbeOK   atomic.Bool
+	lastProbeNano atomic.Int64
+	consecFails   atomic.Int64
 }
 
 func (m *member) backingOff(now time.Time) bool {
 	return now.UnixNano() < m.backoffUntil.Load()
 }
 
-// setHealth applies a probe result, counting the transition.
+// setHealth applies a health verdict, counting the transition.
 func (m *member) setHealth(ok bool) {
 	if m.healthy.CompareAndSwap(!ok, ok) {
 		if ok {
@@ -102,6 +114,19 @@ func (m *member) setHealth(ok bool) {
 			m.ejects.Add(1)
 		}
 	}
+}
+
+// recordProbe applies one /healthz probe result: the probe detail the
+// statsz member view exposes, then the health transition itself.
+func (m *member) recordProbe(ok bool) {
+	m.lastProbeOK.Store(ok)
+	m.lastProbeNano.Store(time.Now().UnixNano()) //sweepvet:allow(timenow) probe timestamp for statsz/metrics
+	if ok {
+		m.consecFails.Store(0)
+	} else {
+		m.consecFails.Add(1)
+	}
+	m.setHealth(ok)
 }
 
 // Proxy is the cluster front door: it owns no simulator and no store,
@@ -127,11 +152,17 @@ type Proxy struct {
 	stop       chan struct{}
 	stopOnce   sync.Once
 	healthWG   sync.WaitGroup
-	scenarios  atomic.Int64
-	sweeps     atomic.Int64
-	tlvSweeps  atomic.Int64
 
-	cacheHits, cacheMisses, notModified atomic.Int64
+	// Observability: the registry owns every counter and histogram
+	// below, so /statsz and /metricsz read the same objects. Endpoint
+	// request counts are the histograms' counts.
+	reg                        *obs.Registry
+	tracer                     *obs.Tracer
+	scenarioH, sweepH, deltasH *obs.Histogram
+	routed, fellThrough        *obs.Counter
+	tlvSweeps                  *obs.Counter
+	cacheHits, cacheMisses     *obs.Counter
+	notModified                *obs.Counter
 }
 
 // NewProxy builds the proxy and starts its health loop (unless
@@ -196,6 +227,9 @@ func NewProxy(opts Options) (*Proxy, error) {
 	if entries > 0 {
 		p.cache = newResponseCache(entries)
 	}
+	// Metrics and tracing wire up once the member set and cache exist:
+	// per-member gauges bind to the fixed member objects.
+	p.initObs(opts.Tracer)
 
 	p.mux = http.NewServeMux()
 	p.mux.HandleFunc("/v1/scenario", p.handleScenario)
@@ -203,6 +237,7 @@ func NewProxy(opts Options) (*Proxy, error) {
 	p.mux.HandleFunc("/v1/deltas", p.handlePassthrough)
 	p.mux.HandleFunc("/healthz", p.handleHealthz)
 	p.mux.HandleFunc("/statsz", p.handleStatsz)
+	p.mux.Handle("/metricsz", p.reg.Handler())
 	p.hs = &http.Server{Handler: p.mux}
 
 	p.interval = opts.HealthInterval
@@ -282,17 +317,17 @@ func (p *Proxy) CheckHealth(ctx context.Context) {
 			defer cancel()
 			req, err := http.NewRequestWithContext(cctx, http.MethodGet, m.url+"/healthz", nil)
 			if err != nil {
-				m.setHealth(false)
+				m.recordProbe(false)
 				return
 			}
 			resp, err := p.client.Do(req)
 			if err != nil {
-				m.setHealth(false)
+				m.recordProbe(false)
 				return
 			}
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
-			m.setHealth(resp.StatusCode == http.StatusOK)
+			m.recordProbe(resp.StatusCode == http.StatusOK)
 		}(m)
 	}
 	wg.Wait()
@@ -343,6 +378,7 @@ func (p *Proxy) forward(ctx context.Context, m *member, body []byte) ([]byte, er
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	propagate(req)
 	resp, err := p.client.Do(req)
 	if err != nil {
 		// Transport failure: eject inline — the health loop readmits
@@ -479,7 +515,12 @@ func etagMatch(header, etag string) bool {
 // axes itself — the scenario ID is both the routing key and the ETag,
 // so a conditional request for a cached id never touches a backend.
 func (p *Proxy) handleScenario(w http.ResponseWriter, r *http.Request) {
-	p.scenarios.Add(1)
+	t0 := time.Now() //sweepvet:allow(timenow) endpoint latency counter
+	sp := p.startSpan("scenario", w, r)
+	defer func() {
+		p.scenarioH.Observe(time.Since(t0).Microseconds()) //sweepvet:allow(timenow) endpoint latency counter
+		sp.Finish()
+	}()
 	if !requirePost(w, r) {
 		return
 	}
@@ -510,10 +551,18 @@ func (p *Proxy) handleScenario(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	line, source, err := p.resolve(r.Context(), sc.ID, body)
+	line, source, err := p.resolve(obs.ContextWithSpan(r.Context(), sp), sc.ID, body)
 	if err != nil {
 		relayError(w, err)
 		return
+	}
+	switch source {
+	case "cache":
+		// Already counted as a response-cache hit inside resolve.
+	case p.writer.url:
+		p.fellThrough.Inc()
+	default:
+		p.routed.Inc()
 	}
 	w.Header().Set("ETag", etag)
 	w.Header().Set("X-Sweepd-Route", source)
@@ -556,7 +605,13 @@ func acceptsTLV(r *http.Request) bool {
 // way, and the record codec is canonical, so the binary stream decodes
 // to exactly the JSONL bytes a non-negotiating client receives.
 func (p *Proxy) handleSweep(w http.ResponseWriter, r *http.Request) {
-	p.sweeps.Add(1)
+	t0 := time.Now() //sweepvet:allow(timenow) endpoint latency counter
+	sp := p.startSpan("sweep", w, r)
+	defer func() {
+		p.sweepH.Observe(time.Since(t0).Microseconds()) //sweepvet:allow(timenow) endpoint latency counter
+		sp.Finish()
+	}()
+	r = r.WithContext(obs.ContextWithSpan(r.Context(), sp))
 	if !requirePost(w, r) {
 		return
 	}
@@ -701,6 +756,13 @@ func (p *Proxy) handleSweep(w http.ResponseWriter, r *http.Request) {
 // /v1/deltas needs the whole grid in one process, so it is not fanned
 // out.
 func (p *Proxy) handlePassthrough(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now() //sweepvet:allow(timenow) endpoint latency counter
+	sp := p.startSpan("deltas", w, r)
+	defer func() {
+		p.deltasH.Observe(time.Since(t0).Microseconds()) //sweepvet:allow(timenow) endpoint latency counter
+		sp.Finish()
+	}()
+	r = r.WithContext(obs.ContextWithSpan(r.Context(), sp))
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
@@ -712,6 +774,7 @@ func (p *Proxy) handlePassthrough(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req.Header.Set("Content-Type", r.Header.Get("Content-Type"))
+	propagate(req)
 	p.writer.requests.Add(1)
 	resp, err := p.client.Do(req)
 	if err != nil {
@@ -729,7 +792,10 @@ func (p *Proxy) handlePassthrough(w http.ResponseWriter, r *http.Request) {
 	io.Copy(w, resp.Body)
 }
 
-// MemberStats is one backend's health and traffic snapshot.
+// MemberStats is one backend's health and traffic snapshot. The probe
+// detail postdates the flat counters and rides behind omitempty
+// (pinned by the jsontags baseline), so snapshots of an unprobed
+// member marshal exactly the bytes they always did.
 type MemberStats struct {
 	URL        string `json:"url"`
 	Healthy    bool   `json:"healthy"`
@@ -739,6 +805,16 @@ type MemberStats struct {
 	Shed       int64  `json:"shed"`
 	Ejects     int64  `json:"ejects"`
 	Readmits   int64  `json:"readmits"`
+	// LastProbeOK / LastProbeUnixMs describe the most recent health
+	// probe; zero values mean the member has not been probed yet (the
+	// writer never is — it is always routed to).
+	LastProbeOK     bool  `json:"last_probe_ok,omitempty"`
+	LastProbeUnixMs int64 `json:"last_probe_unix_ms,omitempty"`
+	// ConsecutiveFailures counts failed probes since the last success.
+	ConsecutiveFailures int64 `json:"consecutive_failures,omitempty"`
+	// BackoffUntilUnixMs is the end of the member's Retry-After
+	// sit-out, when one is active.
+	BackoffUntilUnixMs int64 `json:"backoff_until_unix_ms,omitempty"`
 }
 
 // ProxyStats is the proxy's /statsz payload.
@@ -747,6 +823,12 @@ type ProxyStats struct {
 	Version  string  `json:"version"`
 	Scenario struct {
 		Requests int64 `json:"requests"`
+		// Routed counts requests answered by a ring replica;
+		// Fallthrough counts those the writer had to answer because
+		// the owning replica was down or stale. Both postdate Requests
+		// and ride behind omitempty.
+		Routed      int64 `json:"routed,omitempty"`
+		Fallthrough int64 `json:"fallthrough,omitempty"`
 	} `json:"scenario"`
 	Sweep struct {
 		Requests int64 `json:"requests"`
@@ -764,31 +846,43 @@ type ProxyStats struct {
 }
 
 func memberStats(m *member) MemberStats {
-	return MemberStats{
-		URL:        m.url,
-		Healthy:    m.healthy.Load(),
-		BackingOff: m.backingOff(time.Now()), //sweepvet:allow(timenow) backoff state for /statsz
-		Requests:   m.requests.Load(),
-		Errors:     m.errs.Load(),
-		Shed:       m.shed.Load(),
-		Ejects:     m.ejects.Load(),
-		Readmits:   m.readmits.Load(),
+	now := time.Now() //sweepvet:allow(timenow) backoff state for /statsz
+	ms := MemberStats{
+		URL:                 m.url,
+		Healthy:             m.healthy.Load(),
+		BackingOff:          m.backingOff(now),
+		Requests:            m.requests.Load(),
+		Errors:              m.errs.Load(),
+		Shed:                m.shed.Load(),
+		Ejects:              m.ejects.Load(),
+		Readmits:            m.readmits.Load(),
+		LastProbeOK:         m.lastProbeOK.Load(),
+		ConsecutiveFailures: m.consecFails.Load(),
 	}
+	if ns := m.lastProbeNano.Load(); ns > 0 {
+		ms.LastProbeUnixMs = ns / int64(time.Millisecond)
+	}
+	if until := m.backoffUntil.Load(); until > now.UnixNano() {
+		ms.BackoffUntilUnixMs = until / int64(time.Millisecond)
+	}
+	return ms
 }
 
 func (p *Proxy) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	var st ProxyStats
 	st.UptimeS = time.Since(p.start).Seconds() //sweepvet:allow(timenow) /statsz uptime
 	st.Version = buildinfo.Version()
-	st.Scenario.Requests = p.scenarios.Load()
-	st.Sweep.Requests = p.sweeps.Load()
-	st.Sweep.TLVStreams = p.tlvSweeps.Load()
+	st.Scenario.Requests = p.scenarioH.Count()
+	st.Scenario.Routed = p.routed.Value()
+	st.Scenario.Fallthrough = p.fellThrough.Value()
+	st.Sweep.Requests = p.sweepH.Count()
+	st.Sweep.TLVStreams = p.tlvSweeps.Value()
 	if p.cache != nil {
 		st.Cache.Entries = p.cache.len()
 	}
-	st.Cache.Hits = p.cacheHits.Load()
-	st.Cache.Misses = p.cacheMisses.Load()
-	st.Cache.NotModified = p.notModified.Load()
+	st.Cache.Hits = p.cacheHits.Value()
+	st.Cache.Misses = p.cacheMisses.Value()
+	st.Cache.NotModified = p.notModified.Value()
 	st.Writer = memberStats(p.writer)
 	st.Replicas = make([]MemberStats, 0, len(p.replicas))
 	for _, m := range p.replicas {

@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 	"repro/internal/sweep"
 	"repro/internal/sweep/serve"
 	"repro/internal/sweep/tlv"
@@ -320,6 +321,17 @@ func TestProxyHealthEjectReadmit(t *testing.T) {
 		if m.URL != downURL && !m.Healthy {
 			t.Fatalf("healthy replica ejected: %+v", m)
 		}
+		// Probe detail: every probed member reports its last outcome and
+		// when it happened; the downed one shows the failure streak.
+		if m.LastProbeUnixMs <= 0 {
+			t.Fatalf("member %s has no probe timestamp: %+v", m.URL, m)
+		}
+		if m.URL == downURL && (m.LastProbeOK || m.ConsecutiveFailures != 1) {
+			t.Fatalf("downed replica probe detail: %+v", m)
+		}
+		if m.URL != downURL && (!m.LastProbeOK || m.ConsecutiveFailures != 0) {
+			t.Fatalf("healthy replica probe detail: %+v", m)
+		}
 	}
 
 	// Requests still serve (other replica or writer), never the downed
@@ -342,6 +354,9 @@ func TestProxyHealthEjectReadmit(t *testing.T) {
 	for _, m := range st.Replicas {
 		if m.URL == downURL && (!m.Healthy || m.Readmits != 1) {
 			t.Fatalf("recovered replica not readmitted: %+v", m)
+		}
+		if m.URL == downURL && (!m.LastProbeOK || m.ConsecutiveFailures != 0) {
+			t.Fatalf("recovered replica probe detail not reset: %+v", m)
 		}
 	}
 }
@@ -516,5 +531,98 @@ func TestProxySweepTLVNegotiation(t *testing.T) {
 	st := proxyStats(t, pts.URL)
 	if st.Sweep.TLVStreams != 2 {
 		t.Fatalf("Sweep.TLVStreams = %d, want 2", st.Sweep.TLVStreams)
+	}
+}
+
+// TestTracePropagatesAcrossTiers: one client traceparent spans every
+// hop of a cold scenario — the proxy, the store-only replica that
+// sheds it, and the writer it falls through to — and each tier's JSONL
+// export carries the same trace ID, so concatenated -trace-out files
+// join into one cross-tier trace.
+func TestTracePropagatesAcrossTiers(t *testing.T) {
+	var proxySpans, replicaSpans, writerSpans bytes.Buffer
+	w, err := serve.New(serve.Options{
+		CacheDir:   t.TempDir(),
+		SimWorkers: 2,
+		Tracer:     obs.NewTracer(obs.TracerOptions{Service: "sweepd-writer", Writer: &writerSpans, SampleN: 1}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wts := httptest.NewServer(w.Handler())
+	t.Cleanup(func() { wts.Close(); w.Close() })
+
+	r, err := serve.New(serve.Options{
+		CacheDir:   t.TempDir(),
+		QueueDepth: -1,
+		Tracer:     obs.NewTracer(obs.TracerOptions{Service: "sweepd-replica", Writer: &replicaSpans, SampleN: 1}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(r.Handler())
+	t.Cleanup(func() { rts.Close(); r.Close() })
+
+	p, err := NewProxy(Options{
+		Writer:         wts.URL,
+		Replicas:       []string{rts.URL},
+		HealthInterval: -1,
+		CacheEntries:   -1,
+		Tracer:         obs.NewTracer(obs.TracerOptions{Service: "sweep-proxy", Writer: &proxySpans, SampleN: 1}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := httptest.NewServer(p.Handler())
+	t.Cleanup(func() { pts.Close(); p.Close() })
+
+	const traceID = "4bf92f3577b34da6a3ce929d0e0e4736"
+	resp := postScenario(t, pts.URL, 361, map[string]string{
+		obs.TraceparentHeader: "00-" + traceID + "-00f067aa0ba902b7-01",
+	})
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced scenario: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(obs.TraceResponseHeader); got != traceID {
+		t.Fatalf("%s = %q, want %q", obs.TraceResponseHeader, got, traceID)
+	}
+
+	tierSpans := func(name string, buf *bytes.Buffer) []obs.SpanRecord {
+		t.Helper()
+		recs, err := obs.ReadSpans(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s span export: %v", name, err)
+		}
+		if len(recs) == 0 {
+			t.Fatalf("%s exported no spans", name)
+		}
+		return recs
+	}
+	proxySpan := tierSpans("proxy", &proxySpans)[0]
+	if proxySpan.Trace != traceID || proxySpan.Parent != "00f067aa0ba902b7" {
+		t.Fatalf("proxy span trace=%s parent=%s, want client trace/parent", proxySpan.Trace, proxySpan.Parent)
+	}
+	// Both backend hops — the shed replica and the writer fall-through —
+	// carry the same trace ID, each a child of the proxy's span.
+	for _, tier := range []struct {
+		name string
+		buf  *bytes.Buffer
+	}{{"replica", &replicaSpans}, {"writer", &writerSpans}} {
+		for _, sp := range tierSpans(tier.name, tier.buf) {
+			if sp.Trace != traceID {
+				t.Fatalf("%s span trace = %s, want %s", tier.name, sp.Trace, traceID)
+			}
+			if sp.Parent != proxySpan.Span {
+				t.Fatalf("%s span parent = %s, want proxy span %s", tier.name, sp.Parent, proxySpan.Span)
+			}
+		}
+	}
+
+	st := proxyStats(t, pts.URL)
+	if st.Scenario.Fallthrough != 1 || st.Scenario.Routed != 0 {
+		t.Fatalf("scenario routing counters routed=%d fallthrough=%d, want 0/1",
+			st.Scenario.Routed, st.Scenario.Fallthrough)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 )
 
 // Options controls sweep execution.
@@ -26,6 +27,13 @@ type Options struct {
 	// the default JSONL export and variant aggregates need only
 	// moments, which every record mode preserves.
 	NeedRawSamples bool
+	// Stages, when non-nil, receives per-stage timings (store read,
+	// singleflight wait, and — through an observed runner — admission
+	// wait and simulation) for every scenario in the sweep. Stage
+	// durations from concurrent workers accumulate into the same
+	// observer, so implementations must be goroutine-safe; obs.Span
+	// is. Timings feed metrics and traces only, never results.
+	Stages obs.StageObserver
 }
 
 // ScenarioRun is one executed scenario.
@@ -139,7 +147,7 @@ func RunEach(g Grid, opt Options, emit func(ScenarioRun) error) (*Result, error)
 					// this sweep misses while another sweep or an
 					// experiment driver is already simulating it is
 					// waited for, not simulated twice.
-					res, cached, err = opt.Cache.getOrRun(sc.Config, opt.NeedRawSamples)
+					res, cached, err = opt.Cache.getOrRun(sc.Config, opt.NeedRawSamples, opt.Stages)
 				} else {
 					res, err = runCampaign(sc.Config)
 				}

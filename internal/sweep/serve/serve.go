@@ -72,6 +72,7 @@ import (
 
 	"repro/internal/buildinfo"
 	"repro/internal/campaign"
+	"repro/internal/obs"
 	"repro/internal/sweep"
 	"repro/internal/sweep/store"
 	"repro/internal/sweep/tlv"
@@ -147,39 +148,45 @@ type Options struct {
 	// shed responses (default 1). Routing layers read it to decide how
 	// long to back a shed replica off before retrying it.
 	RetryAfter int
+	// Tracer, when non-nil, traces every request: traceparent headers
+	// are honoured and propagated, per-request spans carry the stage
+	// breakdown, sampled spans export as JSONL, and slow requests log
+	// with their trace ID. Nil disables tracing; metrics are always on.
+	Tracer *obs.Tracer
 }
 
-// endpoint aggregates one route's request and latency counters.
+// endpoint is one route's latency histogram: the single source of
+// truth behind both the /statsz counters (count/sum/max plus the
+// quantile estimates) and the /metricsz exposition.
 type endpoint struct {
-	requests  atomic.Int64
-	latencyUs atomic.Int64 // cumulative
-	maxUs     atomic.Int64
+	h *obs.Histogram
 }
 
 func (e *endpoint) observe(d time.Duration) {
-	us := d.Microseconds()
-	e.requests.Add(1)
-	e.latencyUs.Add(us)
-	for {
-		cur := e.maxUs.Load()
-		if us <= cur || e.maxUs.CompareAndSwap(cur, us) {
-			return
-		}
-	}
+	e.h.Observe(d.Microseconds())
 }
 
-// EndpointStats is one route's counter snapshot.
+// EndpointStats is one route's counter snapshot. The quantile fields
+// postdate the flat counters and ride behind omitempty (pinned by the
+// jsontags baseline), so a zero-traffic snapshot marshals exactly the
+// bytes it always did.
 type EndpointStats struct {
 	Requests       int64 `json:"requests"`
 	LatencyUsTotal int64 `json:"latency_us_total"`
 	LatencyUsMax   int64 `json:"latency_us_max"`
+	LatencyUsP50   int64 `json:"latency_us_p50,omitempty"`
+	LatencyUsP95   int64 `json:"latency_us_p95,omitempty"`
+	LatencyUsP99   int64 `json:"latency_us_p99,omitempty"`
 }
 
 func (e *endpoint) snapshot() EndpointStats {
 	return EndpointStats{
-		Requests:       e.requests.Load(),
-		LatencyUsTotal: e.latencyUs.Load(),
-		LatencyUsMax:   e.maxUs.Load(),
+		Requests:       e.h.Count(),
+		LatencyUsTotal: e.h.Sum(),
+		LatencyUsMax:   e.h.Max(),
+		LatencyUsP50:   e.h.Quantile(0.50),
+		LatencyUsP95:   e.h.Quantile(0.95),
+		LatencyUsP99:   e.h.Quantile(0.99),
 	}
 }
 
@@ -258,10 +265,18 @@ type Server struct {
 	hs    *http.Server
 	start time.Time
 
+	// Observability: the registry owns every counter and histogram
+	// below, so /statsz and /metricsz read the same objects.
+	reg          *obs.Registry
+	tracer       *obs.Tracer
+	stageHists   [obs.NumStages]*obs.Histogram
+	storeOpHists [3]*obs.Histogram // indexed by store.Op
+
 	scenarioEP, sweepEP, deltasEP, segmentsEP endpoint
-	hits, misses, shed, gridShed              atomic.Int64
-	notModified, inflight, queued             atomic.Int64
-	tlvStreams, tlvRecords, tlvBatches        atomic.Int64
+	hits, misses, shed, gridShed              *obs.Counter
+	notModified                               *obs.Counter
+	tlvStreams, tlvRecords, tlvBatches        *obs.Counter
+	inflight, queued                          atomic.Int64
 }
 
 // New builds a Server from opts (see Options for defaults).
@@ -327,10 +342,17 @@ func New(opts Options) (*Server, error) {
 	}
 	s.grids = make(chan struct{}, maxJobs)
 
+	// Metrics and tracing wire up before the runner: the observed
+	// runner and the store-op observer both write into registry-owned
+	// histograms.
+	s.initObs(opts.Tracer)
+
 	// The server owns the cache's miss path: every simulation — from
 	// /v1/scenario misses and from grid runs alike — funnels through
-	// the admission queue and the bounded worker pool.
-	s.cache.SetRunner(s.run)
+	// the admission queue and the bounded worker pool. The observed
+	// runner variant carries the requesting caller's stage observer so
+	// queue wait and simulation time land on the right request.
+	s.cache.SetObservedRunner(s.run)
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/scenario", s.handleScenario)
@@ -340,6 +362,7 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("/v1/segments/file", s.handleSegmentFile)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	s.mux.Handle("/metricsz", s.reg.Handler())
 	s.hs = &http.Server{Handler: s.mux}
 	return s, nil
 }
@@ -347,8 +370,15 @@ func New(opts Options) (*Server, error) {
 // run is the cache runner: admission queue, then a worker slot, then
 // the simulation. Shedding happens here — inside the singleflight — so
 // concurrent identical misses share one admission slot and one 429
-// outcome, exactly as they share one simulation on success.
-func (s *Server) run(cfg campaign.Config) (*campaign.Result, error) {
+// outcome, exactly as they share one simulation on success. Queue wait
+// and simulation wall time are attributed to the caller's stage
+// observer; an unobserved caller (a plain GetOrRun on the shared
+// cache) still feeds the process-wide stage histograms through a
+// span-less fan.
+func (s *Server) run(cfg campaign.Config, so obs.StageObserver) (*campaign.Result, error) {
+	if so == nil {
+		so = &stageFan{s: s}
+	}
 	select {
 	case s.admit <- struct{}{}:
 	default:
@@ -357,14 +387,19 @@ func (s *Server) run(cfg campaign.Config) (*campaign.Result, error) {
 	}
 	defer func() { <-s.admit }()
 	s.queued.Add(1)
+	tQueue := time.Now() //sweepvet:allow(timenow) stage timer: feeds metrics/traces only
 	s.slots <- struct{}{}
+	so.ObserveStage(obs.StageAdmissionWait, time.Since(tQueue)) //sweepvet:allow(timenow) stage timer: feeds metrics/traces only
 	s.queued.Add(-1)
 	s.inflight.Add(1)
 	defer func() {
 		<-s.slots
 		s.inflight.Add(-1)
 	}()
-	return s.runner(cfg)
+	tSim := time.Now() //sweepvet:allow(timenow) stage timer: feeds metrics/traces only
+	res, err := s.runner(cfg)
+	so.ObserveStage(obs.StageSimulate, time.Since(tSim)) //sweepvet:allow(timenow) stage timer: feeds metrics/traces only
+	return res, err
 }
 
 // Handler returns the service's HTTP handler, for mounting on an
@@ -456,8 +491,12 @@ func requirePost(w http.ResponseWriter, r *http.Request) bool {
 // handleScenario resolves one scenario by axes: a store/cache hit is a
 // read; a miss simulates through the admission queue or sheds 429.
 func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
-	t0 := time.Now()                                        //sweepvet:allow(timenow) endpoint latency counter
-	defer func() { s.scenarioEP.observe(time.Since(t0)) }() //sweepvet:allow(timenow) endpoint latency counter
+	t0 := time.Now() //sweepvet:allow(timenow) endpoint latency counter
+	sp := s.startSpan("scenario", w, r)
+	defer func() {
+		s.scenarioEP.observe(time.Since(t0)) //sweepvet:allow(timenow) endpoint latency counter
+		sp.Finish()
+	}()
 	if !requirePost(w, r) {
 		return
 	}
@@ -484,7 +523,8 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
-	res, cached, err := s.cache.GetOrRunReport(sc.Config)
+	fan := &stageFan{span: sp, s: s}
+	res, cached, err := s.cache.GetOrRunReportObserved(sc.Config, fan)
 	switch {
 	case errors.Is(err, ErrShed):
 		s.shed429(w, "simulation queue full; retry later")
@@ -505,7 +545,9 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("ETag", etag)
 	w.Header().Set("Content-Type", "application/json")
+	tEnc := time.Now() //sweepvet:allow(timenow) stage timer: feeds metrics/traces only
 	json.NewEncoder(w).Encode(sweep.RecordOf(sweep.ScenarioRun{Scenario: sc, Cached: cached, Result: res}))
+	fan.ObserveStage(obs.StageEncode, time.Since(tEnc)) //sweepvet:allow(timenow) stage timer: feeds metrics/traces only
 }
 
 // etagMatch reports whether an If-None-Match header names the given
@@ -586,8 +628,12 @@ func acceptsTLV(r *http.Request) bool {
 // accounting arrives in HTTP trailers either way (the body is already
 // streaming when the totals are known).
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	t0 := time.Now()                                     //sweepvet:allow(timenow) endpoint latency counter
-	defer func() { s.sweepEP.observe(time.Since(t0)) }() //sweepvet:allow(timenow) endpoint latency counter
+	t0 := time.Now() //sweepvet:allow(timenow) endpoint latency counter
+	sp := s.startSpan("sweep", w, r)
+	defer func() {
+		s.sweepEP.observe(time.Since(t0)) //sweepvet:allow(timenow) endpoint latency counter
+		sp.Finish()
+	}()
 	if !requirePost(w, r) {
 		return
 	}
@@ -616,14 +662,21 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		flushFn = flusher.Flush
 	}
 
+	fan := &stageFan{span: sp, s: s}
 	var emit func(run sweep.ScenarioRun) error
 	var emitted int
 	var bw *tlv.BatchWriter
 	if binary {
+		// Batch flushes happen inside WriteRecord, so its wall time is
+		// the encode-and-flush cost; the final Flush below is the
+		// stream's flush tail.
 		bw = tlv.NewBatchWriter(w, flushFn, s.batchRecs, s.batchBytes)
 		emit = func(run sweep.ScenarioRun) error {
 			rec := sweep.RecordOf(run)
-			if err := bw.WriteRecord(&rec); err != nil {
+			tEnc := time.Now() //sweepvet:allow(timenow) stage timer: feeds metrics/traces only
+			err := bw.WriteRecord(&rec)
+			fan.ObserveStage(obs.StageEncode, time.Since(tEnc)) //sweepvet:allow(timenow) stage timer: feeds metrics/traces only
+			if err != nil {
 				return err
 			}
 			emitted++
@@ -632,17 +685,24 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	} else {
 		enc := json.NewEncoder(w)
 		emit = func(run sweep.ScenarioRun) error {
-			if err := enc.Encode(sweep.RecordOf(run)); err != nil {
+			tEnc := time.Now() //sweepvet:allow(timenow) stage timer: feeds metrics/traces only
+			err := enc.Encode(sweep.RecordOf(run))
+			fan.ObserveStage(obs.StageEncode, time.Since(tEnc)) //sweepvet:allow(timenow) stage timer: feeds metrics/traces only
+			if err != nil {
 				return err
 			}
 			emitted++
+			tFlush := time.Now() //sweepvet:allow(timenow) stage timer: feeds metrics/traces only
 			flushFn()
+			fan.ObserveStage(obs.StageFlush, time.Since(tFlush)) //sweepvet:allow(timenow) stage timer: feeds metrics/traces only
 			return nil
 		}
 	}
-	res, err := sweep.RunEach(g, sweep.Options{Workers: s.simWorkers, Cache: s.cache}, emit)
+	res, err := sweep.RunEach(g, sweep.Options{Workers: s.simWorkers, Cache: s.cache, Stages: fan}, emit)
 	if err == nil && bw != nil {
+		tFlush := time.Now() //sweepvet:allow(timenow) stage timer: feeds metrics/traces only
 		err = bw.Flush()
+		fan.ObserveStage(obs.StageFlush, time.Since(tFlush)) //sweepvet:allow(timenow) stage timer: feeds metrics/traces only
 	}
 	if err != nil {
 		// Batched TLV may hold every emitted record unwritten: the
@@ -692,8 +752,12 @@ type DeltasResponse struct {
 // handleDeltas completes a grid (warm grids never simulate) and
 // returns its recommendation deltas.
 func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
-	t0 := time.Now()                                      //sweepvet:allow(timenow) endpoint latency counter
-	defer func() { s.deltasEP.observe(time.Since(t0)) }() //sweepvet:allow(timenow) endpoint latency counter
+	t0 := time.Now() //sweepvet:allow(timenow) endpoint latency counter
+	sp := s.startSpan("deltas", w, r)
+	defer func() {
+		s.deltasEP.observe(time.Since(t0)) //sweepvet:allow(timenow) endpoint latency counter
+		sp.Finish()
+	}()
 	if !requirePost(w, r) {
 		return
 	}
@@ -706,7 +770,7 @@ func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
 	}
 	defer func() { <-s.grids }()
 
-	res, err := sweep.Run(g, sweep.Options{Workers: s.simWorkers, Cache: s.cache})
+	res, err := sweep.Run(g, sweep.Options{Workers: s.simWorkers, Cache: s.cache, Stages: &stageFan{span: sp, s: s}})
 	if err != nil {
 		if errors.Is(err, ErrShed) {
 			s.shed429(w, err.Error())
@@ -745,8 +809,12 @@ type SegmentManifest struct {
 // segment-shipping replication. ?cursor=<generation> short-circuits an
 // unchanged store to 304, so idle pollers cost one int compare.
 func (s *Server) handleSegments(w http.ResponseWriter, r *http.Request) {
-	t0 := time.Now()                                        //sweepvet:allow(timenow) endpoint latency counter
-	defer func() { s.segmentsEP.observe(time.Since(t0)) }() //sweepvet:allow(timenow) endpoint latency counter
+	t0 := time.Now() //sweepvet:allow(timenow) endpoint latency counter
+	sp := s.startSpan("segments", w, r)
+	defer func() {
+		s.segmentsEP.observe(time.Since(t0)) //sweepvet:allow(timenow) endpoint latency counter
+		sp.Finish()
+	}()
 	if !requireGet(w, r) {
 		return
 	}
@@ -772,8 +840,12 @@ func (s *Server) handleSegments(w http.ResponseWriter, r *http.Request) {
 // vanished between manifest and fetch (compaction won the race) is a
 // 404 the follower resolves by re-polling the manifest.
 func (s *Server) handleSegmentFile(w http.ResponseWriter, r *http.Request) {
-	t0 := time.Now()                                        //sweepvet:allow(timenow) endpoint latency counter
-	defer func() { s.segmentsEP.observe(time.Since(t0)) }() //sweepvet:allow(timenow) endpoint latency counter
+	t0 := time.Now() //sweepvet:allow(timenow) endpoint latency counter
+	sp := s.startSpan("segments_file", w, r)
+	defer func() {
+		s.segmentsEP.observe(time.Since(t0)) //sweepvet:allow(timenow) endpoint latency counter
+		sp.Finish()
+	}()
 	if !requireGet(w, r) {
 		return
 	}
@@ -843,7 +915,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(payload)
 }
 
-func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+// StatsSnapshot assembles the /statsz payload: every number read from
+// the same registry-owned counters and histograms /metricsz exposes.
+// Benchmarks use it to report endpoint latency quantiles.
+func (s *Server) StatsSnapshot() Stats {
 	var st Stats
 	st.UptimeS = time.Since(s.start).Seconds() //sweepvet:allow(timenow) /statsz uptime
 	st.Version = buildinfo.Version()
@@ -851,9 +926,9 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	st.Sweep = s.sweepEP.snapshot()
 	st.Deltas = s.deltasEP.snapshot()
 	st.Segments = s.segmentsEP.snapshot()
-	st.Cache.Hits = s.hits.Load()
-	st.Cache.Misses = s.misses.Load()
-	st.Cache.NotModified = s.notModified.Load()
+	st.Cache.Hits = s.hits.Value()
+	st.Cache.Misses = s.misses.Value()
+	st.Cache.NotModified = s.notModified.Value()
 	st.Cache.StoreErrors = s.cache.StoreErrors()
 	if fn := s.replStats.Load(); fn != nil {
 		st.Replication = (*fn)()
@@ -862,12 +937,16 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	st.Sim.QueueDepth = s.queueDepth
 	st.Sim.Inflight = s.inflight.Load()
 	st.Sim.Queued = s.queued.Load()
-	st.Sim.Shed = s.shed.Load()
+	st.Sim.Shed = s.shed.Value()
 	st.Grid.Jobs = cap(s.grids)
-	st.Grid.Shed = s.gridShed.Load()
-	st.Stream.TLVStreams = s.tlvStreams.Load()
-	st.Stream.TLVRecords = s.tlvRecords.Load()
-	st.Stream.TLVBatches = s.tlvBatches.Load()
+	st.Grid.Shed = s.gridShed.Value()
+	st.Stream.TLVStreams = s.tlvStreams.Value()
+	st.Stream.TLVRecords = s.tlvRecords.Value()
+	st.Stream.TLVBatches = s.tlvBatches.Value()
+	return st
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(st)
+	json.NewEncoder(w).Encode(s.StatsSnapshot())
 }

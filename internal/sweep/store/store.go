@@ -214,6 +214,11 @@ type Store struct {
 	compact  bool
 	segBytes int64
 	writeTLV bool // new segments use the v3 TLV encoding
+	// opObs, when set, receives per-operation wall timings (get, put,
+	// per-shard compaction passes) for the serving layer's metrics.
+	// Set via SetOpObserver before the store sees traffic; timings feed
+	// observability only, never results.
+	opObs func(op Op, shard string, d time.Duration)
 
 	mu     sync.Mutex
 	loc    map[string]location    // id -> live record location
@@ -781,12 +786,73 @@ func readAtLocation(path string, l location) ([]byte, bool) {
 	return buf, true
 }
 
+// Op identifies one timed store operation reported to a SetOpObserver
+// callback.
+type Op uint8
+
+const (
+	// OpGet is one Get call: index lookup, segment ReadAt, decode,
+	// restore.
+	OpGet Op = iota
+	// OpPut is one Put call: encode, segment append, index append.
+	OpPut
+	// OpCompactShard is one shard's rewrite inside a Compact pass.
+	OpCompactShard
+)
+
+// String returns the metric-label name for the operation.
+func (o Op) String() string {
+	switch o {
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpCompactShard:
+		return "compact_shard"
+	}
+	return "unknown"
+}
+
+// SetOpObserver installs a callback receiving the wall duration of
+// every Get, Put and per-shard compaction pass, with the shard it
+// touched. The serving layer feeds these into its store-op latency
+// histograms. Set before the store sees traffic (like the cache's
+// SetRunner, it is not synchronized against in-flight calls); the
+// callback runs outside the store mutex and must be goroutine-safe.
+func (s *Store) SetOpObserver(fn func(op Op, shard string, d time.Duration)) {
+	s.opObs = fn
+}
+
+// opStart and opDone bracket one observed operation; both collapse to
+// nothing when no observer is installed, keeping the unobserved path
+// off the clock.
+func (s *Store) opStart() time.Time {
+	if s.opObs == nil {
+		return time.Time{}
+	}
+	return time.Now() //sweepvet:allow(timenow) op timer: feeds metrics only, never results
+}
+
+func (s *Store) opDone(op Op, shard string, start time.Time) {
+	if s.opObs == nil {
+		return
+	}
+	s.opObs(op, shard, time.Since(start)) //sweepvet:allow(timenow) op timer: feeds metrics only, never results
+}
+
 // Get loads and restores the record for a scenario id: one ReadAt at
 // the indexed location. Every failure mode — absent, unreadable,
 // corrupt, wrong version, id mismatch, unrestorable — is a miss; the
 // bad slot is forgotten so the record is rewritten after the scenario
 // re-runs.
 func (s *Store) Get(id string) (*campaign.Result, bool) {
+	start := s.opStart()
+	res, ok := s.getLocated(id)
+	s.opDone(OpGet, shardOf(id), start)
+	return res, ok
+}
+
+func (s *Store) getLocated(id string) (*campaign.Result, bool) {
 	s.mu.Lock()
 	l, ok := s.loc[id]
 	s.mu.Unlock()
@@ -870,6 +936,8 @@ func (s *Store) Put(id string, res *campaign.Result) error {
 	if err := validID(id); err != nil {
 		return err
 	}
+	start := s.opStart()
+	defer s.opDone(OpPut, shardOf(id), start)
 	st := res.State(s.compact)
 	line, err := s.encodeRecord(id, &st)
 	if err != nil {
@@ -1032,7 +1100,9 @@ func (s *Store) Compact() (CompactStats, error) {
 	var oldSegs []string
 	var emptied []string
 	for _, shard := range shards {
+		shardStart := s.opStart()
 		segs, carried, err := s.compactShard(shard, &stats)
+		s.opDone(OpCompactShard, shard, shardStart)
 		if err != nil {
 			return stats, err
 		}

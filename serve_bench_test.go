@@ -50,7 +50,7 @@ func postScenario(client *http.Client, url, body string) (int, error) {
 // served from the cache. ns/op inverts to the warm queries/sec a
 // single connection sustains.
 func BenchmarkServeWarm(b *testing.B) {
-	_, ts := newBenchServer(b, serve.Options{SimWorkers: 2})
+	srv, ts := newBenchServer(b, serve.Options{SimWorkers: 2})
 	client := ts.Client()
 	if code, err := postScenario(client, ts.URL, `{"seed":1}`); err != nil || code != http.StatusOK {
 		b.Fatalf("warming request: code %d err %v", code, err)
@@ -69,13 +69,24 @@ func BenchmarkServeWarm(b *testing.B) {
 	if b.Elapsed() > 0 {
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
 	}
+	reportEndpointQuantiles(b, srv.StatsSnapshot().Scenario)
+}
+
+// reportEndpointQuantiles surfaces the server's own endpoint latency
+// distribution alongside the mean: ns/op hides tail behaviour, and the
+// p99/p50 ratio is the number the paper's edge-latency story turns on.
+func reportEndpointQuantiles(b *testing.B, ep serve.EndpointStats) {
+	b.Helper()
+	b.ReportMetric(float64(ep.LatencyUsP50), "p50_us")
+	b.ReportMetric(float64(ep.LatencyUsP95), "p95_us")
+	b.ReportMetric(float64(ep.LatencyUsP99), "p99_us")
 }
 
 // BenchmarkServeColdMiss measures the full miss path: admission queue,
 // worker slot, one campaign simulation, write-through persist, record
 // encode. Every iteration queries a seed never seen before.
 func BenchmarkServeColdMiss(b *testing.B) {
-	_, ts := newBenchServer(b, serve.Options{SimWorkers: 2, CacheDir: b.TempDir()})
+	srv, ts := newBenchServer(b, serve.Options{SimWorkers: 2, CacheDir: b.TempDir()})
 	client := ts.Client()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -87,6 +98,8 @@ func BenchmarkServeColdMiss(b *testing.B) {
 			b.Fatalf("cold query returned %d", code)
 		}
 	}
+	b.StopTimer()
+	reportEndpointQuantiles(b, srv.StatsSnapshot().Scenario)
 }
 
 // postSweep streams one full /v1/sweep response, discarding the body,
